@@ -1,0 +1,39 @@
+"""Ablation: I-bus arbitration policy as the fetch policy (Section VII).
+
+The paper's conclusion notes that once the I-cache is shared, "the
+arbitration policy on an I-bus becomes the fetching policy" and proposes
+evaluating SMT-style policies. This bench sweeps all four policies on the
+most bus-sensitive benchmark (UA) at the naive cpc=8 single-bus point and
+reports the execution-time ratio to the private baseline.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.acmp import baseline_config, simulate, worker_shared_config
+from repro.trace.synthesis import synthesize_benchmark
+
+POLICIES = ("round-robin", "fixed-priority", "least-recently-granted", "icount")
+
+
+@pytest.fixture(scope="module")
+def ua_runs():
+    traces = synthesize_benchmark("UA", thread_count=9, scale=BENCH_SCALE)
+    base = simulate(baseline_config(), traces)
+    return traces, base
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bench_arbitration(benchmark, ua_runs, policy):
+    traces, base = ua_runs
+
+    def run():
+        config = worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=1, arbitration=policy
+        )
+        return simulate(config, traces)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = result.cycles / base.cycles
+    benchmark.extra_info["time_vs_baseline"] = round(ratio, 4)
+    assert result.total_committed == traces.instruction_count

@@ -1,0 +1,43 @@
+"""Ablation: shared fetch predictor and crossbar interconnect.
+
+Section VII future work: "customizing the rest of the multicore front-end
+and sharing both the iTLB and branch predictor may also provide benefits
+from similar cross-thread prefetching and constructive interference"; and
+Section IV-B weighs crossbars against buses. Both options exist in the
+configuration; this bench prices them on the chosen design point.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.acmp import simulate, worker_shared_config
+from repro.power import evaluate_power, worker_cluster_area
+from repro.trace.synthesis import synthesize_benchmark
+
+VARIANTS = {
+    "proposal": dict(),
+    "shared-predictor": dict(shared_fetch_predictor=True),
+    "crossbar": dict(interconnect="crossbar"),
+}
+
+
+@pytest.fixture(scope="module")
+def dc_traces():
+    return synthesize_benchmark("DC", thread_count=9, scale=BENCH_SCALE)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_bench_frontend_variant(benchmark, dc_traces, variant):
+    config = worker_shared_config(**VARIANTS[variant])
+
+    def run():
+        return simulate(config, dc_traces)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    power = evaluate_power(result, config)
+    benchmark.extra_info["cycles"] = result.cycles
+    benchmark.extra_info["area_mm2"] = round(power.area_mm2, 2)
+    assert result.total_committed == dc_traces.instruction_count
+    if variant == "crossbar":
+        bus_area = worker_cluster_area(worker_shared_config()).total
+        assert power.area_mm2 > bus_area

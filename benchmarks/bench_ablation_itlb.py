@@ -1,0 +1,35 @@
+"""Ablation: shared instruction TLB (Section VII future work).
+
+"Sharing both the iTLB and branch predictor may also provide benefits from
+similar cross-thread prefetching and constructive interference effects."
+This bench compares private vs shared iTLBs on the chosen shared-I-cache
+design point.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.acmp import simulate, worker_shared_config
+from repro.trace.synthesis import synthesize_benchmark
+
+VARIANTS = {
+    "private-itlb": dict(itlb_enabled=True),
+    "shared-itlb": dict(itlb_enabled=True, shared_itlb=True),
+}
+
+
+@pytest.fixture(scope="module")
+def cg_traces():
+    return synthesize_benchmark("CG", thread_count=9, scale=BENCH_SCALE)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_bench_itlb(benchmark, cg_traces, variant):
+    config = worker_shared_config(**VARIANTS[variant])
+
+    def run():
+        return simulate(config, cg_traces)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles"] = result.cycles
+    assert result.total_committed == cg_traces.instruction_count

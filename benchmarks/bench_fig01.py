@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 1 (Hill-Marty ACMP speedup curves)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig01(benchmark):
+    result = benchmark(run_experiment, "fig01")
+    assert 1.0 < result.summary["crossover_percent"] < 3.0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 2 (basic-block lengths, serial vs parallel)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig02(benchmark):
+    def regenerate():
+        return run_experiment("fig02", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["amean_ratio"] > 2.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 3 (I-cache MPKI, serial vs parallel)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig03(benchmark):
+    def regenerate():
+        return run_experiment("fig03", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["coevp_parallel_mpki"] > result.summary[
+        "max_other_parallel_mpki"
+    ]

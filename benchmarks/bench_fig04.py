@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 4 (instruction sharing across threads)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig04(benchmark):
+    def regenerate():
+        return run_experiment("fig04", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["mean_dynamic_sharing_percent"] > 95.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 7 (naive sharing execution time, cpc sweep)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig07(benchmark):
+    def regenerate():
+        return run_experiment("fig07", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["mean_cpc8_ratio"] >= result.summary["mean_cpc2_ratio"]
+    assert result.summary["worst_cpc8_ratio"] > 1.02

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 8 (normalized CPI stack at cpc=8)."""
+
+from conftest import BENCH_SUBSET, make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig08(benchmark):
+    def regenerate():
+        return run_experiment("fig08", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["bus_dominated_count"] >= len(BENCH_SUBSET) - 1

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 9 (I-cache access ratio vs line buffers)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig09(benchmark):
+    def regenerate():
+        return run_experiment("fig09", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    by_name = {row[0]: row for row in result.rows}
+    # Tight-loop CG stays far below large-body BT at 4 line buffers.
+    assert by_name["CG"][2] < by_name["BT"][2]

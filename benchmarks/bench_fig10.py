@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 10 (line buffers vs bus bandwidth, cpc=8)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig10(benchmark):
+    def regenerate():
+        return run_experiment("fig10", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["mean_double_bus"] <= result.summary["mean_naive"] + 1e-9

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 11 (shared vs private worker MPKI)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig11(benchmark):
+    def regenerate():
+        return run_experiment("fig11", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["mean_ratio_32kb_percent"] < 100.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 12 (time / energy / area design points)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig12(benchmark):
+    def regenerate():
+        return run_experiment("fig12", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert result.summary["area_4_LB_double_bus"] < 0.95
+    assert result.summary["energy_4_LB_double_bus"] < 1.0

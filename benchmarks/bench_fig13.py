@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 13 (all-shared vs worker-shared ratio)."""
+
+from conftest import make_context
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig13(benchmark):
+    def regenerate():
+        return run_experiment("fig13", make_context())
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert (
+        result.summary["high_serial_mean_ratio"]
+        >= result.summary["low_serial_mean_ratio"] - 0.02
+    )

@@ -1,0 +1,70 @@
+"""Scalability of I-cache sharing beyond eight cores (Section VI-E).
+
+"Sharing an I-cache among more than eight cores introduces additional
+stall cycles which can not be mitigated with a double bus interconnect and
+four line buffers" — the finding that caps the paper's design at
+eight-core clusters. This bench sweeps the worker count with one fully
+shared I-cache and reports the slowdown versus the private baseline at
+the same core count.
+"""
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.acmp import AcmpConfig, baseline_config, simulate
+from repro.trace.synthesis import synthesize_benchmark
+
+WORKER_COUNTS = (4, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def traces_by_count():
+    return {
+        workers: synthesize_benchmark(
+            "UA", thread_count=workers + 1, scale=BENCH_SCALE
+        )
+        for workers in WORKER_COUNTS
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_scalability(benchmark, traces_by_count, workers):
+    traces = traces_by_count[workers]
+    base = simulate(baseline_config(worker_count=workers), traces)
+
+    def run():
+        config = AcmpConfig(
+            worker_count=workers,
+            cores_per_cache=workers,
+            worker_icache_bytes=32 * 1024,
+            bus_count=2,
+            line_buffers=4,
+        )
+        return simulate(config, traces)
+
+    shared = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = shared.cycles / base.cycles
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["time_vs_baseline"] = round(ratio, 4)
+    assert shared.total_committed == traces.instruction_count
+
+
+def test_sharing_degrades_beyond_eight(traces_by_count):
+    """The paper's scalability limit: the double-bus design that is free
+    at 8 cores costs measurable time at 16."""
+    ratios = {}
+    for workers in (8, 16):
+        traces = traces_by_count[workers]
+        base = simulate(baseline_config(worker_count=workers), traces)
+        shared = simulate(
+            AcmpConfig(
+                worker_count=workers,
+                cores_per_cache=workers,
+                worker_icache_bytes=32 * 1024,
+                bus_count=2,
+                line_buffers=4,
+            ),
+            traces,
+        )
+        ratios[workers] = shared.cycles / base.cycles
+    assert ratios[16] >= ratios[8] - 0.01

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (simulated ACMP configuration)."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_experiment, "table1")
+    assert result.summary["all_match"] == 1.0

@@ -1,0 +1,32 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` module regenerates one of the paper's tables or
+figures through the same drivers the ``python -m repro.experiments`` CLI
+uses, at a reduced scale/benchmark subset so the full harness completes
+in minutes. ``--benchmark-only`` runs measure the end-to-end cost of one
+regeneration (trace synthesis + simulation + reporting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+#: Benchmark subset used by the timing figures: one bus-sensitive code
+#: (UA), one tight-loop code (CG), one long-block code (BT), the
+#: high-MPKI outlier (CoEVP) and a high-serial-fraction code (CoMD).
+BENCH_SUBSET = ["BT", "CG", "UA", "CoEVP", "CoMD"]
+
+#: Instruction-budget multiplier for benchmark runs.
+BENCH_SCALE = 0.15
+
+
+def make_context() -> ExperimentContext:
+    """A fresh reduced-scale context (no memoised state)."""
+    return ExperimentContext(scale=BENCH_SCALE, benchmarks=list(BENCH_SUBSET))
+
+
+@pytest.fixture
+def bench_ctx() -> ExperimentContext:
+    return make_context()

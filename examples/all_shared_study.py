@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""All-shared study: should the master core share the I-cache too?
+
+Reproduces the Section VI-E analysis on a few benchmarks spanning the
+serial-fraction axis: compares the all-shared design (master + workers
+behind one 32 KB shared I-cache) against the worker-shared design, and
+shows how the penalty tracks the serial code fraction — plus the single
+bus variant that exposes the scalability limit (Group 3).
+
+Run:
+    python examples/all_shared_study.py
+"""
+
+from repro import (
+    all_shared_config,
+    get_benchmark,
+    simulate,
+    synthesize_benchmark,
+    worker_shared_config,
+)
+from repro.analysis import format_table
+
+#: Spans the Fig. 13 x-axis: EP (<1 % serial) through CoMD (~17 %).
+BENCHMARKS = ("EP", "UA", "fma3d", "CoEVP", "LULESH", "CoMD")
+SCALE = 0.35
+
+
+def main() -> None:
+    rows = []
+    for name in BENCHMARKS:
+        traces = synthesize_benchmark(name, thread_count=9, scale=SCALE)
+        worker_double = simulate(
+            worker_shared_config(
+                cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
+            ),
+            traces,
+        )
+        worker_single = simulate(
+            worker_shared_config(
+                cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
+            ),
+            traces,
+        )
+        all_double = simulate(all_shared_config(icache_kb=32, bus_count=2), traces)
+        all_single = simulate(all_shared_config(icache_kb=32, bus_count=1), traces)
+        model = get_benchmark(name)
+        rows.append(
+            [
+                name,
+                model.serial_fraction * 100,
+                all_double.cycles / worker_double.cycles,
+                all_single.cycles / worker_single.cycles,
+            ]
+        )
+    rows.sort(key=lambda row: row[1])
+    print(
+        format_table(
+            ["benchmark", "serial %", "all/worker (double)", "all/worker (single)"],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape (paper Fig. 13): the double-bus ratio grows with"
+        "\nthe serial fraction (~1% per 5% serial); with a single bus the"
+        "\nbus-saturated codes (EP, UA) degrade even at low serial fractions."
+        "\nConclusion: keep the master core's I-cache private."
+    )
+
+
+if __name__ == "__main__":
+    main()

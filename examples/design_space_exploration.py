@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep sharing degree, line buffers and bus
+count for a set of benchmarks, reporting time/area/energy per point.
+
+This is the kind of study Section VI performs to find the sweet spot
+("a wide interconnect ... and a few line buffers"). The sweep covers:
+
+* cores-per-cache (cpc) in {2, 4, 8},
+* 2/4/8 line buffers,
+* single and double buses,
+* 16 KB and 32 KB shared I-caches,
+
+and prints a ranked table of the Pareto-interesting points.
+
+Run:
+    python examples/design_space_exploration.py [benchmark ...]
+"""
+
+import sys
+
+from repro import (
+    baseline_config,
+    evaluate_power,
+    simulate,
+    synthesize_benchmark,
+    worker_shared_config,
+)
+from repro.analysis import format_table
+
+DEFAULT_BENCHMARKS = ("CG", "UA", "LULESH")
+SCALE = 0.35
+
+
+def sweep(benchmarks: list[str]) -> None:
+    trace_sets = {
+        name: synthesize_benchmark(name, thread_count=9, scale=SCALE)
+        for name in benchmarks
+    }
+    base_config = baseline_config()
+    base_runs = {name: simulate(base_config, ts) for name, ts in trace_sets.items()}
+    base_power = {
+        name: evaluate_power(run, base_config) for name, run in base_runs.items()
+    }
+
+    rows = []
+    for cpc in (2, 4, 8):
+        for icache_kb in (16, 32):
+            for line_buffers in (2, 4, 8):
+                for bus_count in (1, 2):
+                    config = worker_shared_config(
+                        cores_per_cache=cpc,
+                        icache_kb=icache_kb,
+                        bus_count=bus_count,
+                        line_buffers=line_buffers,
+                    )
+                    time_ratios = []
+                    energy_ratios = []
+                    area_ratio = 0.0
+                    for name, traces in trace_sets.items():
+                        result = simulate(config, traces)
+                        power = evaluate_power(result, config)
+                        time_ratios.append(
+                            result.cycles / base_runs[name].cycles
+                        )
+                        energy_ratios.append(
+                            power.energy_nj / base_power[name].energy_nj
+                        )
+                        area_ratio = power.area_mm2 / base_power[name].area_mm2
+                    rows.append(
+                        [
+                            config.label(),
+                            sum(time_ratios) / len(time_ratios),
+                            sum(energy_ratios) / len(energy_ratios),
+                            area_ratio,
+                        ]
+                    )
+    # Rank: first points that do not hurt performance, then by area.
+    rows.sort(key=lambda row: (row[1] > 1.005, row[3], row[1]))
+    print(
+        format_table(
+            ["design point", "time (mean)", "energy (mean)", "area"], rows
+        )
+    )
+    best = rows[0]
+    print(
+        f"\nbest no-regression point: {best[0]} "
+        f"(time {best[1]:.3f}, energy {best[2]:.3f}, area {best[3]:.3f})"
+    )
+    print("paper's choice: cpc=8::16KB::4lb::double-bus")
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or list(DEFAULT_BENCHMARKS)
+    print(f"Exploring the design space over {benchmarks} (scale {SCALE})...\n")
+    sweep(benchmarks)
+
+
+if __name__ == "__main__":
+    main()

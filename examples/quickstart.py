@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one HPC benchmark on the baseline and on the
+paper's proposed shared-I-cache ACMP, and compare them.
+
+Builds the UA workload (the paper's most bus-sensitive benchmark), runs
+three design points — private I-caches, naive sharing over a single bus,
+and the chosen 16 KB shared cache behind a double bus — and prints the
+execution time ratios, miss counts and the area/energy assessment.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    baseline_config,
+    evaluate_power,
+    simulate,
+    synthesize_benchmark,
+    worker_shared_config,
+)
+
+BENCHMARK = "UA"
+
+
+def main() -> None:
+    print(f"Synthesising traces for {BENCHMARK} (1 master + 8 workers)...")
+    traces = synthesize_benchmark(BENCHMARK, thread_count=9, scale=0.5)
+    print(f"  {traces.instruction_count:,} dynamic instructions\n")
+
+    designs = {
+        "baseline (private 32KB)": baseline_config(),
+        "naive sharing (32KB, single bus)": worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
+        ),
+        "proposal (16KB, double bus)": worker_shared_config(),
+    }
+
+    base_result = None
+    base_power = None
+    for label, config in designs.items():
+        result = simulate(config, traces)
+        power = evaluate_power(result, config)
+        if base_result is None:
+            base_result = result
+            base_power = power
+        time_ratio = result.cycles / base_result.cycles
+        area_ratio = power.area_mm2 / base_power.area_mm2
+        energy_ratio = power.energy_nj / base_power.energy_nj
+        print(f"{label}")
+        print(f"  cycles            {result.cycles:>10,}  ({time_ratio:.3f}x)")
+        print(f"  worker I-misses   {result.worker_icache_misses():>10,}")
+        print(f"  worker MPKI       {result.worker_icache_mpki():>10.3f}")
+        print(f"  cluster area      {power.area_mm2:>10.2f} mm2 ({area_ratio:.3f}x)")
+        print(f"  cluster energy    {power.energy_nj / 1e3:>10.1f} uJ  ({energy_ratio:.3f}x)")
+        print()
+
+    print(
+        "Expected shape (paper): naive single-bus sharing slows UA down,\n"
+        "the double bus restores baseline performance while saving ~11%\n"
+        "area and ~5% energy, and sharing cuts worker I-cache misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

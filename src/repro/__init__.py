@@ -1,0 +1,86 @@
+"""repro: reproduction of "Sharing the Instruction Cache Among Lean Cores
+on an Asymmetric CMP for HPC Applications" (Milic et al., ISPASS 2017).
+
+A trace-driven cycle-level simulator of an asymmetric CMP (1 big master
+core + 8 lean workers) whose worker cores may share one L1 instruction
+cache behind a single/double bus, plus every substrate the paper's
+methodology depends on: a Pin-style trace model with synthetic HPC
+workload generation, a decoupled front-end (gshare + loop predictor, FTQ,
+line buffers), an OpenMP-like runtime replay layer, an L2/DDR3 memory
+hierarchy, and McPAT/CACTI-style area/energy models.
+
+Quickstart::
+
+    from repro import baseline_config, worker_shared_config, simulate
+    from repro import synthesize_benchmark
+
+    traces = synthesize_benchmark("UA", thread_count=9, scale=0.5)
+    base = simulate(baseline_config(), traces)
+    shared = simulate(worker_shared_config(), traces)
+    print(shared.cycles / base.cycles)
+
+To regenerate a paper figure::
+
+    python -m repro.experiments fig07
+"""
+
+from repro.acmp import (
+    AcmpConfig,
+    AcmpSimulator,
+    AcmpSystem,
+    SimulationResult,
+    all_shared_config,
+    baseline_config,
+    simulate,
+    worker_shared_config,
+)
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceFormatError,
+    WorkloadError,
+)
+from repro.power import PowerReport, evaluate_power, worker_cluster_area
+from repro.trace import ThreadTrace, TraceSet
+from repro.trace.synthesis import synthesize, synthesize_benchmark
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    WorkloadModel,
+    benchmark_names,
+    get_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcmpConfig",
+    "AcmpSimulator",
+    "AcmpSystem",
+    "SimulationResult",
+    "all_shared_config",
+    "baseline_config",
+    "simulate",
+    "worker_shared_config",
+    "ConfigurationError",
+    "DeadlockError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "TraceFormatError",
+    "WorkloadError",
+    "PowerReport",
+    "evaluate_power",
+    "worker_cluster_area",
+    "TraceSet",
+    "ThreadTrace",
+    "synthesize",
+    "synthesize_benchmark",
+    "ALL_BENCHMARKS",
+    "WorkloadModel",
+    "benchmark_names",
+    "get_benchmark",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""The cycle-level ACMP simulation engine.
+
+Per-cycle order of operations:
+
+1. scheduled completions land (line-buffer fills, cache refills);
+2. every runnable core's front-end steps (FTQ fill, issue, extract);
+3. the shared I-interconnects arbitrate and process grants;
+4. every core's back-end attempts to commit, charging stall cycles to
+   the front-end's attribution when it starves;
+5. blocked cores accumulate synchronisation wait time.
+
+The run terminates when every thread has consumed its trace and drained
+its pipeline; the cycle count at that point is the benchmark's execution
+time for the configured design point.
+"""
+
+from __future__ import annotations
+
+from repro.acmp.config import AcmpConfig
+from repro.acmp.results import SimulationResult
+from repro.acmp.system import AcmpSystem
+from repro.errors import DeadlockError, SimulationError
+from repro.runtime.threads import ThreadState
+from repro.trace.stream import TraceSet
+
+#: Cycles without any committed instruction before declaring a deadlock.
+_STALL_LIMIT = 200_000
+
+
+class AcmpSimulator:
+    """Runs one :class:`AcmpSystem` to completion."""
+
+    def __init__(self, system: AcmpSystem) -> None:
+        self.system = system
+        self.cycle = 0
+
+    def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
+        """Simulate until all threads finish; return collected results.
+
+        Raises:
+            DeadlockError: when no thread commits for a long window while
+                unfinished threads remain (protocol violation or bug).
+        """
+        system = self.system
+        cores = system.cores
+        runnable_cores = cores  # stable list; state checked per cycle
+        shared_groups = [
+            hw.shared for hw in system.group_hardware if hw.shared is not None
+        ]
+        events = system.events
+        last_progress_cycle = 0
+        total_committed_at_progress = 0
+
+        while self.cycle < max_cycles:
+            now = self.cycle
+            if all(c.context.state is ThreadState.FINISHED for c in cores):
+                return system.collect_results(now)
+
+            events.run_due(now)
+
+            for core in runnable_cores:
+                if core.context.state is ThreadState.RUNNING:
+                    core.frontend.step(now)
+
+            for group in shared_groups:
+                group.step(now)
+
+            committed_this_cycle = 0
+            for core in cores:
+                state = core.context.state
+                if state is ThreadState.FINISHED:
+                    continue
+                if state is ThreadState.BLOCKED:
+                    core.backend.step(now, "sync")
+                    continue
+                cause = core.frontend.stall_cause(now)
+                committed_this_cycle += core.backend.step(now, cause)
+
+            if committed_this_cycle:
+                last_progress_cycle = now
+                total_committed_at_progress += committed_this_cycle
+            elif now - last_progress_cycle > _STALL_LIMIT:
+                self._raise_deadlock(now)
+
+            self.cycle += 1
+
+        raise SimulationError(
+            f"simulation exceeded max_cycles={max_cycles} for "
+            f"benchmark {system.traces.benchmark!r}"
+        )
+
+    def _raise_deadlock(self, now: int) -> None:
+        system = self.system
+        states = {
+            core.core_id: core.context.state.value for core in system.cores
+        }
+        raise DeadlockError(
+            f"no instruction committed for {_STALL_LIMIT} cycles at cycle "
+            f"{now} (benchmark {system.traces.benchmark!r}, config "
+            f"{system.config.label()}): core states {states}; runtime: "
+            f"{system.runtime.describe_blockage()}"
+        )
+
+
+def simulate(
+    config: AcmpConfig,
+    traces: TraceSet,
+    max_cycles: int = 500_000_000,
+    warm_l2: bool = True,
+) -> SimulationResult:
+    """Build and run one design point over one trace set.
+
+    Args:
+        warm_l2: pre-fill the instruction-side L2s with the code footprint
+            (see :meth:`AcmpSystem.warm_instruction_l2s`); on by default
+            because the paper's full-length runs operate with code-resident
+            L2s.
+    """
+    system = AcmpSystem(config, traces)
+    if warm_l2:
+        system.warm_instruction_l2s()
+    return AcmpSimulator(system).run(max_cycles=max_cycles)

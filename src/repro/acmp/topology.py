@@ -1,0 +1,78 @@
+"""Sharing topology: which cores share which I-cache.
+
+Core numbering: core 0 is the master (runs thread 0, the master thread);
+cores 1..worker_count are the lean workers. ``cores_per_cache`` partitions
+the workers into groups of equal size, each group sharing one I-cache
+behind one I-interconnect (Section V-B). In the all-shared variant of
+Section VI-E the master joins the single worker group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acmp.config import AcmpConfig
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGroup:
+    """One I-cache and the cores attached to it."""
+
+    index: int
+    core_ids: tuple[int, ...]
+    size_bytes: int
+
+    @property
+    def shared(self) -> bool:
+        return len(self.core_ids) > 1
+
+
+@dataclass(frozen=True, slots=True)
+class Topology:
+    """The full I-cache organisation of one design point."""
+
+    groups: tuple[CacheGroup, ...]
+    core_count: int
+
+    def group_of(self, core_id: int) -> CacheGroup:
+        for group in self.groups:
+            if core_id in group.core_ids:
+                return group
+        raise KeyError(f"core {core_id} belongs to no cache group")
+
+    @property
+    def shared_groups(self) -> tuple[CacheGroup, ...]:
+        return tuple(group for group in self.groups if group.shared)
+
+    @property
+    def icache_count(self) -> int:
+        return len(self.groups)
+
+
+def build_topology(config: AcmpConfig) -> Topology:
+    """Derive the cache grouping from a configuration."""
+    groups: list[CacheGroup] = []
+    if config.all_shared:
+        # One cache for everyone, master included.
+        core_ids = tuple(range(config.core_count))
+        groups.append(
+            CacheGroup(index=0, core_ids=core_ids, size_bytes=config.worker_icache_bytes)
+        )
+        return Topology(groups=tuple(groups), core_count=config.core_count)
+
+    # Master always keeps its private I-cache.
+    groups.append(
+        CacheGroup(index=0, core_ids=(0,), size_bytes=config.master_icache_bytes)
+    )
+    workers = list(range(1, config.core_count))
+    size = config.cores_per_cache
+    for start in range(0, len(workers), size):
+        member_ids = tuple(workers[start : start + size])
+        groups.append(
+            CacheGroup(
+                index=len(groups),
+                core_ids=member_ids,
+                size_bytes=config.worker_icache_bytes,
+            )
+        )
+    return Topology(groups=tuple(groups), core_count=config.core_count)

@@ -1,0 +1,22 @@
+"""Analysis: characterisation, sharing, reporting."""
+
+from repro.analysis.characterize import (
+    BasicBlockProfile,
+    MpkiProfile,
+    basic_block_profile,
+    mpki_profile,
+)
+from repro.analysis.report import format_bar_chart, format_stacked_bars, format_table
+from repro.analysis.sharing import SharingProfile, sharing_profile
+
+__all__ = [
+    "BasicBlockProfile",
+    "MpkiProfile",
+    "basic_block_profile",
+    "mpki_profile",
+    "format_bar_chart",
+    "format_stacked_bars",
+    "format_table",
+    "SharingProfile",
+    "sharing_profile",
+]

@@ -1,0 +1,66 @@
+"""Trace characterisation: basic-block lengths and region MPKI.
+
+Backs Figs. 2 and 3: the paper instruments only the master thread and
+separates serial from parallel sections; we do the same over the
+synthesised master trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.functional import RegionMpki, characterize_regions
+from repro.trace.stream import ThreadTrace
+from repro.utils import RunningStats
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlockProfile:
+    """Mean dynamic basic-block lengths (bytes), Fig. 2's quantity."""
+
+    serial_mean_bytes: float
+    parallel_mean_bytes: float
+    serial_blocks: int
+    parallel_blocks: int
+
+    @property
+    def parallel_to_serial_ratio(self) -> float:
+        if self.serial_mean_bytes == 0:
+            return 0.0
+        return self.parallel_mean_bytes / self.serial_mean_bytes
+
+
+def basic_block_profile(trace: ThreadTrace) -> BasicBlockProfile:
+    """Average dynamic basic-block size per region over one thread."""
+    serial = RunningStats()
+    parallel = RunningStats()
+    for block in trace.serial_region_blocks():
+        serial.add(block.size_bytes)
+    for block in trace.parallel_region_blocks():
+        parallel.add(block.size_bytes)
+    return BasicBlockProfile(
+        serial_mean_bytes=serial.mean,
+        parallel_mean_bytes=parallel.mean,
+        serial_blocks=serial.count,
+        parallel_blocks=parallel.count,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MpkiProfile:
+    """Serial/parallel I-cache MPKI (Fig. 3's quantity)."""
+
+    serial: RegionMpki
+    parallel: RegionMpki
+
+
+def mpki_profile(
+    trace: ThreadTrace,
+    size_bytes: int = 32 * 1024,
+    ways: int = 8,
+    line_bytes: int = 64,
+) -> MpkiProfile:
+    """Fig. 3 methodology: a 32 KB/8-way/64 B/LRU cache over the master
+    trace, with misses attributed to the region they occur in."""
+    serial, parallel = characterize_regions(trace, size_bytes, ways, line_bytes)
+    return MpkiProfile(serial=serial, parallel=parallel)

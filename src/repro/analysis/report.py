@@ -1,0 +1,98 @@
+"""ASCII rendering of experiment tables and bar series.
+
+The experiment drivers print "the same rows/series the paper reports":
+per-benchmark bars (normalised execution time, MPKI, access ratios, CPI
+stacks) and small summary tables. This module renders them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    reference: float | None = None,
+) -> str:
+    """Render a horizontal ASCII bar chart, one row per label.
+
+    Args:
+        reference: draw a tick at this value (e.g. 1.0 for a normalised
+            chart) when it falls inside the plotted range.
+    """
+    if not values:
+        return "(no data)"
+    maximum = max(max(values.values()), reference or 0.0, 1e-12)
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        length = int(round(width * value / maximum))
+        bar = "#" * length
+        if reference is not None:
+            tick = int(round(width * reference / maximum))
+            if 0 <= tick < width:
+                padded = list(bar.ljust(width))
+                padded[tick] = "|" if padded[tick] == " " else padded[tick]
+                bar = "".join(padded).rstrip()
+        lines.append(
+            f"{label.ljust(label_width)}  {value:8.3f}{unit}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def format_stacked_bars(
+    stacks: Mapping[str, Mapping[str, float]],
+    components: Sequence[str],
+    symbols: Mapping[str, str],
+    width: int = 50,
+) -> str:
+    """Render stacked horizontal bars (CPI stacks, Fig. 8 style)."""
+    if not stacks:
+        return "(no data)"
+    totals = {label: sum(stack.values()) for label, stack in stacks.items()}
+    maximum = max(totals.values()) or 1e-12
+    label_width = max(len(label) for label in stacks)
+    lines = []
+    for label, stack in stacks.items():
+        segments = []
+        for component in components:
+            value = stack.get(component, 0.0)
+            length = int(round(width * value / maximum))
+            segments.append(symbols.get(component, "?") * length)
+        bar = "".join(segments)
+        lines.append(f"{label.ljust(label_width)}  {totals[label]:7.3f}  {bar}")
+    legend = "  ".join(
+        f"{symbols.get(component, '?')}={component}" for component in components
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Instruction-sharing analysis across threads (Fig. 4).
+
+The paper measures "the percentage of instruction footprint shared among
+all the threads running the application" in parallel sections only, both
+statically (unique code touched) and dynamically (weighted by execution
+frequency).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.trace.stream import TraceSet
+
+
+@dataclass(frozen=True, slots=True)
+class SharingProfile:
+    """Static and dynamic instruction sharing for one benchmark."""
+
+    static_sharing: float  # |intersection| / |union| of per-thread footprints
+    dynamic_sharing: float  # fraction of dynamic instrs in common code
+    union_footprint_blocks: int
+    common_footprint_blocks: int
+
+
+def sharing_profile(trace_set: TraceSet) -> SharingProfile:
+    """Measure cross-thread instruction sharing on parallel-region code.
+
+    Static sharing compares per-thread sets of executed block addresses;
+    dynamic sharing weighs each executed instruction by whether its block
+    is common to every thread.
+    """
+    footprints: list[set[int]] = []
+    dynamic_counts: list[Counter[int]] = []
+    for thread in trace_set.threads:
+        addresses: set[int] = set()
+        counts: Counter[int] = Counter()
+        for block in thread.parallel_region_blocks():
+            addresses.add(block.address)
+            counts[block.address] += block.instruction_count
+        footprints.append(addresses)
+        dynamic_counts.append(counts)
+
+    non_empty = [fp for fp in footprints if fp]
+    if not non_empty:
+        return SharingProfile(0.0, 0.0, 0, 0)
+    common = set.intersection(*non_empty)
+    union = set.union(*non_empty)
+
+    total_instructions = 0
+    shared_instructions = 0
+    for counts in dynamic_counts:
+        for address, instructions in counts.items():
+            total_instructions += instructions
+            if address in common:
+                shared_instructions += instructions
+
+    return SharingProfile(
+        static_sharing=len(common) / len(union) if union else 0.0,
+        dynamic_sharing=(
+            shared_instructions / total_instructions if total_instructions else 0.0
+        ),
+        union_footprint_blocks=len(union),
+        common_footprint_blocks=len(common),
+    )

@@ -1,0 +1,5 @@
+"""Commit-rate back-end model."""
+
+from repro.backend.backend import STALL_CAUSES, CommitEngine, CommitStats
+
+__all__ = ["STALL_CAUSES", "CommitEngine", "CommitStats"]

@@ -1,0 +1,59 @@
+"""Direction-predictor interface and shared counters."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    """Prediction accounting for one predictor instance."""
+
+    lookups: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.lookups == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups
+
+    def mpki(self, instructions: int) -> float:
+        """Branch mispredictions per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return self.mispredictions * 1000.0 / instructions
+
+
+class DirectionPredictor(abc.ABC):
+    """Predicts taken/not-taken for conditional branches."""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def predict(self, address: int) -> bool:
+        """Predicted direction for the branch at ``address``."""
+
+    @abc.abstractmethod
+    def update(self, address: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+
+    def predict_and_update(self, address: int, taken: bool) -> bool:
+        """Predict, record accuracy, then train. Returns True on a correct
+        prediction."""
+        predicted = self.predict(address)
+        self.stats.lookups += 1
+        correct = predicted == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        self.update(address, taken)
+        return correct
+
+
+def saturating_update(counter: int, taken: bool, maximum: int = 3) -> int:
+    """Advance a saturating counter (0..maximum) towards the outcome."""
+    if taken:
+        return min(maximum, counter + 1)
+    return max(0, counter - 1)

@@ -1,0 +1,28 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor, saturating_update
+from repro.utils import require_power_of_two
+
+
+class BimodalPredictor(DirectionPredictor):
+    """The classic per-branch 2-bit counter table."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        super().__init__()
+        require_power_of_two(entries, "bimodal entries")
+        self._mask = entries - 1
+        # Counters start weakly taken: loopy HPC code is mostly taken.
+        self._counters = [2] * entries
+        self._index_shift = 2  # drop instruction alignment bits
+
+    def _index(self, address: int) -> int:
+        return (address >> self._index_shift) & self._mask
+
+    def predict(self, address: int) -> bool:
+        return self._counters[self._index(address)] >= 2
+
+    def update(self, address: int, taken: bool) -> None:
+        index = self._index(address)
+        self._counters[index] = saturating_update(self._counters[index], taken)

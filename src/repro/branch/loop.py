@@ -1,0 +1,78 @@
+"""Loop predictor (Table I: 256 entries).
+
+Captures branches with regular loop behaviour: after observing the same
+trip count twice, it predicts the not-taken exit on the final iteration —
+exactly the branch a gshare mispredicts. HPC codes spend most of their time
+in fixed-trip loops, which is why the paper pairs the gshare with this
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.base import DirectionPredictor
+from repro.utils import require_power_of_two
+
+#: Confidence threshold before the loop predictor overrides the gshare.
+CONFIDENT = 2
+_CONFIDENCE_MAX = 3
+
+
+@dataclass
+class _LoopEntry:
+    tag: int = -1
+    trip_count: int = 0  # learned taken-run length before the exit
+    current: int = 0  # taken count in the current execution of the loop
+    confidence: int = 0
+
+
+class LoopPredictor(DirectionPredictor):
+    """Direct-mapped, tagged loop-termination predictor."""
+
+    def __init__(self, entries: int = 256) -> None:
+        super().__init__()
+        require_power_of_two(entries, "loop predictor entries")
+        self._mask = entries - 1
+        self._entries = [_LoopEntry() for _ in range(entries)]
+        self._index_shift = 2
+
+    def _entry(self, address: int) -> _LoopEntry:
+        return self._entries[(address >> self._index_shift) & self._mask]
+
+    def _tag(self, address: int) -> int:
+        return address >> self._index_shift
+
+    def confident(self, address: int) -> bool:
+        """True when this predictor should override the direction predictor."""
+        entry = self._entry(address)
+        return entry.tag == self._tag(address) and entry.confidence >= CONFIDENT
+
+    def predict(self, address: int) -> bool:
+        entry = self._entry(address)
+        if entry.tag != self._tag(address):
+            return True  # unknown loop branch: assume taken (stay in loop)
+        return entry.current + 1 < entry.trip_count or entry.trip_count == 0
+
+    def update(self, address: int, taken: bool) -> None:
+        entry = self._entry(address)
+        tag = self._tag(address)
+        if entry.tag != tag:
+            # Allocate on a not-taken outcome: that is a potential loop exit.
+            if not taken:
+                entry.tag = tag
+                entry.trip_count = 0
+                entry.current = 0
+                entry.confidence = 0
+            return
+        if taken:
+            entry.current += 1
+            return
+        # Loop exit: compare the observed taken-run with the learned one.
+        observed = entry.current + 1  # count executions including the exit
+        if observed == entry.trip_count:
+            entry.confidence = min(_CONFIDENCE_MAX, entry.confidence + 1)
+        else:
+            entry.trip_count = observed
+            entry.confidence = 0
+        entry.current = 0

@@ -1,0 +1,49 @@
+"""Tournament combiner: a chooser table arbitrating two predictors.
+
+Not part of the paper's baseline (which uses gshare + loop predictor), but
+used by the predictor ablation benches to show that the paper's choice is
+not load-bearing for the shared-I-cache conclusions.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import DirectionPredictor, saturating_update
+from repro.utils import require_power_of_two
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Chooses per-branch between two component predictors."""
+
+    def __init__(
+        self,
+        first: DirectionPredictor,
+        second: DirectionPredictor,
+        chooser_entries: int = 4096,
+    ) -> None:
+        super().__init__()
+        require_power_of_two(chooser_entries, "chooser entries")
+        self._first = first
+        self._second = second
+        self._mask = chooser_entries - 1
+        # 2-bit chooser: >= 2 selects the first predictor.
+        self._chooser = [2] * chooser_entries
+        self._index_shift = 2
+
+    def _index(self, address: int) -> int:
+        return (address >> self._index_shift) & self._mask
+
+    def predict(self, address: int) -> bool:
+        if self._chooser[self._index(address)] >= 2:
+            return self._first.predict(address)
+        return self._second.predict(address)
+
+    def update(self, address: int, taken: bool) -> None:
+        first_correct = self._first.predict(address) == taken
+        second_correct = self._second.predict(address) == taken
+        index = self._index(address)
+        if first_correct != second_correct:
+            self._chooser[index] = saturating_update(
+                self._chooser[index], first_correct
+            )
+        self._first.update(address, taken)
+        self._second.update(address, taken)

@@ -1,0 +1,37 @@
+"""Cache substrate: set-associative caches, banking, line buffers, MSHRs."""
+
+from repro.cache.banked import BankedCache
+from repro.cache.functional import FunctionalICache, RegionMpki, characterize_regions
+from repro.cache.line_buffer import LineBufferSet, LineBufferStats, LookupState
+from repro.cache.mshr import MshrFile, MshrStats
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "BankedCache",
+    "FunctionalICache",
+    "RegionMpki",
+    "characterize_regions",
+    "LineBufferSet",
+    "LineBufferStats",
+    "LookupState",
+    "MshrFile",
+    "MshrStats",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheStats",
+]

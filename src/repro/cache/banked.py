@@ -1,0 +1,52 @@
+"""Multi-banked cache addressing (Section IV-B).
+
+A multi-banked I-cache serves one access per bank per cycle. The paper
+interleaves banks by cache-line address ("one with even and one with odd
+cache lines") and pairs each bank with its own bus. Banking affects *which
+bus/port* serves a request, not capacity, so this wrapper adds bank routing
+on top of a single logical :class:`SetAssociativeCache`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+from repro.utils import log2_int, require_power_of_two
+
+
+class BankedCache:
+    """A set-associative cache with line-interleaved bank routing."""
+
+    def __init__(self, cache: SetAssociativeCache, bank_count: int) -> None:
+        require_power_of_two(bank_count, "bank_count")
+        self.cache = cache
+        self.bank_count = bank_count
+        self._line_shift = log2_int(cache.line_bytes)
+        self._bank_mask = bank_count - 1
+
+    @property
+    def name(self) -> str:
+        return self.cache.name
+
+    @property
+    def line_bytes(self) -> int:
+        return self.cache.line_bytes
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def bank_of(self, address: int) -> int:
+        """Bank serving ``address``: line-address interleaving."""
+        return (address >> self._line_shift) & self._bank_mask
+
+    def line_address(self, address: int) -> int:
+        return self.cache.line_address(address)
+
+    def access(self, address: int) -> AccessResult:
+        return self.cache.access(address)
+
+    def probe(self, address: int) -> bool:
+        return self.cache.probe(address)
+
+    def fill(self, address: int) -> int | None:
+        return self.cache.fill(address)

@@ -1,0 +1,74 @@
+"""Miss-status holding registers for the shared I-cache.
+
+When several lean cores miss on the same line at nearly the same time —
+the common case for HPC parallel regions where all threads run the same
+code — the requests must merge into a single L2 fetch. This is the timing
+mechanism behind the paper's "mutual prefetching": the first core pays the
+miss and every other core's merged request completes with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.utils import require_positive
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+@dataclass
+class MshrFile:
+    """Tracks outstanding line misses; merges same-line requests.
+
+    Attributes:
+        capacity: maximum distinct outstanding lines.
+    """
+
+    capacity: int
+    _outstanding: dict[int, list[object]] = field(default_factory=dict)
+    stats: MshrStats = field(default_factory=MshrStats)
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity, "MSHR capacity")
+
+    def outstanding(self, line: int) -> bool:
+        return line in self._outstanding
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._outstanding)
+
+    def request(self, line: int, waiter: object) -> str:
+        """Register a miss for ``line`` on behalf of ``waiter``.
+
+        Returns:
+            ``"new"`` when a fetch must be issued, ``"merged"`` when an
+            existing fetch covers it, or ``"full"`` when no MSHR is free
+            (the requester must retry later).
+        """
+        waiters = self._outstanding.get(line)
+        if waiters is not None:
+            waiters.append(waiter)
+            self.stats.merges += 1
+            return "merged"
+        if len(self._outstanding) >= self.capacity:
+            self.stats.full_stalls += 1
+            return "full"
+        self._outstanding[line] = [waiter]
+        self.stats.allocations += 1
+        return "new"
+
+    def complete(self, line: int) -> list[object]:
+        """Resolve the miss for ``line``; return every merged waiter."""
+        try:
+            return self._outstanding.pop(line)
+        except KeyError:
+            raise SimulationError(
+                f"MSHR completion for line {line:#x} that was never requested"
+            ) from None

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the shared I-cache reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from trace or
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent hardware/workload configuration."""
+
+
+class TraceError(ReproError):
+    """A malformed trace stream, record, or trace file."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file does not conform to the on-disk encoding."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This indicates a bug in the simulator or a trace that violates the
+    protocol (for example a ``PARALLEL_END`` without a matching
+    ``PARALLEL_START``), never a normal workload condition.
+    """
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress (e.g. mismatched barriers)."""
+
+
+class WorkloadError(ReproError):
+    """An unknown benchmark name or invalid workload model parameter."""

@@ -1,0 +1,12 @@
+"""Experiment drivers: one per paper table/figure, plus the registry.
+
+Submodules are imported lazily by :mod:`repro.experiments.registry` to keep
+``import repro`` light; use::
+
+    from repro.experiments.registry import run_experiment
+    print(run_experiment("fig07").rendered)
+
+or the command line::
+
+    python -m repro.experiments fig07 --scale 0.5
+"""

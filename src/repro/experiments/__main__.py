@@ -1,0 +1,90 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig07
+    python -m repro.experiments all --scale 0.5 --benchmarks BT,CG,UA
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import (
+    TITLES,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+from repro.workloads.suites import benchmark_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig01..fig13, table1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="per-thread instruction budget multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default="",
+        help="comma-separated benchmark subset (default: all 24)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="trace synthesis seed (default 0)"
+    )
+    parser.add_argument(
+        "--export",
+        type=str,
+        default="",
+        help="also write a paper-vs-measured markdown report to this path",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            print(f"{experiment_id:8s} {TITLES[experiment_id]}")
+        return 0
+    benchmarks = (
+        [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+        or benchmark_names()
+    )
+    ctx = ExperimentContext(scale=args.scale, benchmarks=benchmarks, seed=args.seed)
+    started = time.time()
+    if args.experiment == "all":
+        results = run_all(ctx)
+    else:
+        results = [run_experiment(args.experiment, ctx)]
+    for result in results:
+        print(result)
+        print()
+    if args.export:
+        from pathlib import Path
+
+        from repro.experiments.export import render_markdown
+
+        Path(args.export).write_text(render_markdown(results, scale=args.scale))
+        print(f"[wrote {args.export}]")
+    print(f"[{time.time() - started:.1f}s total]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

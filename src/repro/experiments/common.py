@@ -1,0 +1,76 @@
+"""Shared experiment harness.
+
+Every figure/table of the paper has a driver in this package. Drivers
+share an :class:`ExperimentContext` that memoises synthesised traces and
+simulation runs, because several figures reuse the same design points
+(e.g. the cpc=8 naive-sharing run feeds Figs. 7, 8 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.acmp.config import AcmpConfig
+from repro.acmp.results import SimulationResult
+from repro.acmp.simulator import simulate
+from repro.trace.stream import TraceSet
+from repro.trace.synthesis import synthesize
+from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
+
+
+@dataclass
+class ExperimentContext:
+    """Run parameters plus trace/result memoisation.
+
+    Attributes:
+        scale: per-thread instruction budget multiplier (1.0 reproduces
+            the calibrated defaults; smaller values trade resolution for
+            speed in tests and benchmarks).
+        benchmarks: the benchmark names to evaluate (defaults to all 24).
+        seed: trace-synthesis seed.
+    """
+
+    scale: float = 1.0
+    benchmarks: list[str] = field(
+        default_factory=lambda: [model.name for model in ALL_BENCHMARKS]
+    )
+    seed: int = 0
+    warm_l2: bool = True
+    _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
+    _results: dict[tuple[str, str], SimulationResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def traces_for(self, name: str) -> TraceSet:
+        """Synthesise (and memoise) the 9-thread trace set for a benchmark."""
+        if name not in self._traces:
+            model = get_benchmark(name)
+            self._traces[name] = synthesize(
+                model, thread_count=9, scale=self.scale, seed=self.seed
+            )
+        return self._traces[name]
+
+    def run(self, name: str, config: AcmpConfig) -> SimulationResult:
+        """Simulate (and memoise) one benchmark on one design point."""
+        key = (name, config.label())
+        if key not in self._results:
+            self._results[key] = simulate(
+                config, self.traces_for(name), warm_l2=self.warm_l2
+            )
+        return self._results[key]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    rendered: str
+    #: free-form numbers downstream assertions and EXPERIMENTS.md use
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.rendered}"

@@ -1,0 +1,54 @@
+"""Fig. 1: potential speedup of CMP designs vs serial code fraction.
+
+Analytic Hill-Marty model: 16 BCE budget; 4-big-core symmetric CMP vs
+16-small-core symmetric CMP vs 1-big + 12-small ACMP. Shape check: the
+ACMP wins for serial fractions above ~2 %.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.models.amdahl import acmp_crossover_fraction, figure1_series
+
+EXPERIMENT_ID = "fig01"
+TITLE = "ACMP speedup potential vs serial code fraction (Hill-Marty, 16 BCE)"
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    points = figure1_series()
+    headers = [
+        "serial %",
+        "symmetric 4x big",
+        "symmetric 16x small",
+        "ACMP 1 big + 12 small",
+    ]
+    rows: list[list[object]] = []
+    for point in points:
+        rows.append(
+            [
+                f"{point.serial_fraction * 100:.0f}",
+                point.symmetric_big,
+                point.symmetric_small,
+                point.asymmetric,
+            ]
+        )
+    crossover = acmp_crossover_fraction()
+    rendered = format_table(headers, rows)
+    rendered += (
+        f"\nACMP outperforms both symmetric designs above "
+        f"{crossover * 100:.1f}% serial code (paper: ~2%)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=headers,
+        rows=rows,
+        rendered=rendered,
+        summary={
+            "crossover_percent": crossover * 100,
+            "acmp_speedup_at_10pct": next(
+                p.asymmetric for p in points if abs(p.serial_fraction - 0.10) < 1e-9
+            ),
+        },
+    )

@@ -1,0 +1,55 @@
+"""Fig. 2: average dynamic basic-block length in serial vs parallel code.
+
+Master-thread characterisation over all 24 benchmarks. Shape checks:
+parallel blocks ~3x serial on (arithmetic) mean; nab and CoEVP inverted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.characterize import basic_block_profile
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+EXPERIMENT_ID = "fig02"
+TITLE = "Average dynamic basic block length [bytes], serial vs parallel"
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    headers = ["benchmark", "serial [B]", "parallel [B]", "ratio"]
+    rows: list[list[object]] = []
+    serial_values = []
+    parallel_values = []
+    for name in ctx.benchmarks:
+        traces = ctx.traces_for(name)
+        profile = basic_block_profile(traces.master)
+        serial_values.append(profile.serial_mean_bytes)
+        parallel_values.append(profile.parallel_mean_bytes)
+        rows.append(
+            [
+                name,
+                profile.serial_mean_bytes,
+                profile.parallel_mean_bytes,
+                profile.parallel_to_serial_ratio,
+            ]
+        )
+    amean_serial = sum(serial_values) / len(serial_values)
+    amean_parallel = sum(parallel_values) / len(parallel_values)
+    rows.append(["amean", amean_serial, amean_parallel, amean_parallel / amean_serial])
+    rendered = format_table(headers, rows, float_format="{:.1f}")
+    rendered += (
+        f"\nparallel/serial amean ratio = {amean_parallel / amean_serial:.2f} "
+        f"(paper: ~3x)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=headers,
+        rows=rows,
+        rendered=rendered,
+        summary={
+            "amean_serial_bytes": amean_serial,
+            "amean_parallel_bytes": amean_parallel,
+            "amean_ratio": amean_parallel / amean_serial,
+        },
+    )

@@ -1,0 +1,60 @@
+"""Fig. 7: naive I-cache sharing — execution time for cpc in {2, 4, 8}.
+
+A 32 KB I-cache shared among worker cores with four line buffers and a
+single bus, normalised to the private-I-cache baseline. Shape checks:
+slowdown grows with the sharing degree; the worst benchmark (UA in the
+paper, +18 %) degrades markedly at cpc = 8 while most codes stay near 1.0.
+"""
+
+from __future__ import annotations
+
+from repro.acmp.config import baseline_config, worker_shared_config
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+EXPERIMENT_ID = "fig07"
+TITLE = "Naive sharing: normalized execution time (32KB shared, 4 LB, single bus)"
+
+CPC_LEVELS = (2, 4, 8)
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    headers = ["benchmark"] + [f"cpc={cpc}" for cpc in CPC_LEVELS]
+    rows: list[list[object]] = []
+    worst: tuple[str, float] = ("", 0.0)
+    means = {cpc: [] for cpc in CPC_LEVELS}
+    for name in ctx.benchmarks:
+        base = ctx.run(name, baseline_config())
+        row: list[object] = [name]
+        for cpc in CPC_LEVELS:
+            config = worker_shared_config(
+                cores_per_cache=cpc, icache_kb=32, bus_count=1, line_buffers=4
+            )
+            shared = ctx.run(name, config)
+            ratio = shared.cycles / base.cycles
+            row.append(ratio)
+            means[cpc].append(ratio)
+            if cpc == 8 and ratio > worst[1]:
+                worst = (name, ratio)
+        rows.append(row)
+    rows.append(
+        ["amean"] + [sum(means[cpc]) / len(means[cpc]) for cpc in CPC_LEVELS]
+    )
+    rendered = format_table(headers, rows)
+    rendered += (
+        f"\nworst cpc=8 slowdown: {worst[0]} at {worst[1]:.3f} "
+        f"(paper: UA at ~1.18)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=headers,
+        rows=rows,
+        rendered=rendered,
+        summary={
+            "worst_cpc8_ratio": worst[1],
+            "mean_cpc8_ratio": sum(means[8]) / len(means[8]),
+            "mean_cpc2_ratio": sum(means[2]) / len(means[2]),
+        },
+    )

@@ -1,0 +1,58 @@
+"""Fig. 9: I-cache access ratio for 2, 4 and 8 line buffers.
+
+Access ratio = lines fetched from the I-cache / total fetch-side line
+requests, measured per benchmark on the baseline (private I-caches) so
+the line-buffer effect is isolated from bus behaviour. Shape checks:
+short-basic-block codes (CG, IS, botsalgn, botsspar, CoSP) have low
+ratios; long-basic-block codes (BT, LU, ilbdc, LULESH) sit near 100 %;
+more line buffers lower the ratio.
+"""
+
+from __future__ import annotations
+
+from repro.acmp.config import baseline_config
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+EXPERIMENT_ID = "fig09"
+TITLE = "I-cache access ratio [%] for 2/4/8 line buffers"
+
+LINE_BUFFER_COUNTS = (2, 4, 8)
+LOW_RATIO_CODES = ("CG", "IS", "botsalgn", "botsspar", "CoSP")
+HIGH_RATIO_CODES = ("BT", "LU", "ilbdc", "LULESH")
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    headers = ["benchmark"] + [f"{n} LB" for n in LINE_BUFFER_COUNTS]
+    rows: list[list[object]] = []
+    ratios_at_4: dict[str, float] = {}
+    for name in ctx.benchmarks:
+        row: list[object] = [name]
+        for count in LINE_BUFFER_COUNTS:
+            result = ctx.run(name, baseline_config(line_buffers=count))
+            ratio = result.worker_access_ratio() * 100
+            row.append(ratio)
+            if count == 4:
+                ratios_at_4[name] = ratio
+        rows.append(row)
+    rendered = format_table(headers, rows, float_format="{:.1f}")
+    low = [ratios_at_4[n] for n in LOW_RATIO_CODES if n in ratios_at_4]
+    high = [ratios_at_4[n] for n in HIGH_RATIO_CODES if n in ratios_at_4]
+    if low and high:
+        rendered += (
+            f"\nmean 4-LB ratio: tight-loop codes {sum(low) / len(low):.1f}% "
+            f"vs large-body codes {sum(high) / len(high):.1f}% "
+            f"(paper: low vs ~100%)"
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=headers,
+        rows=rows,
+        rendered=rendered,
+        summary={
+            "mean_low_ratio_at_4lb": sum(low) / len(low) if low else 0.0,
+            "mean_high_ratio_at_4lb": sum(high) / len(high) if high else 0.0,
+        },
+    )

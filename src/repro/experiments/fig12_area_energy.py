@@ -1,0 +1,80 @@
+"""Fig. 12: execution time, energy and area of the design points.
+
+Four cpc = 8 / 16 KB-shared design points (line buffers x bus count)
+against the private baseline, averaged across benchmarks, with the
+McPAT/CACTI-style models pricing area and energy. Shape checks: the
+4 LB + double-bus point saves ~11 % area and ~5 % energy at ~no
+performance cost; single-bus points save the most area but lose
+performance and keep only modest energy savings.
+"""
+
+from __future__ import annotations
+
+from repro.acmp.config import AcmpConfig, baseline_config, worker_shared_config
+from repro.analysis.report import format_table
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.power.energy import evaluate_power
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Normalized execution time / energy / area of the design points"
+
+DESIGN_POINTS: tuple[tuple[str, AcmpConfig], ...] = (
+    (
+        "cpc=8, 4 LB, single bus",
+        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=1, line_buffers=4),
+    ),
+    (
+        "cpc=8, 4 LB, double bus",
+        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=4),
+    ),
+    (
+        "cpc=8, 8 LB, single bus",
+        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=1, line_buffers=8),
+    ),
+    (
+        "cpc=8, 8 LB, double bus",
+        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=8),
+    ),
+)
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    headers = ["design point", "exec time", "energy", "area"]
+    rows: list[list[object]] = []
+    summary: dict[str, float] = {}
+    base_config = baseline_config()
+    for label, config in DESIGN_POINTS:
+        time_ratios = []
+        energy_ratios = []
+        area_ratio = 0.0
+        for name in ctx.benchmarks:
+            base_result = ctx.run(name, base_config)
+            base_power = evaluate_power(base_result, base_config)
+            result = ctx.run(name, config)
+            power = evaluate_power(result, config)
+            time_ratios.append(result.cycles / base_result.cycles)
+            energy_ratios.append(power.energy_nj / base_power.energy_nj)
+            area_ratio = power.area_mm2 / base_power.area_mm2
+        mean_time = sum(time_ratios) / len(time_ratios)
+        mean_energy = sum(energy_ratios) / len(energy_ratios)
+        rows.append([label, mean_time, mean_energy, area_ratio])
+        key = label.replace("cpc=8, ", "").replace(" ", "_").replace(",", "")
+        summary[f"time_{key}"] = mean_time
+        summary[f"energy_{key}"] = mean_energy
+        summary[f"area_{key}"] = area_ratio
+    rendered = format_table(headers, rows)
+    best = rows[1]  # 4 LB + double bus: the paper's chosen design
+    rendered += (
+        f"\nchosen design (4 LB + double bus): time {best[1]:.3f}, "
+        f"energy {best[2]:.3f} (paper: ~0.95), area {best[3]:.3f} "
+        f"(paper: ~0.89)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=headers,
+        rows=rows,
+        rendered=rendered,
+        summary=summary,
+    )

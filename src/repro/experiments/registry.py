@@ -1,0 +1,69 @@
+"""Registry of all experiment drivers, keyed by the paper's figure/table id."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig01_acmp_speedup,
+    fig02_basic_blocks,
+    fig03_mpki,
+    fig04_sharing,
+    fig07_naive_sharing,
+    fig08_cpi_stack,
+    fig09_access_ratio,
+    fig10_tradeoff,
+    fig11_miss_analysis,
+    fig12_area_energy,
+    fig13_all_shared,
+    table1_config,
+)
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+_MODULES = (
+    fig01_acmp_speedup,
+    fig02_basic_blocks,
+    fig03_mpki,
+    fig04_sharing,
+    table1_config,
+    fig07_naive_sharing,
+    fig08_cpi_stack,
+    fig09_access_ratio,
+    fig10_tradeoff,
+    fig11_miss_analysis,
+    fig12_area_energy,
+    fig13_all_shared,
+)
+
+EXPERIMENTS: dict[str, Callable[[ExperimentContext | None], ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+TITLES: dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODULES}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig07"`` or ``"table1"``)."""
+    normalized = experiment_id.lower().replace(".", "").replace(" ", "")
+    try:
+        driver = EXPERIMENTS[normalized]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; expected one of "
+            f"{experiment_ids()}"
+        ) from None
+    return driver(ctx)
+
+
+def run_all(ctx: ExperimentContext | None = None) -> list[ExperimentResult]:
+    """Run every experiment, sharing one context for memoised runs."""
+    ctx = ctx or ExperimentContext()
+    return [run_experiment(eid, ctx) for eid in experiment_ids()]

@@ -1,0 +1,20 @@
+"""Decoupled core front-end: requests, I-cache ports, fetch engine."""
+
+from repro.frontend.engine import FetchEngine, FetchStats, PieceStatus
+from repro.frontend.ports import (
+    PrivateIcachePort,
+    SharedIcacheGroup,
+    SharedPortView,
+)
+from repro.frontend.request import LineRequest, RequestState
+
+__all__ = [
+    "FetchEngine",
+    "FetchStats",
+    "PieceStatus",
+    "PrivateIcachePort",
+    "SharedIcacheGroup",
+    "SharedPortView",
+    "LineRequest",
+    "RequestState",
+]

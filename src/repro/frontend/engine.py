@@ -1,0 +1,317 @@
+"""The decoupled core front-end (Fig. 5, Section IV-A).
+
+Pipeline stages modelled per cycle:
+
+1. **FTQ fill** — the fetch predictor consumes the trace one basic block
+   per cycle and pushes it into the fetch target queue. A mispredicted
+   terminating branch stalls further fills for the redirect penalty
+   (front-end flush + refill bubble). Synchronisation records are
+   delivered to the runtime once the pipeline has drained.
+2. **Issue** — the fetch engine walks the FTQ's pending line *pieces* in
+   order. A piece whose line sits in a line buffer is ready immediately
+   (no I-cache access — this is what makes the loop buffer cut shared-bus
+   traffic, Fig. 9); a pending line merges; otherwise a line buffer is
+   allocated and a request issued to the I-cache port (private cache or
+   shared interconnect). One new request per cycle.
+3. **Extract** — one ready line per cycle is shifted/rotated into the
+   instruction queue feeding the back-end.
+
+Consecutive fall-through blocks naturally coalesce at the line level:
+their pieces hit the same line buffer, so a *fetch block* spanning several
+basic blocks costs a single I-cache access, as in the paper's FTQ design.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.branch.fetch_predictor import FetchPredictor
+from repro.cache.line_buffer import LineBufferSet, LookupState
+from repro.errors import SimulationError
+from repro.frontend.itlb import InstructionTlb
+from repro.frontend.request import LineRequest
+from repro.runtime.coordinator import RuntimeCoordinator
+from repro.runtime.threads import ThreadContext, ThreadState
+from repro.trace.records import (
+    BasicBlockRecord,
+    EndRecord,
+    IpcRecord,
+    SyncRecord,
+)
+from repro.trace.stream import TraceStream
+
+
+class PieceStatus(enum.Enum):
+    UNISSUED = "unissued"
+    WAITING = "waiting"  # merged into an in-flight fetch of the same line
+    REQUESTED = "requested"  # owns an outstanding I-cache request
+    READY = "ready"  # instructions available for extraction
+
+
+@dataclass
+class _Piece:
+    """The part of a basic block that falls within one cache line."""
+
+    line: int
+    instructions: int
+    status: PieceStatus = PieceStatus.UNISSUED
+    request: LineRequest | None = None
+    #: whether this piece's line request was already counted in the
+    #: access-ratio statistics (one count per piece, ever).
+    counted: bool = False
+
+
+@dataclass
+class _FtqEntry:
+    pieces: deque[_Piece] = field(default_factory=deque)
+
+
+@dataclass
+class FetchStats:
+    """Front-end counters reported per core."""
+
+    blocks_fetched: int = 0
+    redirects: int = 0
+    sync_events: int = 0
+
+
+class FetchEngine:
+    """One core's front-end. Stepped once per cycle while runnable."""
+
+    #: How many pieces ahead of the extraction point the issue stage may
+    #: look; matches the outstanding-request capability of the buffers.
+    ISSUE_WINDOW = 8
+
+    def __init__(
+        self,
+        core_id: int,
+        context: ThreadContext,
+        stream: TraceStream,
+        predictor: FetchPredictor,
+        line_buffers: LineBufferSet,
+        port,
+        runtime: RuntimeCoordinator,
+        *,
+        ftq_capacity: int = 8,
+        mispredict_penalty: int = 8,
+        line_bytes: int = 64,
+        itlb: InstructionTlb | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.context = context
+        self.stream = stream
+        self.predictor = predictor
+        self.line_buffers = line_buffers
+        self.port = port
+        self.runtime = runtime
+        self.ftq_capacity = ftq_capacity
+        self.mispredict_penalty = mispredict_penalty
+        self._line_mask = ~(line_bytes - 1)
+        self._line_bytes = line_bytes
+        self._ftq: deque[_FtqEntry] = deque()
+        self._redirect_until = 0
+        self._extracted_instructions = 0
+        # Issue-stage work flag: the scan over pending pieces only changes
+        # outcome after a new block is pushed, a line fill arrives, or a
+        # previous scan stopped at its one-request-per-cycle limit.
+        self._issue_pending = False
+        #: Optional iTLB (Section VII extension); None disables translation.
+        self.itlb = itlb
+        self._tlb_stall_until = 0
+        #: A mispredict was detected; fetch stalls until the pipeline
+        #: drains (branch resolution), then pays the redirect penalty.
+        self._redirect_drain = False
+        self.stats = FetchStats()
+        #: set by the system: callable returning free IQ capacity
+        self.iq_space = lambda: 1 << 30
+        #: set by the system: callable(instructions) adds to the IQ
+        self.iq_push = lambda count: None
+        #: set by the system: callable(ipc) retargets the back-end
+        self.on_ipc = lambda ipc: None
+
+    # -- per-cycle step ----------------------------------------------------
+
+    def step(self, now: int) -> None:
+        """Run fill, issue and extract for this cycle."""
+        if self.context.state is not ThreadState.RUNNING:
+            return
+        self._fill_ftq(now)
+        self._issue(now)
+        self._extract(now)
+
+    # -- stage 1: FTQ fill ---------------------------------------------------
+
+    def _fill_ftq(self, now: int) -> None:
+        if self._redirect_drain:
+            # A mispredicted branch is in flight: it resolves roughly when
+            # the pre-branch backlog commits, so fetch of the correct path
+            # cannot overlap the backlog. Wait for a full drain, then pay
+            # the redirect (flush + refill) penalty.
+            if not self._drained():
+                return
+            self._redirect_drain = False
+            self._redirect_until = now + self.mispredict_penalty
+        if now < self._redirect_until or len(self._ftq) >= self.ftq_capacity:
+            return
+        # Metadata records are free; process them until a basic block, a
+        # sync point or the end of the trace.
+        while True:
+            record = self.stream.peek()
+            if isinstance(record, IpcRecord):
+                self.stream.next()
+                self.on_ipc(record.ipc)
+                continue
+            break
+        record = self.stream.peek()
+        if isinstance(record, BasicBlockRecord):
+            self.stream.next()
+            self._push_block(record, now)
+            return
+        if isinstance(record, (SyncRecord, EndRecord)):
+            if not self._drained():
+                return  # sync waits for the pipeline to drain
+            if isinstance(record, EndRecord):
+                self.context.finish(now)
+                return
+            self.stream.next()
+            self.stats.sync_events += 1
+            self.runtime.deliver(self.core_id, record, now)
+            return
+        raise SimulationError(
+            f"core {self.core_id}: unhandled trace record {record!r}"
+        )
+
+    def _push_block(self, block: BasicBlockRecord, now: int) -> None:
+        self.stats.blocks_fetched += 1
+        entry = _FtqEntry()
+        address = block.address
+        end = block.end_address
+        line = address & self._line_mask
+        while line < end:
+            line_end = line + self._line_bytes
+            overlap_start = max(address, line)
+            overlap_end = min(end, line_end)
+            count = (overlap_end - overlap_start) // 4
+            entry.pieces.append(_Piece(line=line, instructions=count))
+            line = line_end
+        self._ftq.append(entry)
+        self._issue_pending = True
+        correct = self.predictor.resolve(block.branch_address, block.branch)
+        if not correct:
+            self.stats.redirects += 1
+            self._redirect_drain = True
+
+    def _drained(self) -> bool:
+        return not self._ftq and self.iq_space() >= self._iq_capacity_hint
+
+    #: set by the system so _drained can detect an empty IQ
+    _iq_capacity_hint: int = 1 << 30
+
+    # -- stage 2: issue ------------------------------------------------------
+
+    def _issue(self, now: int) -> None:
+        if not self._issue_pending or now < self._tlb_stall_until:
+            return
+        examined = 0
+        issued_request = False
+        for entry in self._ftq:
+            for piece in entry.pieces:
+                if examined >= self.ISSUE_WINDOW:
+                    # Unissued pieces may remain beyond the window; they
+                    # enter it as earlier pieces extract.
+                    return
+                examined += 1
+                if piece.status is not PieceStatus.UNISSUED:
+                    continue
+                state = self.line_buffers.lookup(piece.line, count=not piece.counted)
+                piece.counted = True
+                if state is LookupState.HIT:
+                    piece.status = PieceStatus.READY
+                    continue
+                if state is LookupState.PENDING:
+                    piece.status = PieceStatus.WAITING
+                    continue
+                if issued_request:
+                    return  # one new request per cycle; rescan next cycle
+                if self.itlb is not None:
+                    walk_penalty = self.itlb.translate(piece.line)
+                    if walk_penalty:
+                        # Page walk before the fetch can go out; the piece
+                        # stays unissued and the scan re-arms afterwards.
+                        self._tlb_stall_until = now + walk_penalty
+                        return
+                if not self.line_buffers.allocate(piece.line):
+                    # No free outstanding-request slot: only a fill can
+                    # unblock us, so stop rescanning until one arrives.
+                    self._issue_pending = False
+                    return
+                piece.request = self.port.request(piece.line, now)
+                piece.status = PieceStatus.REQUESTED
+                issued_request = True
+        # Every piece currently in the FTQ has been dispositioned; a new
+        # push or a fill re-arms the scan.
+        self._issue_pending = False
+
+    # -- stage 3: extract ----------------------------------------------------
+
+    def _extract(self, now: int) -> None:
+        if not self._ftq:
+            return
+        entry = self._ftq[0]
+        if not entry.pieces:
+            self._ftq.popleft()
+            return
+        piece = entry.pieces[0]
+        if piece.status is not PieceStatus.READY:
+            return
+        if self.iq_space() < piece.instructions:
+            return
+        self.iq_push(piece.instructions)
+        self._extracted_instructions += piece.instructions
+        entry.pieces.popleft()
+        if not entry.pieces:
+            self._ftq.popleft()
+
+    # -- completion callback --------------------------------------------------
+
+    def on_fill(self, request: LineRequest) -> None:
+        """Line arrived: fill the line buffer and wake matching pieces."""
+        self.line_buffers.fill(request.line_address)
+        self._issue_pending = True  # a buffer freed and a line became hot
+        for entry in self._ftq:
+            for piece in entry.pieces:
+                if piece.line == request.line_address and piece.status in (
+                    PieceStatus.REQUESTED,
+                    PieceStatus.WAITING,
+                ):
+                    piece.status = PieceStatus.READY
+
+    # -- stall attribution ------------------------------------------------------
+
+    def stall_cause(self, now: int) -> str:
+        """CPI-stack component to charge when the back-end starves."""
+        if self.context.state is ThreadState.BLOCKED:
+            return "sync"
+        if self.context.state is ThreadState.FINISHED:
+            return "finished"
+        if not self._ftq:
+            if self._redirect_drain or now < self._redirect_until:
+                return "branch"
+            return "other"
+        entry = self._ftq[0]
+        if not entry.pieces:
+            return "other"
+        piece = entry.pieces[0]
+        if piece.status is PieceStatus.REQUESTED and piece.request is not None:
+            return piece.request.stall_cause(now)
+        if piece.status is PieceStatus.WAITING:
+            return "icache_latency"
+        if piece.status is PieceStatus.UNISSUED:
+            return "icache_latency"
+        return "other"
+
+    @property
+    def ftq_occupancy(self) -> int:
+        return len(self._ftq)

@@ -1,0 +1,27 @@
+"""Interconnect substrate: arbiters, buses, multi-bus, crossbar."""
+
+from repro.interconnect.arbitration import (
+    Arbiter,
+    FixedPriorityArbiter,
+    LeastRecentlyGrantedArbiter,
+    RoundRobinArbiter,
+    WeightedArbiter,
+    make_arbiter,
+)
+from repro.interconnect.bus import Bus, BusRequest, BusStats
+from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.multibus import MultiBus
+
+__all__ = [
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "LeastRecentlyGrantedArbiter",
+    "RoundRobinArbiter",
+    "WeightedArbiter",
+    "make_arbiter",
+    "Bus",
+    "BusRequest",
+    "BusStats",
+    "Crossbar",
+    "MultiBus",
+]

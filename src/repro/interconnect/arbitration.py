@@ -1,0 +1,119 @@
+"""Bus arbitration policies.
+
+Table I specifies round-robin arbitration for the I-interconnect. The
+paper's conclusion notes that "the arbitration policy on an I-bus becomes
+the fetching policy" (Section VII) and suggests evaluating SMT-style fetch
+policies; the extra arbiters here support that ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.utils import require_positive
+
+
+class Arbiter(abc.ABC):
+    """Chooses one requester among the candidates competing this cycle."""
+
+    def __init__(self, requester_count: int) -> None:
+        require_positive(requester_count, "requester_count")
+        self.requester_count = requester_count
+
+    @abc.abstractmethod
+    def select(self, candidates: Sequence[int]) -> int:
+        """Pick the winning requester id from a non-empty candidate list."""
+
+    def _check(self, candidates: Sequence[int]) -> None:
+        if not candidates:
+            raise SimulationError("arbiter invoked with no candidates")
+        for candidate in candidates:
+            if not (0 <= candidate < self.requester_count):
+                raise SimulationError(
+                    f"candidate {candidate} outside [0, {self.requester_count})"
+                )
+
+
+class RoundRobinArbiter(Arbiter):
+    """Fair rotation: the winner becomes lowest priority (Table I policy)."""
+
+    def __init__(self, requester_count: int) -> None:
+        super().__init__(requester_count)
+        self._next = 0
+
+    def select(self, candidates: Sequence[int]) -> int:
+        self._check(candidates)
+        eligible = set(candidates)
+        for offset in range(self.requester_count):
+            candidate = (self._next + offset) % self.requester_count
+            if candidate in eligible:
+                self._next = (candidate + 1) % self.requester_count
+                return candidate
+        raise SimulationError("round-robin arbiter found no eligible candidate")
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Always favours the lowest requester id (unfair; starves high ids)."""
+
+    def select(self, candidates: Sequence[int]) -> int:
+        self._check(candidates)
+        return min(candidates)
+
+
+class LeastRecentlyGrantedArbiter(Arbiter):
+    """Grants the requester that has waited longest since its last grant."""
+
+    def __init__(self, requester_count: int) -> None:
+        super().__init__(requester_count)
+        self._last_grant = [-1] * requester_count
+
+    def select(self, candidates: Sequence[int]) -> int:
+        self._check(candidates)
+        winner = min(candidates, key=lambda rid: (self._last_grant[rid], rid))
+        self._last_grant[winner] = max(self._last_grant) + 1
+        return winner
+
+
+class WeightedArbiter(Arbiter):
+    """SMT-ICOUNT-style fetch policy: favours the requester whose core is
+    most starved, as reported by a caller-provided urgency function.
+
+    The urgency callback returns a number per requester; the highest value
+    wins (ties broken round-robin)."""
+
+    def __init__(
+        self, requester_count: int, urgency: Callable[[int], float]
+    ) -> None:
+        super().__init__(requester_count)
+        if urgency is None:
+            raise ConfigurationError("WeightedArbiter requires an urgency callback")
+        self._urgency = urgency
+        self._rotation = RoundRobinArbiter(requester_count)
+
+    def select(self, candidates: Sequence[int]) -> int:
+        self._check(candidates)
+        best = max(self._urgency(candidate) for candidate in candidates)
+        top = [c for c in candidates if self._urgency(c) == best]
+        if len(top) == 1:
+            return top[0]
+        return self._rotation.select(top)
+
+
+_ARBITERS: dict[str, type[Arbiter]] = {
+    "round-robin": RoundRobinArbiter,
+    "fixed-priority": FixedPriorityArbiter,
+    "least-recently-granted": LeastRecentlyGrantedArbiter,
+}
+
+
+def make_arbiter(name: str, requester_count: int) -> Arbiter:
+    """Build a standard arbiter by name (weighted arbiters need a callback)."""
+    try:
+        factory = _ARBITERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arbitration policy {name!r}; expected one of {sorted(_ARBITERS)}"
+        ) from None
+    return factory(requester_count)

@@ -1,0 +1,46 @@
+"""Crossbar interconnect for the interconnect-topology ablation.
+
+A full crossbar gives every core a dedicated path to every cache bank;
+contention only occurs when two cores target the same bank in the same
+cycle. Functionally this is the multi-bus with per-bank arbitration, but
+its area grows quadratically with the bank count (Kumar et al. [27], cited
+in Section IV-B), which is why the paper prefers buses; the power model
+(:mod:`repro.power.bus_area`) reflects that difference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.interconnect.arbitration import Arbiter
+from repro.interconnect.multibus import MultiBus
+
+
+class Crossbar(MultiBus):
+    """Crossbar switch: per-bank arbitration, point-to-point latency.
+
+    The timing model matches a multi-bus with the same port count; the
+    class exists so systems can be configured with a crossbar and priced
+    with the quadratic-area model in the ablation benches.
+    """
+
+    def __init__(
+        self,
+        requester_count: int,
+        bank_count: int,
+        width_bytes: int = 32,
+        latency: int = 1,
+        line_bytes: int = 64,
+        arbiter_factory: Callable[[int], Arbiter] | None = None,
+        name: str = "i-crossbar",
+    ) -> None:
+        super().__init__(
+            requester_count,
+            bank_count,
+            width_bytes=width_bytes,
+            latency=latency,
+            line_bytes=line_bytes,
+            arbiter_factory=arbiter_factory,
+            name=name,
+        )
+        self.is_crossbar = True

@@ -1,0 +1,16 @@
+"""Memory substrate: DDR3 DRAM, memory controller, L2 hierarchy."""
+
+from repro.memory.controller import FcfsBus, FcfsBusStats, MemoryController
+from repro.memory.dram import DramModel, DramStats, DramTimings
+from repro.memory.hierarchy import InstructionHierarchy, MissCompletion
+
+__all__ = [
+    "FcfsBus",
+    "FcfsBusStats",
+    "MemoryController",
+    "DramModel",
+    "DramStats",
+    "DramTimings",
+    "InstructionHierarchy",
+    "MissCompletion",
+]

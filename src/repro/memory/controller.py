@@ -1,0 +1,75 @@
+"""Memory controller and the shared L2-DRAM bus (Fig. 5, Table I).
+
+All L2 caches reach the on-chip memory controller over one shared bus
+(latency 4 cycles + contention, 32 B wide). Because L1-I misses are rare in
+HPC code, the bus is modelled as first-come-first-served with next-free
+bookkeeping rather than per-cycle arbitration; contention still appears as
+queueing delay and is reported in the statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.memory.dram import DramModel
+from repro.utils import require_positive
+
+
+@dataclass
+class FcfsBusStats:
+    transactions: int = 0
+    wait_cycles: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_cycles / self.transactions if self.transactions else 0.0
+
+
+class FcfsBus:
+    """First-come-first-served bus with occupancy and pipeline latency."""
+
+    def __init__(self, width_bytes: int = 32, latency: int = 4, name: str = "l2-dram-bus") -> None:
+        require_positive(width_bytes, "width_bytes")
+        require_positive(latency, "latency")
+        self.name = name
+        self.width_bytes = width_bytes
+        self.latency = latency
+        self._next_free = 0
+        self.stats = FcfsBusStats()
+
+    def transfer_cycles(self, payload_bytes: int) -> int:
+        return max(1, math.ceil(payload_bytes / self.width_bytes))
+
+    def schedule(self, now: int, payload_bytes: int = 64) -> int:
+        """Reserve the bus; return the cycle the payload arrives far-side."""
+        start = max(now, self._next_free)
+        occupancy = self.transfer_cycles(payload_bytes)
+        self._next_free = start + occupancy
+        self.stats.transactions += 1
+        self.stats.wait_cycles += start - now
+        self.stats.busy_cycles += occupancy
+        return start + self.latency
+
+
+class MemoryController:
+    """On-chip memory controller fronting DRAM over the L2-DRAM bus."""
+
+    def __init__(
+        self,
+        dram: DramModel | None = None,
+        bus: FcfsBus | None = None,
+    ) -> None:
+        self.dram = dram if dram is not None else DramModel()
+        self.bus = bus if bus is not None else FcfsBus()
+
+    def fetch_line(self, line_address: int, now: int, line_bytes: int = 64) -> int:
+        """Fetch one line from DRAM; return the data-return cycle.
+
+        The request crosses the L2-DRAM bus, performs the DRAM access and
+        returns over the same bus (a second occupancy reservation).
+        """
+        at_controller = self.bus.schedule(now, payload_bytes=line_bytes)
+        dram_done = self.dram.access(line_address, at_controller)
+        return self.bus.schedule(dram_done, payload_bytes=line_bytes)

@@ -1,0 +1,19 @@
+"""Analytical models: Hill-Marty ACMP speedup (Fig. 1)."""
+
+from repro.models.amdahl import (
+    SpeedupPoint,
+    acmp_crossover_fraction,
+    asymmetric_speedup,
+    core_performance,
+    figure1_series,
+    symmetric_speedup,
+)
+
+__all__ = [
+    "SpeedupPoint",
+    "acmp_crossover_fraction",
+    "asymmetric_speedup",
+    "core_performance",
+    "figure1_series",
+    "symmetric_speedup",
+]

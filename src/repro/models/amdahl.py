@@ -1,0 +1,127 @@
+"""Hill-Marty multicore speedup model (Fig. 1).
+
+Reproduces the paper's motivation figure: for a fixed hardware budget of
+16 base-core equivalents (BCE), compare two symmetric CMPs (4 big cores,
+or 16 small cores) against an asymmetric CMP (1 big + 12 small) as the
+serial code fraction varies. The cost model, core-performance assumption
+(a big core spends 4x the resources of a small core for 2x the
+performance, i.e. perf(r) = sqrt(r)) and the constant cache/interconnect
+cost are taken from Hill & Marty [4], as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def core_performance(resources: float) -> float:
+    """Performance of one core built from ``resources`` BCEs: sqrt(r)."""
+    if resources <= 0:
+        raise ConfigurationError(f"resources must be positive, got {resources}")
+    return math.sqrt(resources)
+
+
+def symmetric_speedup(
+    serial_fraction: float, budget_bce: int, core_size_bce: float
+) -> float:
+    """Speedup of a symmetric CMP of ``budget/core_size`` equal cores.
+
+    Amdahl with per-core performance ``perf(r)``: the serial part runs on
+    one core at perf(r), the parallel part on all cores.
+    """
+    _check_fraction(serial_fraction)
+    if core_size_bce <= 0 or core_size_bce > budget_bce:
+        raise ConfigurationError(
+            f"core size {core_size_bce} incompatible with budget {budget_bce}"
+        )
+    core_count = budget_bce // core_size_bce
+    perf = core_performance(core_size_bce)
+    serial_time = serial_fraction / perf
+    parallel_time = (1.0 - serial_fraction) / (perf * core_count)
+    return 1.0 / (serial_time + parallel_time)
+
+
+def asymmetric_speedup(
+    serial_fraction: float, budget_bce: int, big_core_bce: float
+) -> float:
+    """Speedup of an ACMP: one big core plus small cores on the remainder.
+
+    The serial part runs on the big core; during parallel sections the big
+    core works alongside the ``budget - big_core_bce`` small cores (the
+    Hill-Marty asymmetric formulation the paper adopts).
+    """
+    _check_fraction(serial_fraction)
+    if big_core_bce <= 0 or big_core_bce > budget_bce:
+        raise ConfigurationError(
+            f"big core {big_core_bce} incompatible with budget {budget_bce}"
+        )
+    small_cores = budget_bce - big_core_bce
+    big_perf = core_performance(big_core_bce)
+    serial_time = serial_fraction / big_perf
+    parallel_time = (1.0 - serial_fraction) / (big_perf + small_cores)
+    return 1.0 / (serial_time + parallel_time)
+
+
+def _check_fraction(serial_fraction: float) -> None:
+    if not (0.0 <= serial_fraction <= 1.0):
+        raise ConfigurationError(
+            f"serial fraction must be in [0, 1], got {serial_fraction}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupPoint:
+    """One x-axis point of Fig. 1."""
+
+    serial_fraction: float
+    symmetric_big: float  # 4 big cores (4 BCE each)
+    symmetric_small: float  # 16 small cores (1 BCE each)
+    asymmetric: float  # 1 big (4 BCE) + 12 small
+
+
+def figure1_series(
+    serial_fractions: list[float] | None = None,
+    budget_bce: int = 16,
+    big_core_bce: float = 4.0,
+) -> list[SpeedupPoint]:
+    """Compute the three Fig. 1 curves.
+
+    Defaults follow the paper: 16 BCE budget; a big core spends 4x the
+    resources of a small core for 2x the performance.
+    """
+    if serial_fractions is None:
+        serial_fractions = [f / 100.0 for f in (0, 1, 2, 5, 10, 15, 20, 25, 30)]
+    points = []
+    for fraction in serial_fractions:
+        points.append(
+            SpeedupPoint(
+                serial_fraction=fraction,
+                symmetric_big=symmetric_speedup(fraction, budget_bce, big_core_bce),
+                symmetric_small=symmetric_speedup(fraction, budget_bce, 1.0),
+                asymmetric=asymmetric_speedup(fraction, budget_bce, big_core_bce),
+            )
+        )
+    return points
+
+
+def acmp_crossover_fraction(
+    budget_bce: int = 16, big_core_bce: float = 4.0, resolution: int = 10_000
+) -> float:
+    """Smallest serial fraction at which the ACMP beats both symmetric CMPs.
+
+    The paper reads ~2 % off Fig. 1 ("With the serial code fraction above
+    2 %, an ACMP outperforms both symmetric CMP designs").
+    """
+    for step in range(resolution + 1):
+        fraction = step / resolution
+        acmp = asymmetric_speedup(fraction, budget_bce, big_core_bce)
+        best_symmetric = max(
+            symmetric_speedup(fraction, budget_bce, big_core_bce),
+            symmetric_speedup(fraction, budget_bce, 1.0),
+        )
+        if acmp > best_symmetric:
+            return fraction
+    return 1.0

@@ -1,0 +1,40 @@
+"""Area and power models replacing the paper's McPAT/CACTI projections."""
+
+from repro.power.bus_area import (
+    bus_physical_width_mm,
+    interconnect_area_mm2,
+    interconnect_static_power_w,
+    interconnect_transaction_energy_nj,
+    single_bus_area_mm2,
+)
+from repro.power.cacti import (
+    cache_access_energy_nj,
+    cache_area_mm2,
+    cache_static_power_w,
+    line_buffer_access_energy_nj,
+    line_buffer_area_mm2,
+)
+from repro.power.energy import EnergyBreakdown, PowerReport, evaluate_power
+from repro.power.mcpat import ActivityCounts, AreaBreakdown, worker_cluster_area
+from repro.power.params import DEFAULT_TECH, TechnologyParams
+
+__all__ = [
+    "bus_physical_width_mm",
+    "interconnect_area_mm2",
+    "interconnect_static_power_w",
+    "interconnect_transaction_energy_nj",
+    "single_bus_area_mm2",
+    "cache_access_energy_nj",
+    "cache_area_mm2",
+    "cache_static_power_w",
+    "line_buffer_access_energy_nj",
+    "line_buffer_area_mm2",
+    "EnergyBreakdown",
+    "PowerReport",
+    "evaluate_power",
+    "ActivityCounts",
+    "AreaBreakdown",
+    "worker_cluster_area",
+    "DEFAULT_TECH",
+    "TechnologyParams",
+]

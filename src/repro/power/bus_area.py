@@ -1,0 +1,69 @@
+"""Wire-level interconnect area and power model (Section VI-D).
+
+The paper's methodology: "The area occupied by a bus is determined by the
+number of wires, the wire pitch and length. ... bus width is the same as
+the I-cache line width, which determines the number of wires plus address
+lines. ... The length of the bus is estimated as the number of cores times
+the bus width." This yields area quadratic in datapath width; doubling the
+bus count quadruples the I-interconnect area (Section VI-B); and a full
+crossbar grows quadratically with the number of banks (Kumar et al.,
+reference [27]).
+"""
+
+from __future__ import annotations
+
+from repro.power.params import DEFAULT_TECH, TechnologyParams
+from repro.utils import require_positive
+
+
+def bus_physical_width_mm(
+    width_bytes: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Physical width of one bus: data wires + address lines, at pitch."""
+    require_positive(width_bytes, "width_bytes")
+    wires = width_bytes * 8 + tech.bus_address_lines
+    return wires * tech.wire_pitch_mm
+
+
+def single_bus_area_mm2(
+    width_bytes: int, core_count: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Area of one shared bus spanning ``core_count`` cores."""
+    require_positive(core_count, "core_count")
+    physical_width = bus_physical_width_mm(width_bytes, tech)
+    length = core_count * physical_width
+    return physical_width * length
+
+
+def interconnect_area_mm2(
+    width_bytes: int,
+    core_count: int,
+    bus_count: int,
+    crossbar: bool = False,
+    tech: TechnologyParams = DEFAULT_TECH,
+) -> float:
+    """Total I-interconnect area.
+
+    Buses: ``bus_count**2`` times the single-bus area (the paper's 4x for
+    a double bus). Crossbars: quadratic in the port count.
+    """
+    require_positive(bus_count, "bus_count")
+    single = single_bus_area_mm2(width_bytes, core_count, tech)
+    if crossbar:
+        # Any-to-any switch: one lane per (core, bank) pair.
+        return single * bus_count * core_count
+    return single * bus_count * bus_count
+
+
+def interconnect_static_power_w(
+    area_mm2: float, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Leakage via the linear power-to-area relation of the NoC model."""
+    return area_mm2 * tech.static_power_per_mm2_w
+
+
+def interconnect_transaction_energy_nj(
+    area_mm2: float, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Dynamic energy of one transaction, proportional to bus area."""
+    return area_mm2 * tech.bus_transaction_energy_per_mm2_nj

@@ -1,0 +1,58 @@
+"""CACTI-like cache area and energy model.
+
+Implements the coarse capacity scaling the paper extracts from CACTI [32]:
+macro area grows linearly with capacity (plus a fixed overhead) and
+per-access dynamic energy grows with the square root of capacity (longer
+bitlines/wordlines). Calibrated so a 32 KB I-cache is ~12 % of a lean
+core's area, matching the McPAT observations cited in Section II-C.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.power.params import DEFAULT_TECH, TechnologyParams
+from repro.utils import require_positive
+
+KB = 1024.0
+
+
+def cache_area_mm2(
+    size_bytes: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Silicon area of an SRAM cache macro."""
+    require_positive(size_bytes, "size_bytes")
+    kb = size_bytes / KB
+    return tech.cache_area_base_mm2 + tech.cache_area_per_kb_mm2 * kb
+
+
+def cache_access_energy_nj(
+    size_bytes: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Dynamic energy of one cache access."""
+    require_positive(size_bytes, "size_bytes")
+    kb = size_bytes / KB
+    return tech.cache_access_energy_base_nj * math.sqrt(kb)
+
+
+def cache_static_power_w(
+    size_bytes: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Leakage power of the macro (proportional to area)."""
+    return cache_area_mm2(size_bytes, tech) * tech.static_power_per_mm2_w
+
+
+def line_buffer_area_mm2(
+    count: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Area of one core's line-buffer set."""
+    require_positive(count, "count")
+    return count * tech.line_buffer_area_mm2
+
+
+def line_buffer_access_energy_nj(
+    count: int, tech: TechnologyParams = DEFAULT_TECH
+) -> float:
+    """Energy of one line-buffer set lookup (CAM width grows with count)."""
+    require_positive(count, "count")
+    return tech.line_buffer_access_energy_nj * count / 4.0

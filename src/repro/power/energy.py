@@ -1,0 +1,123 @@
+"""System energy accounting: energy = total power x execution time.
+
+Combines the static (leakage ~ area) and dynamic (per-event energies x
+activity counts) components for the worker cluster, exactly the scope of
+the paper's Fig. 12 (master core, LLC and NoC excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acmp.config import AcmpConfig
+from repro.acmp.results import SimulationResult
+from repro.power.bus_area import (
+    interconnect_area_mm2,
+    interconnect_transaction_energy_nj,
+)
+from repro.power.cacti import (
+    cache_access_energy_nj,
+    line_buffer_access_energy_nj,
+)
+from repro.power.mcpat import ActivityCounts, AreaBreakdown, worker_cluster_area
+from repro.power.params import DEFAULT_TECH, TechnologyParams
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Worker-cluster energy by component, in nanojoules."""
+
+    static: float
+    core_dynamic: float
+    icache_dynamic: float
+    line_buffer_dynamic: float
+    interconnect_dynamic: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.static
+            + self.core_dynamic
+            + self.icache_dynamic
+            + self.line_buffer_dynamic
+            + self.interconnect_dynamic
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "static": self.static,
+            "core_dynamic": self.core_dynamic,
+            "icache_dynamic": self.icache_dynamic,
+            "line_buffer_dynamic": self.line_buffer_dynamic,
+            "interconnect_dynamic": self.interconnect_dynamic,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class PowerReport:
+    """Full area/energy assessment of one simulated design point."""
+
+    config_label: str
+    benchmark: str
+    execution_cycles: int
+    area: AreaBreakdown
+    energy: EnergyBreakdown
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area.total
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.total
+
+
+def evaluate_power(
+    result: SimulationResult,
+    config: AcmpConfig,
+    tech: TechnologyParams = DEFAULT_TECH,
+) -> PowerReport:
+    """Price one simulation run: area, and energy over its execution time."""
+    area = worker_cluster_area(config, tech)
+    counts = ActivityCounts.from_result(result, config)
+
+    execution_ns = result.cycles * tech.cycle_time_ns
+    static_nj = area.total * tech.static_power_per_mm2_w * execution_ns
+
+    core_dynamic = counts.worker_instructions * tech.core_energy_per_instruction_nj
+    icache_dynamic = sum(
+        accesses * cache_access_energy_nj(size, tech)
+        for size, accesses in counts.icache_accesses.items()
+    )
+    lb_dynamic = counts.line_buffer_lookups * line_buffer_access_energy_nj(
+        config.line_buffers, tech
+    )
+    if counts.bus_transactions:
+        bus_area = interconnect_area_mm2(
+            config.bus_width_bytes,
+            config.cores_per_cache + (1 if config.all_shared else 0),
+            config.bus_count,
+            crossbar=config.interconnect == "crossbar",
+            tech=tech,
+        )
+        bus_dynamic = counts.bus_transactions * interconnect_transaction_energy_nj(
+            bus_area, tech
+        )
+    else:
+        bus_dynamic = 0.0
+
+    energy = EnergyBreakdown(
+        static=static_nj,
+        core_dynamic=core_dynamic,
+        icache_dynamic=icache_dynamic,
+        line_buffer_dynamic=lb_dynamic,
+        interconnect_dynamic=bus_dynamic,
+    )
+    return PowerReport(
+        config_label=result.config_label,
+        benchmark=result.benchmark,
+        execution_cycles=result.cycles,
+        area=area,
+        energy=energy,
+    )

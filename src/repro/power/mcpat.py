@@ -1,0 +1,105 @@
+"""McPAT-style lean-core budget: assembles per-structure area and power.
+
+Mirrors how the paper uses McPAT with the validated ARM Cortex-A9
+configuration (Section VI-D): the core is a fixed budget, the I-cache and
+line buffers are CACTI-priced macros, and the I-interconnect is the wire
+model. The master core, LLC and NoC are excluded, as in Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.acmp.config import AcmpConfig
+from repro.acmp.topology import build_topology
+from repro.power.bus_area import interconnect_area_mm2
+from repro.power.cacti import cache_area_mm2, line_buffer_area_mm2
+from repro.power.params import DEFAULT_TECH, TechnologyParams
+
+
+@dataclass(frozen=True, slots=True)
+class AreaBreakdown:
+    """Worker-cluster area by structure (mm^2)."""
+
+    cores: float
+    icaches: float
+    line_buffers: float
+    interconnect: float
+
+    @property
+    def total(self) -> float:
+        return self.cores + self.icaches + self.line_buffers + self.interconnect
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cores": self.cores,
+            "icaches": self.icaches,
+            "line_buffers": self.line_buffers,
+            "interconnect": self.interconnect,
+            "total": self.total,
+        }
+
+
+def worker_cluster_area(
+    config: AcmpConfig, tech: TechnologyParams = DEFAULT_TECH
+) -> AreaBreakdown:
+    """Area of the worker cores and their instruction-supply hardware.
+
+    Covers exactly what Fig. 12 prices: worker cores (I-cache excluded
+    from the core budget), the worker I-caches (private set or shared),
+    the per-core line buffers, and the shared I-interconnect when present.
+    """
+    topology = build_topology(config)
+    worker_cores = config.worker_count
+    cores = worker_cores * tech.core_area_mm2
+    line_buffers = worker_cores * line_buffer_area_mm2(config.line_buffers, tech)
+    icaches = 0.0
+    interconnect = 0.0
+    for group in topology.groups:
+        worker_members = [core_id for core_id in group.core_ids if core_id != 0]
+        if not worker_members:
+            continue  # the master's private I-cache is out of scope
+        icaches += cache_area_mm2(group.size_bytes, tech)
+        if group.shared:
+            interconnect += interconnect_area_mm2(
+                config.bus_width_bytes,
+                len(group.core_ids),
+                config.bus_count,
+                crossbar=config.interconnect == "crossbar",
+                tech=tech,
+            )
+    return AreaBreakdown(
+        cores=cores,
+        icaches=icaches,
+        line_buffers=line_buffers,
+        interconnect=interconnect,
+    )
+
+
+@dataclass
+class ActivityCounts:
+    """Dynamic event counts extracted from a simulation result."""
+
+    worker_instructions: int = 0
+    icache_accesses: dict[int, int] = field(default_factory=dict)  # size -> count
+    line_buffer_lookups: int = 0
+    bus_transactions: int = 0
+
+    @classmethod
+    def from_result(cls, result, config: AcmpConfig) -> "ActivityCounts":
+        """Pull the counts Fig. 12's energy model needs from a run."""
+        counts = cls()
+        counts.worker_instructions = result.worker_committed
+        counts.line_buffer_lookups = sum(
+            core.line_requests for core in result.cores[1:]
+        )
+        for group in result.cache_groups:
+            worker_members = [cid for cid in group.core_ids if cid != 0]
+            if not worker_members:
+                continue
+            size = group.size_bytes
+            counts.icache_accesses[size] = (
+                counts.icache_accesses.get(size, 0) + group.accesses
+            )
+            counts.bus_transactions += group.bus_transactions
+        return counts

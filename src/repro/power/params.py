@@ -1,0 +1,74 @@
+"""Technology and budget constants for the area/power models (45 nm).
+
+These constants replace the paper's McPAT + CACTI runs (Section VI-D).
+They implement the published relations directly:
+
+* an ARM Cortex-A9-class lean core spends ~12-15 % of its area and power
+  on the I-cache (McPAT, Section II-C);
+* the area of a bus is wires x pitch x length, with a 205 nm wire pitch at
+  45 nm and a length of cores x physical bus width, which makes bus area
+  quadratic in datapath width (Section VI-D);
+* doubling the number of buses quadruples the I-interconnect area
+  (Section VI-B);
+* total bus power follows a linear power-to-area relation taken from the
+  NoC component, with the dynamic share scaled by transaction count;
+* energy = total power x execution time.
+
+Absolute values are representative of a 45 nm lean core at 2 GHz; the
+experiments consume only *ratios* against the private-I-cache baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TechnologyParams:
+    """All tunable constants of the power/area models."""
+
+    # -- geometry -----------------------------------------------------------
+    #: Wire pitch at 45 nm, from the paper's reference [33].
+    wire_pitch_mm: float = 205e-6
+    #: Address lines accompanying a bus datapath.
+    bus_address_lines: int = 32
+
+    # -- lean core (Cortex-A9 class) -------------------------------------------
+    #: Core area excluding the L1 I-cache.
+    core_area_mm2: float = 4.05
+    #: Dynamic energy per committed instruction (back-end + fetch control).
+    core_energy_per_instruction_nj: float = 0.25
+
+    # -- SRAM (CACTI-like) --------------------------------------------------------
+    #: Cache macro area per KB (tags + data + peripheral overhead).
+    cache_area_per_kb_mm2: float = 0.01725
+    #: Fixed per-macro overhead (decoders, control).
+    cache_area_base_mm2: float = 0.01
+    #: Dynamic energy per access at 1 KB; scales with sqrt(capacity).
+    cache_access_energy_base_nj: float = 0.0088
+
+    #: Line buffer: one 64 B register + CAM tag + shift/rotate logic.
+    line_buffer_area_mm2: float = 0.008
+    #: Energy per line-buffer set lookup at 4 buffers; scales linearly
+    #: with the buffer count (wider CAM search).
+    line_buffer_access_energy_nj: float = 0.002
+
+    # -- static power ------------------------------------------------------------
+    #: Leakage per mm2 (all structures; power ~ area, Section VI-D).
+    static_power_per_mm2_w: float = 0.10
+
+    # -- interconnect ----------------------------------------------------------------
+    #: Dynamic energy per bus transaction per mm2 of bus area; derived
+    #: from the McPAT NoC dynamic-to-total power ratio.
+    bus_transaction_energy_per_mm2_nj: float = 0.05
+
+    # -- clock -------------------------------------------------------------------------
+    core_ghz: float = 2.0
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1.0 / self.core_ghz
+
+
+#: Default technology point used across the experiments.
+DEFAULT_TECH = TechnologyParams()

@@ -1,0 +1,6 @@
+"""Runtime replay of OpenMP synchronisation events."""
+
+from repro.runtime.coordinator import RuntimeCoordinator
+from repro.runtime.threads import ThreadContext, ThreadState
+
+__all__ = ["RuntimeCoordinator", "ThreadContext", "ThreadState"]

@@ -1,0 +1,47 @@
+"""Thread execution contexts for the runtime replay layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ThreadState(enum.Enum):
+    """Scheduling state of one simulated thread/core."""
+
+    RUNNING = "running"
+    BLOCKED = "blocked"  # waiting on a synchronisation object
+    FINISHED = "finished"  # trace fully consumed and pipeline drained
+
+
+@dataclass
+class ThreadContext:
+    """Per-thread runtime bookkeeping.
+
+    Attributes:
+        thread_id: global thread index (0 = master).
+        state: current scheduling state.
+        blocked_since: cycle the thread last blocked (for wait accounting).
+        block_cycles: total cycles spent blocked on synchronisation.
+    """
+
+    thread_id: int
+    state: ThreadState = ThreadState.RUNNING
+    blocked_since: int = 0
+    block_cycles: int = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ThreadState.RUNNING
+
+    def block(self, now: int) -> None:
+        self.state = ThreadState.BLOCKED
+        self.blocked_since = now
+
+    def wake(self, now: int) -> None:
+        if self.state is ThreadState.BLOCKED:
+            self.block_cycles += now - self.blocked_since
+            self.state = ThreadState.RUNNING
+
+    def finish(self, now: int) -> None:
+        self.state = ThreadState.FINISHED

@@ -1,0 +1,52 @@
+"""Trace data model, codecs, streams, validation and synthesis.
+
+The trace layer reproduces the paper's Pin-based methodology (Figure 6):
+one record stream per thread containing basic blocks with branch outcomes,
+OpenMP synchronisation events, and per-section IPC values.
+"""
+
+from repro.trace.records import (
+    INSTRUCTION_BYTES,
+    BasicBlockRecord,
+    BranchKind,
+    BranchOutcome,
+    EndRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+    TraceRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet, TraceStream
+from repro.trace.encoding import (
+    decode_thread_trace,
+    encode_thread_trace,
+    format_thread_trace,
+    parse_thread_trace,
+    read_trace_set,
+    write_trace_set,
+)
+from repro.trace.validation import TraceReport, validate_thread_trace, validate_trace_set
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "BasicBlockRecord",
+    "BranchKind",
+    "BranchOutcome",
+    "EndRecord",
+    "IpcRecord",
+    "SyncKind",
+    "SyncRecord",
+    "TraceRecord",
+    "ThreadTrace",
+    "TraceSet",
+    "TraceStream",
+    "decode_thread_trace",
+    "encode_thread_trace",
+    "format_thread_trace",
+    "parse_thread_trace",
+    "read_trace_set",
+    "write_trace_set",
+    "TraceReport",
+    "validate_thread_trace",
+    "validate_trace_set",
+]

@@ -1,0 +1,165 @@
+"""Trace record types.
+
+The paper's PinTool produces one trace file per thread containing the
+sequence of executed instruction addresses, branch outcomes and targets,
+OpenMP synchronisation events, and per-section IPC values (Section V-A,
+Figure 6). We reproduce that format at *basic-block* granularity: each
+:class:`BasicBlockRecord` covers a straight-line run of instructions and
+carries the terminating branch, which preserves every piece of information
+the PinTool traces record (instruction addresses are reconstructible from
+block start + fixed instruction size) while keeping traces compact.
+
+The front-end composes consecutive fall-through blocks into *fetch blocks*
+(sequences ending at a taken branch), exactly as the paper's decoupled
+front-end does with its FTQ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Fixed instruction size in bytes. Worker cores model an ARM Cortex-A9,
+#: a fixed-width 32-bit ISA, so four bytes per instruction throughout.
+INSTRUCTION_BYTES = 4
+
+
+class BranchKind(enum.IntEnum):
+    """Classification of the branch terminating a basic block."""
+
+    #: Conditional direct branch (the only kind the gshare predictor handles).
+    CONDITIONAL = 0
+    #: Unconditional direct branch or call; always taken, trivially predicted.
+    UNCONDITIONAL = 1
+    #: Indirect branch or return; target predicted via the BTB.
+    INDIRECT = 2
+
+
+class SyncKind(enum.IntEnum):
+    """The five OpenMP synchronisation events of the paper (Section V-A)."""
+
+    PARALLEL_START = 0
+    PARALLEL_END = 1
+    BARRIER = 2
+    #: Wait on a critical section or semaphore object.
+    WAIT = 3
+    #: Signal (release) of a critical section or semaphore object.
+    SIGNAL = 4
+
+
+@dataclass(frozen=True, slots=True)
+class BranchOutcome:
+    """Recorded outcome of the branch ending a basic block.
+
+    Attributes:
+        kind: branch classification.
+        taken: whether the branch was taken in this dynamic instance.
+        target: branch target address (meaningful when taken).
+    """
+
+    kind: BranchKind
+    taken: bool
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError(f"branch target must be non-negative, got {self.target}")
+        if self.kind is BranchKind.UNCONDITIONAL and not self.taken:
+            raise ValueError("unconditional branches are always taken")
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlockRecord:
+    """One dynamic basic block: straight-line instructions plus its branch.
+
+    Attributes:
+        address: byte address of the first instruction.
+        instruction_count: number of instructions in the block (>= 1).
+        branch: outcome of the terminating branch, or ``None`` when the
+            block ends for a non-branch reason (e.g. end of trace or a
+            synchronisation event follows).
+    """
+
+    address: int
+    instruction_count: int
+    branch: BranchOutcome | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"block address must be non-negative, got {self.address}")
+        if self.instruction_count < 1:
+            raise ValueError(
+                f"block must contain at least one instruction, got {self.instruction_count}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Block size in bytes (fixed-width instructions)."""
+        return self.instruction_count * INSTRUCTION_BYTES
+
+    @property
+    def end_address(self) -> int:
+        """Address one past the last byte of the block."""
+        return self.address + self.size_bytes
+
+    @property
+    def branch_address(self) -> int:
+        """Address of the terminating branch instruction (the last one)."""
+        return self.address + (self.instruction_count - 1) * INSTRUCTION_BYTES
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control continues at :attr:`end_address`."""
+        return self.branch is None or not self.branch.taken
+
+    @property
+    def next_address(self) -> int:
+        """Address of the next executed instruction after this block."""
+        if self.branch is not None and self.branch.taken:
+            return self.branch.target
+        return self.end_address
+
+
+@dataclass(frozen=True, slots=True)
+class SyncRecord:
+    """An OpenMP synchronisation event injected into the trace.
+
+    Attributes:
+        kind: which of the five primitives this event is.
+        object_id: identifier of the synchronisation object — the parallel
+            region/phase for ``PARALLEL_START``/``PARALLEL_END``/``BARRIER``
+            and the lock/semaphore id for ``WAIT``/``SIGNAL``.
+    """
+
+    kind: SyncKind
+    object_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise ValueError(f"object_id must be non-negative, got {self.object_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class IpcRecord:
+    """Sets the back-end commit rate for the following code section.
+
+    Mirrors the paper's step 2 (Figure 6): IPC values measured with
+    performance counters are spliced into the traces at each serial and
+    parallel section boundary so the simulated back-end commits at the
+    measured rate.
+    """
+
+    ipc: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.ipc <= 16.0):
+            raise ValueError(f"IPC must be within (0, 16], got {self.ipc}")
+
+
+@dataclass(frozen=True, slots=True)
+class EndRecord:
+    """Marks the end of a thread's trace."""
+
+
+#: Union of everything that may appear in a per-thread trace.
+TraceRecord = BasicBlockRecord | SyncRecord | IpcRecord | EndRecord

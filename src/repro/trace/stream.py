@@ -1,0 +1,167 @@
+"""Trace containers and peekable streams consumed by the simulator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.trace.records import (
+    BasicBlockRecord,
+    EndRecord,
+    SyncKind,
+    SyncRecord,
+    TraceRecord,
+)
+
+
+@dataclass
+class ThreadTrace:
+    """The full recorded stream of one thread.
+
+    Attributes:
+        thread_id: zero-based thread index; thread 0 is the master.
+        records: the ordered trace records.
+    """
+
+    thread_id: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.thread_id < 0:
+            raise TraceError(f"thread_id must be non-negative, got {self.thread_id}")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instructions in the trace."""
+        return sum(
+            record.instruction_count
+            for record in self.records
+            if isinstance(record, BasicBlockRecord)
+        )
+
+    def basic_blocks(self) -> Iterator[BasicBlockRecord]:
+        """Iterate over only the basic-block records."""
+        for record in self.records:
+            if isinstance(record, BasicBlockRecord):
+                yield record
+
+    def parallel_region_blocks(self) -> Iterator[BasicBlockRecord]:
+        """Iterate over basic blocks executed inside parallel regions."""
+        depth = 0
+        for record in self.records:
+            if isinstance(record, SyncRecord):
+                if record.kind is SyncKind.PARALLEL_START:
+                    depth += 1
+                elif record.kind is SyncKind.PARALLEL_END:
+                    depth -= 1
+                    if depth < 0:
+                        raise TraceError(
+                            f"thread {self.thread_id}: PARALLEL_END without start"
+                        )
+            elif isinstance(record, BasicBlockRecord) and depth > 0:
+                yield record
+
+    def serial_region_blocks(self) -> Iterator[BasicBlockRecord]:
+        """Iterate over basic blocks executed outside parallel regions."""
+        depth = 0
+        for record in self.records:
+            if isinstance(record, SyncRecord):
+                if record.kind is SyncKind.PARALLEL_START:
+                    depth += 1
+                elif record.kind is SyncKind.PARALLEL_END:
+                    depth -= 1
+            elif isinstance(record, BasicBlockRecord) and depth == 0:
+                yield record
+
+
+@dataclass
+class TraceSet:
+    """A complete multi-threaded application trace.
+
+    Attributes:
+        benchmark: benchmark name the traces were generated from.
+        threads: per-thread traces, indexed by thread id; ``threads[0]``
+            is the master thread (the only one that executes serial code).
+    """
+
+    benchmark: str
+    threads: list[ThreadTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for index, trace in enumerate(self.threads):
+            if trace.thread_id != index:
+                raise TraceError(
+                    f"thread {index} of '{self.benchmark}' has id {trace.thread_id}"
+                )
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.threads)
+
+    @property
+    def master(self) -> ThreadTrace:
+        if not self.threads:
+            raise TraceError(f"trace set '{self.benchmark}' has no threads")
+        return self.threads[0]
+
+    @property
+    def workers(self) -> list[ThreadTrace]:
+        return self.threads[1:]
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(trace.instruction_count for trace in self.threads)
+
+
+class TraceStream:
+    """Peekable single-consumer cursor over one thread's records.
+
+    The front-end needs one record of lookahead (to know whether the next
+    record is a synchronisation event before committing to fetch past it),
+    which :meth:`peek` provides without consuming.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord]):
+        self._iterator = iter(records)
+        self._lookahead: TraceRecord | None = None
+        self._exhausted = False
+        self._consumed = 0
+
+    @property
+    def consumed(self) -> int:
+        """Number of records handed out so far."""
+        return self._consumed
+
+    def peek(self) -> TraceRecord:
+        """Return the next record without consuming it.
+
+        Returns an :class:`EndRecord` once the underlying stream is done.
+        """
+        if self._lookahead is None and not self._exhausted:
+            try:
+                self._lookahead = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+        if self._lookahead is None:
+            return EndRecord()
+        return self._lookahead
+
+    def next(self) -> TraceRecord:
+        """Consume and return the next record (EndRecord when exhausted)."""
+        record = self.peek()
+        if not isinstance(record, EndRecord):
+            self._lookahead = None
+            self._consumed += 1
+        return record
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no records remain (peek would return EndRecord)."""
+        return isinstance(self.peek(), EndRecord)

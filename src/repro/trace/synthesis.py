@@ -1,0 +1,443 @@
+"""Synthetic multi-threaded trace generation.
+
+This module replaces the paper's Pin-based tracing step (Figure 6, step 1).
+Given a :class:`~repro.workloads.model.WorkloadModel`, it produces one trace
+per thread with the same structure real PinTool traces have: basic blocks
+with branch outcomes, the five OpenMP synchronisation events, and
+per-section IPC records (step 2 of the paper's flow).
+
+Key properties of the generated traces:
+
+* **Code sharing.** All threads walk the same shared code layout in the
+  same order, so the dynamic instruction-sharing measured on the traces
+  matches the model's ``sharing_dynamic`` (Fig. 4) and shared-I-cache
+  mutual prefetching arises exactly as in the paper.
+* **Scale-invariant miss behaviour.** Steady-state I-cache misses are
+  produced by a fresh-line streaming mechanism whose per-kilo-instruction
+  rate (``cold_mpki_*``) does not depend on trace length, so MPKI values
+  match the paper's full-length runs even on short synthetic traces.
+* **Loop-buffer behaviour.** Inner loops re-execute their bodies
+  ``inner_trips`` times; bodies smaller than the line-buffer set are
+  captured by it, reproducing the Fig. 9 access-ratio split.
+* **Predictable branches.** Loop back-edges have fixed trip counts (the
+  loop predictor captures them); a calibrated fraction of data-dependent
+  branches with random outcomes produces the model's branch MPKI.
+
+Control-flow discontinuities (entries into streamed cold blocks) carry no
+branch record; the front-end treats them as correctly-predicted call/return
+transitions, which keeps the branch-miss CPI component governed solely by
+the calibrated branch MPKI, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import WorkloadError
+from repro.trace.records import (
+    INSTRUCTION_BYTES,
+    BasicBlockRecord,
+    BranchKind,
+    BranchOutcome,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+    TraceRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.workloads.codegen import CodeRegion, build_region, stable_seed
+from repro.workloads.model import WorkloadModel
+
+#: Address-space layout of the synthetic "binary".
+SERIAL_BASE = 0x0040_0000
+SHARED_BASE = 0x0080_0000
+PRIVATE_BASE = 0x0100_0000
+PRIVATE_STRIDE = 0x0008_0000
+LOCK_REGION_BASE = 0x0030_0000
+SERIAL_COLD_BASE = 0x2000_0000
+PARALLEL_COLD_BASE = 0x4000_0000
+
+#: Number of distinct critical-section locks used by task-parallel codes.
+LOCK_COUNT = 4
+
+#: Mean instructions between critical sections in benchmarks that use them
+#: (botsspar, botsalgn).
+CRITICAL_SECTION_PERIOD = 1500
+
+#: Instructions inside one critical-section update block.
+CRITICAL_BLOCK_INSTRUCTIONS = 8
+
+_LINE_BYTES = 64
+
+
+@dataclass
+class _StreamState:
+    """Fresh-line streaming: the scale-invariant steady-state miss source."""
+
+    base_address: int
+    block_instructions: int
+    period: float  # instructions between streamed blocks; inf disables
+    emitted_instructions: int = 0
+    next_at: float = 0.0
+    index: int = 0
+
+    @classmethod
+    def build(cls, base_address: int, bb_instructions: int, cold_mpki: float) -> "_StreamState":
+        block_instructions = max(1, bb_instructions)
+        lines = math.ceil(block_instructions * INSTRUCTION_BYTES / _LINE_BYTES)
+        if cold_mpki <= 0:
+            period = math.inf
+        else:
+            period = lines * 1000.0 / cold_mpki
+        state = cls(
+            base_address=base_address,
+            block_instructions=block_instructions,
+            period=period,
+        )
+        state.next_at = period
+        return state
+
+    @property
+    def lines_per_block(self) -> int:
+        return math.ceil(self.block_instructions * INSTRUCTION_BYTES / _LINE_BYTES)
+
+    def advance(self, instructions: int) -> int:
+        """Account for executed instructions; return due streamed blocks."""
+        self.emitted_instructions += instructions
+        due = 0
+        while self.emitted_instructions >= self.next_at:
+            self.next_at += self.period
+            due += 1
+        return due
+
+    def next_block(self) -> BasicBlockRecord:
+        """The next fresh cold block. Addresses are common to all threads."""
+        address = self.base_address + self.index * self.lines_per_block * _LINE_BYTES
+        self.index += 1
+        return BasicBlockRecord(
+            address=address, instruction_count=self.block_instructions, branch=None
+        )
+
+
+class _RegionWalker:
+    """Walks a code region's loops cyclically, emitting dynamic records.
+
+    One walker per (thread, region); its cursor persists across parallel
+    phases so successive phases continue through the footprint the way a
+    time-stepped HPC code revisits its kernels.
+    """
+
+    def __init__(
+        self,
+        region: CodeRegion,
+        rng: Random,
+        *,
+        trip_factor: float,
+        hard_branch_per_instruction: float,
+        stream: _StreamState | None,
+    ) -> None:
+        if not region.loops:
+            raise WorkloadError("cannot walk an empty code region")
+        self._region = region
+        self._rng = rng
+        self._trip_factor = trip_factor
+        self._hard_per_instruction = hard_branch_per_instruction
+        self._stream = stream
+        self._loop_index = 0
+
+    def emit(self, records: list[TraceRecord], budget: int) -> int:
+        """Emit at least ``budget`` instructions worth of records.
+
+        Returns the number of instructions emitted (the last basic block may
+        overshoot the budget by less than one block).
+        """
+        emitted = 0
+        rng = self._rng
+        loops = self._region.loops
+        while emitted < budget:
+            loop = loops[self._loop_index]
+            self._loop_index = (self._loop_index + 1) % len(loops)
+            trips = max(1, round(loop.trips * self._trip_factor))
+            blocks = loop.blocks
+            last_block_index = len(blocks) - 1
+            for trip in range(trips):
+                backedge_taken = trip != trips - 1
+                for index, block in enumerate(blocks):
+                    if index == last_block_index:
+                        branch = BranchOutcome(
+                            BranchKind.CONDITIONAL, backedge_taken, loop.head_address
+                        )
+                    elif rng.random() < self._hard_per_instruction * block.instruction_count:
+                        # Data-dependent branch: direction is unpredictable,
+                        # both paths continue at the fall-through address so
+                        # the block sequence stays identical across threads.
+                        branch = BranchOutcome(
+                            BranchKind.CONDITIONAL,
+                            rng.random() < 0.5,
+                            block.end_address,
+                        )
+                    else:
+                        branch = BranchOutcome(
+                            BranchKind.CONDITIONAL, False, loop.end_address
+                        )
+                    records.append(
+                        BasicBlockRecord(block.address, block.instruction_count, branch)
+                    )
+                    emitted += block.instruction_count
+                    emitted += self._emit_due_streams(records, block.instruction_count)
+                    if emitted >= budget:
+                        return emitted
+        return emitted
+
+    def _emit_due_streams(self, records: list[TraceRecord], instructions: int) -> int:
+        if self._stream is None:
+            return 0
+        emitted = 0
+        for _ in range(self._stream.advance(instructions)):
+            block = self._stream.next_block()
+            records.append(block)
+            emitted += block.instruction_count
+        return emitted
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """All code regions of one benchmark, shared by every thread."""
+
+    serial: CodeRegion
+    shared: CodeRegion
+    private: tuple[CodeRegion, ...]  # one per thread; empty loops tuple => none
+
+
+def _build_layout(model: WorkloadModel, thread_count: int) -> _Layout:
+    rng = Random(stable_seed(model.name, "layout"))
+    serial = build_region(
+        SERIAL_BASE,
+        model.footprint_serial_bytes,
+        model.loop_body_bytes_serial,
+        model.bb_bytes_serial,
+        model.inner_trips_serial,
+        rng,
+    )
+    shared = build_region(
+        SHARED_BASE,
+        model.footprint_parallel_bytes,
+        model.loop_body_bytes_parallel,
+        model.bb_bytes_parallel,
+        model.inner_trips_parallel,
+        rng,
+    )
+    privates: list[CodeRegion] = []
+    total_private = model.footprint_parallel_bytes * (1.0 - model.sharing_static) / model.sharing_static
+    per_thread_private = total_private / thread_count
+    for thread_id in range(thread_count):
+        if per_thread_private < 2 * model.bb_bytes_parallel:
+            privates.append(
+                CodeRegion(base_address=PRIVATE_BASE + thread_id * PRIVATE_STRIDE, loops=())
+            )
+            continue
+        body = min(model.loop_body_bytes_parallel, per_thread_private / 2)
+        privates.append(
+            build_region(
+                PRIVATE_BASE + thread_id * PRIVATE_STRIDE,
+                int(math.ceil(per_thread_private)),
+                body,
+                model.bb_bytes_parallel,
+                model.inner_trips_parallel,
+                rng,
+            )
+        )
+    return _Layout(serial=serial, shared=shared, private=tuple(privates))
+
+
+class _ThreadSynthesizer:
+    """Generates one thread's trace records."""
+
+    def __init__(
+        self,
+        model: WorkloadModel,
+        layout: _Layout,
+        thread_id: int,
+        thread_count: int,
+        seed: int,
+    ) -> None:
+        self._model = model
+        self._thread_id = thread_id
+        self._rng = Random(stable_seed(model.name, "thread", thread_id, seed))
+        if thread_id == 0:
+            trip_factor = 1.0
+        else:
+            trip_factor = 1.0 + self._rng.uniform(-model.imbalance, model.imbalance)
+        hard_parallel = 2.0 * model.branch_mpki_parallel / 1000.0
+        self._shared_walker = _RegionWalker(
+            layout.shared,
+            self._rng,
+            trip_factor=trip_factor,
+            hard_branch_per_instruction=hard_parallel,
+            stream=_StreamState.build(
+                PARALLEL_COLD_BASE,
+                model.bb_instructions_parallel,
+                model.cold_mpki_parallel,
+            ),
+        )
+        private_region = layout.private[thread_id]
+        self._private_walker = (
+            _RegionWalker(
+                private_region,
+                self._rng,
+                trip_factor=trip_factor,
+                hard_branch_per_instruction=hard_parallel,
+                stream=None,
+            )
+            if private_region.loops
+            else None
+        )
+        if thread_id == 0:
+            hard_serial = 2.0 * model.branch_mpki_serial / 1000.0
+            self._serial_walker = _RegionWalker(
+                layout.serial,
+                self._rng,
+                trip_factor=1.0,
+                hard_branch_per_instruction=hard_serial,
+                stream=_StreamState.build(
+                    SERIAL_COLD_BASE,
+                    model.bb_instructions_serial,
+                    model.cold_mpki_serial,
+                ),
+            )
+        else:
+            self._serial_walker = None
+        self._private_emitted = 0
+        self._shared_emitted = 0
+        self._parallel_emitted = 0
+        self._criticals_done = 0
+
+    def emit_serial(self, records: list[TraceRecord], budget: int) -> None:
+        """Emit a serial section (master thread only)."""
+        if self._serial_walker is None:
+            raise WorkloadError("only the master thread executes serial code")
+        if budget <= 0:
+            return
+        records.append(IpcRecord(self._model.ipc_master_serial))
+        self._serial_walker.emit(records, budget)
+
+    def emit_parallel_phase(self, records: list[TraceRecord], phase: int, budget: int) -> None:
+        """Emit one full parallel phase, bracketed by sync events."""
+        model = self._model
+        records.append(SyncRecord(SyncKind.PARALLEL_START, phase))
+        ipc = model.ipc_master_parallel if self._thread_id == 0 else model.ipc_worker_parallel
+        records.append(IpcRecord(ipc))
+        remaining = budget
+        share = model.sharing_dynamic
+        while remaining > 0:
+            chunk = min(remaining, max(500, budget // 8))
+            emitted = self._shared_walker.emit(records, max(1, int(chunk * share)))
+            self._shared_emitted += emitted
+            self._parallel_emitted += emitted
+            remaining -= emitted
+            if self._private_walker is not None and share < 1.0:
+                private_due = self._shared_emitted * (1.0 - share) / share
+                debt = int(private_due - self._private_emitted)
+                if debt > 0:
+                    emitted = self._private_walker.emit(records, debt)
+                    self._private_emitted += emitted
+                    self._parallel_emitted += emitted
+                    remaining -= emitted
+            if model.uses_critical_sections:
+                due = self._parallel_emitted // CRITICAL_SECTION_PERIOD
+                while self._criticals_done < due:
+                    cost = self._emit_critical_section(records)
+                    self._criticals_done += 1
+                    self._parallel_emitted += cost
+                    remaining -= cost
+        records.append(SyncRecord(SyncKind.PARALLEL_END, phase))
+
+    def _emit_critical_section(self, records: list[TraceRecord]) -> int:
+        lock = self._rng.randrange(LOCK_COUNT)
+        records.append(SyncRecord(SyncKind.WAIT, lock))
+        block = BasicBlockRecord(
+            address=LOCK_REGION_BASE + lock * _LINE_BYTES,
+            instruction_count=CRITICAL_BLOCK_INSTRUCTIONS,
+            branch=None,
+        )
+        records.append(block)
+        records.append(SyncRecord(SyncKind.SIGNAL, lock))
+        return block.instruction_count
+
+
+def _serial_chunk_weights(phases: int) -> list[float]:
+    """Distribution of serial work around the parallel phases.
+
+    One chunk before each phase plus a tail after the last: initialisation
+    is the largest serial stretch, the final reduction/report the smallest.
+    """
+    if phases == 1:
+        return [0.7, 0.3]
+    middle = 0.5 / (phases - 1)
+    return [0.35] + [middle] * (phases - 1) + [0.15]
+
+
+def synthesize(
+    model: WorkloadModel,
+    *,
+    thread_count: int = 9,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> TraceSet:
+    """Generate the full per-thread trace set for one benchmark.
+
+    Args:
+        model: the workload model to synthesise.
+        thread_count: total threads including the master (the paper's ACMP
+            runs 1 master + 8 workers = 9).
+        scale: multiplier on the per-thread parallel instruction budget;
+            use < 1 for fast tests, > 1 for high-resolution MPKI studies.
+        seed: extra seed folded into every thread's RNG, for generating
+            independent trace realisations.
+
+    Returns:
+        A validated-shape :class:`TraceSet` with ``threads[0]`` as master.
+    """
+    if thread_count < 1:
+        raise WorkloadError(f"thread_count must be >= 1, got {thread_count}")
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive, got {scale}")
+
+    layout = _build_layout(model, thread_count)
+    synthesizers = [
+        _ThreadSynthesizer(model, layout, thread_id, thread_count, seed)
+        for thread_id in range(thread_count)
+    ]
+    phases = model.parallel_phases
+    parallel_budget = model.scaled_parallel_instructions(scale)
+    per_phase = max(500, parallel_budget // phases)
+    serial_total = model.serial_instructions(thread_count, scale)
+    weights = _serial_chunk_weights(phases)
+    serial_chunks = [int(serial_total * weight) for weight in weights]
+
+    traces = [ThreadTrace(thread_id=thread_id) for thread_id in range(thread_count)]
+    for phase in range(phases):
+        synthesizers[0].emit_serial(traces[0].records, serial_chunks[phase])
+        for thread_id in range(thread_count):
+            synthesizers[thread_id].emit_parallel_phase(
+                traces[thread_id].records, phase, per_phase
+            )
+    synthesizers[0].emit_serial(traces[0].records, serial_chunks[-1])
+    return TraceSet(benchmark=model.name, threads=traces)
+
+
+def synthesize_benchmark(
+    name: str,
+    *,
+    thread_count: int = 9,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> TraceSet:
+    """Convenience wrapper: look up a benchmark by name and synthesise it."""
+    from repro.workloads.suites import get_benchmark
+
+    return synthesize(
+        get_benchmark(name), thread_count=thread_count, scale=scale, seed=seed
+    )

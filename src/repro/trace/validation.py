@@ -1,0 +1,118 @@
+"""Structural validation of traces before simulation.
+
+The simulator assumes traces obey the synchronisation protocol (balanced
+parallel regions, workers only active inside parallel phases, matched
+wait/signal pairs). Validating up front turns corrupt traces into clear
+:class:`TraceError` diagnostics instead of simulator deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.trace.records import (
+    BasicBlockRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+
+
+@dataclass
+class TraceReport:
+    """Summary produced by :func:`validate_trace_set`."""
+
+    benchmark: str
+    thread_count: int
+    instruction_counts: list[int] = field(default_factory=list)
+    parallel_phase_count: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instruction_counts)
+
+
+def validate_thread_trace(trace: ThreadTrace, is_master: bool) -> int:
+    """Validate one thread's stream; return its parallel phase count.
+
+    Raises:
+        TraceError: on unbalanced regions, nested parallel regions,
+            blocks outside regions on worker threads, or invalid IPC/sync
+            placement.
+    """
+    in_parallel = False
+    phases = 0
+    held_locks: set[int] = set()
+    for position, record in enumerate(trace.records):
+        if isinstance(record, SyncRecord):
+            if record.kind is SyncKind.PARALLEL_START:
+                if in_parallel:
+                    raise TraceError(
+                        f"thread {trace.thread_id}: nested PARALLEL_START "
+                        f"at record {position}"
+                    )
+                in_parallel = True
+                phases += 1
+            elif record.kind is SyncKind.PARALLEL_END:
+                if not in_parallel:
+                    raise TraceError(
+                        f"thread {trace.thread_id}: PARALLEL_END without start "
+                        f"at record {position}"
+                    )
+                in_parallel = False
+            elif record.kind is SyncKind.WAIT:
+                if record.object_id in held_locks:
+                    raise TraceError(
+                        f"thread {trace.thread_id}: re-acquires lock "
+                        f"{record.object_id} at record {position}"
+                    )
+                held_locks.add(record.object_id)
+            elif record.kind is SyncKind.SIGNAL:
+                if record.object_id not in held_locks:
+                    raise TraceError(
+                        f"thread {trace.thread_id}: SIGNAL of unheld lock "
+                        f"{record.object_id} at record {position}"
+                    )
+                held_locks.discard(record.object_id)
+        elif isinstance(record, BasicBlockRecord):
+            if not is_master and not in_parallel:
+                raise TraceError(
+                    f"worker thread {trace.thread_id} executes code outside "
+                    f"a parallel region at record {position}"
+                )
+        elif isinstance(record, IpcRecord):
+            pass  # always legal
+    if in_parallel:
+        raise TraceError(f"thread {trace.thread_id}: unterminated parallel region")
+    if held_locks:
+        raise TraceError(
+            f"thread {trace.thread_id}: locks {sorted(held_locks)} never released"
+        )
+    return phases
+
+
+def validate_trace_set(trace_set: TraceSet) -> TraceReport:
+    """Validate a whole trace set; return a :class:`TraceReport`.
+
+    Beyond per-thread checks, verifies that every thread agrees on the
+    number of parallel phases (the static-scheduling replay requires all
+    threads to participate in every region).
+    """
+    if trace_set.thread_count == 0:
+        raise TraceError(f"trace set '{trace_set.benchmark}' has no threads")
+    report = TraceReport(
+        benchmark=trace_set.benchmark, thread_count=trace_set.thread_count
+    )
+    phase_counts = []
+    for trace in trace_set.threads:
+        phases = validate_thread_trace(trace, is_master=trace.thread_id == 0)
+        phase_counts.append(phases)
+        report.instruction_counts.append(trace.instruction_count)
+    if len(set(phase_counts)) > 1:
+        raise TraceError(
+            f"threads disagree on parallel phase count: {phase_counts}"
+        )
+    report.parallel_phase_count = phase_counts[0]
+    return report

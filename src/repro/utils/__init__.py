@@ -1,0 +1,31 @@
+"""Small shared helpers: bit manipulation, statistics, validation."""
+
+from repro.utils.bits import (
+    align_down,
+    align_up,
+    is_power_of_two,
+    log2_int,
+    mask,
+)
+from repro.utils.stats import RunningStats, geometric_mean, harmonic_mean
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_power_of_two,
+    require_range,
+)
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "is_power_of_two",
+    "log2_int",
+    "mask",
+    "RunningStats",
+    "geometric_mean",
+    "harmonic_mean",
+    "require",
+    "require_positive",
+    "require_power_of_two",
+    "require_range",
+]

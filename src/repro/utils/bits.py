@@ -1,0 +1,42 @@
+"""Bit-manipulation helpers used by caches, predictors and interconnects."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ConfigurationError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def mask(bits: int) -> int:
+    """Return an integer with the low ``bits`` bits set."""
+    if bits < 0:
+        raise ConfigurationError(f"bit count must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ConfigurationError(f"alignment {alignment} is not a power of two")
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ConfigurationError(f"alignment {alignment} is not a power of two")
+    return (address + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,101 @@
+"""Streaming statistics helpers used by analysis and reporting code."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+class RunningStats:
+    """Welford-style running mean/variance over a stream of samples.
+
+    Keeps O(1) state, so it is safe to feed millions of per-cycle or
+    per-block samples without retaining them.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+        self._total = 0.0
+
+    def add(self, sample: float) -> None:
+        """Fold one sample into the statistics."""
+        self._count += 1
+        self._total += sample
+        delta = sample - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (sample - self._mean)
+        if sample < self._minimum:
+            self._minimum = sample
+        if sample > self._maximum:
+            self._maximum = sample
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Fold every sample of an iterable into the statistics."""
+        for sample in samples:
+            self.add(sample)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self._count if self._count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._minimum if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._maximum if self._count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.4g}, "
+            f"stddev={self.stddev:.4g})"
+        )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty iterable."""
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(log_sum / count)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values; 0.0 for an empty iterable."""
+    inverse_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"harmonic mean requires positive values, got {value}")
+        inverse_sum += 1.0 / value
+        count += 1
+    if count == 0:
+        return 0.0
+    return count / inverse_sum

@@ -1,0 +1,32 @@
+"""Validation helpers that raise :class:`ConfigurationError` on bad input."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import is_power_of_two
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value`` to be strictly positive."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Require ``value`` to be a positive power of two."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+
+
+def require_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be within [{low}, {high}], got {value}"
+        )

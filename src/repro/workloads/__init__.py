@@ -1,0 +1,35 @@
+"""Workload models for the paper's 24 HPC benchmarks and code synthesis."""
+
+from repro.workloads.codegen import (
+    CodeRegion,
+    Loop,
+    StaticBlock,
+    build_region,
+    stable_seed,
+)
+from repro.workloads.model import WorkloadModel
+from repro.workloads.suites import (
+    ALL_BENCHMARKS,
+    EXMATEX_SUITE,
+    NPB_SUITE,
+    SPECOMP_SUITE,
+    benchmark_names,
+    get_benchmark,
+    suite_of,
+)
+
+__all__ = [
+    "CodeRegion",
+    "Loop",
+    "StaticBlock",
+    "build_region",
+    "stable_seed",
+    "WorkloadModel",
+    "ALL_BENCHMARKS",
+    "EXMATEX_SUITE",
+    "NPB_SUITE",
+    "SPECOMP_SUITE",
+    "benchmark_names",
+    "get_benchmark",
+    "suite_of",
+]

@@ -1,0 +1,143 @@
+"""Static code layout generation.
+
+Turns the geometric parameters of a :class:`~repro.workloads.model.WorkloadModel`
+(basic-block size, loop-body size, code footprint) into a concrete layout of
+loops, blocks and addresses that the trace synthesiser walks dynamically.
+
+The layout is the synthetic stand-in for the text segment of a compiled HPC
+binary: a sequence of inner loops packed contiguously in the address space,
+each loop consisting of one or more basic blocks ending in conditional
+branches, with the final block carrying the loop back-edge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import WorkloadError
+from repro.trace.records import INSTRUCTION_BYTES
+
+
+def stable_seed(*parts: str | int) -> int:
+    """Deterministic 64-bit seed from arbitrary labelled parts.
+
+    ``hash()`` is salted per interpreter run, so layouts and traces would
+    not be reproducible across processes; a digest keeps every experiment
+    bit-identical between runs.
+    """
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode())
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+@dataclass(frozen=True, slots=True)
+class StaticBlock:
+    """One static basic block: a run of instructions at a fixed address."""
+
+    address: int
+    instruction_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.instruction_count * INSTRUCTION_BYTES
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Loop:
+    """An inner loop: a body of blocks plus its nominal trip count."""
+
+    blocks: tuple[StaticBlock, ...]
+    trips: int
+
+    @property
+    def head_address(self) -> int:
+        return self.blocks[0].address
+
+    @property
+    def end_address(self) -> int:
+        return self.blocks[-1].end_address
+
+    @property
+    def body_instructions(self) -> int:
+        return sum(block.instruction_count for block in self.blocks)
+
+    @property
+    def body_bytes(self) -> int:
+        return self.body_instructions * INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class CodeRegion:
+    """A contiguous stretch of loops, e.g. the parallel code of a benchmark."""
+
+    base_address: int
+    loops: tuple[Loop, ...]
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(loop.body_bytes for loop in self.loops)
+
+    @property
+    def end_address(self) -> int:
+        return self.loops[-1].end_address if self.loops else self.base_address
+
+    def line_addresses(self, line_bytes: int = 64) -> set[int]:
+        """Set of cache-line addresses covered by the region's code."""
+        lines: set[int] = set()
+        for loop in self.loops:
+            for block in loop.blocks:
+                first = block.address // line_bytes
+                last = (block.end_address - 1) // line_bytes
+                lines.update(range(first, last + 1))
+        return {line * line_bytes for line in lines}
+
+
+def build_region(
+    base_address: int,
+    footprint_bytes: int,
+    body_bytes: float,
+    bb_bytes: float,
+    trips: int,
+    rng: Random,
+) -> CodeRegion:
+    """Pack loops into a region until the footprint is covered.
+
+    Block sizes are jittered +/-40 % around ``bb_bytes`` and body sizes
+    +/-25 % around ``body_bytes`` so the layout is irregular in the way
+    compiled code is, while preserving the requested means.
+
+    Raises:
+        WorkloadError: on non-positive sizes or inconsistent parameters.
+    """
+    if footprint_bytes < body_bytes:
+        raise WorkloadError(
+            f"footprint {footprint_bytes} smaller than one loop body {body_bytes}"
+        )
+    if bb_bytes < INSTRUCTION_BYTES:
+        raise WorkloadError(f"basic block of {bb_bytes} bytes is below one instruction")
+    if trips < 1:
+        raise WorkloadError(f"trip count must be >= 1, got {trips}")
+
+    loops: list[Loop] = []
+    cursor = base_address
+    emitted = 0
+    while emitted < footprint_bytes:
+        target_body = body_bytes * rng.uniform(0.75, 1.25)
+        blocks: list[StaticBlock] = []
+        body_emitted = 0
+        while body_emitted < target_body:
+            block_bytes = bb_bytes * rng.uniform(0.6, 1.4)
+            count = max(1, round(block_bytes / INSTRUCTION_BYTES))
+            block = StaticBlock(address=cursor, instruction_count=count)
+            blocks.append(block)
+            cursor = block.end_address
+            body_emitted += block.size_bytes
+        loop_trips = max(1, round(trips * rng.uniform(0.8, 1.2)))
+        loops.append(Loop(blocks=tuple(blocks), trips=loop_trips))
+        emitted += body_emitted
+    return CodeRegion(base_address=base_address, loops=tuple(loops))

@@ -1,0 +1,170 @@
+"""Workload models: the statistical description of one HPC benchmark.
+
+The paper traces 24 real OpenMP benchmarks with Pin and measures per-section
+IPC with performance counters on real machines. Neither the binaries, the
+reference inputs, nor the machines are available here, so each benchmark is
+replaced by a :class:`WorkloadModel` — a compact statistical description of
+its instruction stream calibrated against the characterisation data the
+paper itself publishes (Figures 2, 3, 4 and 13):
+
+* mean dynamic basic-block length in serial and parallel code (Fig. 2),
+* steady-state I-cache MPKI in serial and parallel code (Fig. 3),
+* dynamic/static instruction sharing across threads (Fig. 4),
+* serial code fraction (Fig. 13),
+* per-section IPC of the master (i7-class) and worker (Cortex-A9-class)
+  cores (Table I methodology),
+* loop-nest geometry (body size, trip counts, code footprint) which governs
+  line-buffer effectiveness (Fig. 9) and capacity behaviour (Fig. 11).
+
+The synthesiser (:mod:`repro.trace.synthesis`) turns a model into per-thread
+traces that exercise exactly the simulator paths real traces would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.trace.records import INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadModel:
+    """Statistical model of one benchmark's instruction stream.
+
+    Sizes are bytes unless noted. ``*_serial`` fields describe code outside
+    parallel regions (executed only by the master thread); ``*_parallel``
+    fields describe parallel-region code (executed by every thread).
+    """
+
+    #: Benchmark name as used in the paper's figures (e.g. ``"BT"``).
+    name: str
+    #: Suite the benchmark belongs to: ``"NPB"``, ``"SPECOMP"`` or ``"ExMatEx"``.
+    suite: str
+
+    #: Fraction of total dynamic instructions executed in serial regions.
+    serial_fraction: float
+
+    #: Mean dynamic basic-block length (bytes), Fig. 2.
+    bb_bytes_serial: float
+    bb_bytes_parallel: float
+
+    #: Mean loop-body size (bytes). Bodies larger than the line-buffer set
+    #: defeat the loop buffer and drive the I-cache access ratio towards
+    #: 100 % (Fig. 9); small bodies with high trip counts are captured.
+    loop_body_bytes_serial: float
+    loop_body_bytes_parallel: float
+
+    #: Mean iterations of each inner loop before moving to the next.
+    inner_trips_serial: int
+    inner_trips_parallel: int
+
+    #: Static code footprint (bytes) of each region kind. Parallel
+    #: footprints above the shared-cache capacity create capacity misses
+    #: when the shared I-cache shrinks to 16 KB (Fig. 11).
+    footprint_serial_bytes: int
+    footprint_parallel_bytes: int
+
+    #: Steady-state fresh-line touch rate (cache lines per kilo-instruction).
+    #: This is the scale-invariant component of the I-cache MPKI: it models
+    #: code whose reuse distance exceeds any L1 capacity (Fig. 3).
+    cold_mpki_serial: float
+    cold_mpki_parallel: float
+
+    #: Steady-state branch mispredictions per kilo-instruction for a
+    #: gshare-class predictor. The paper reports 3.8x higher values in
+    #: serial code on average (Section VI-A).
+    branch_mpki_serial: float
+    branch_mpki_parallel: float
+
+    #: Fraction of dynamic instructions (parallel regions) fetched from
+    #: code shared by all threads (Fig. 4, ~0.99 on average).
+    sharing_dynamic: float
+    #: Fraction of the static parallel footprint shared by all threads.
+    sharing_static: float
+
+    #: Per-section IPC values, the paper's step-2 counter measurements.
+    ipc_master_serial: float
+    ipc_master_parallel: float
+    ipc_worker_parallel: float
+
+    #: Number of parallel regions (OpenMP parallel constructs) to emit.
+    parallel_phases: int
+
+    #: Whether the benchmark uses critical sections / locks (the OpenMP
+    #: task-parallel codes: botsspar, botsalgn).
+    uses_critical_sections: bool
+
+    #: Relative per-thread trip-count imbalance inside parallel loops
+    #: (0 = perfectly balanced).
+    imbalance: float
+
+    #: Default dynamic parallel instructions per thread at scale = 1.0.
+    parallel_instructions: int
+
+    def __post_init__(self) -> None:
+        checks: list[tuple[bool, str]] = [
+            (bool(self.name), "name must be non-empty"),
+            (self.suite in {"NPB", "SPECOMP", "ExMatEx"}, f"unknown suite {self.suite!r}"),
+            (0.0 <= self.serial_fraction < 1.0, "serial_fraction must be in [0, 1)"),
+            (self.bb_bytes_serial >= INSTRUCTION_BYTES, "bb_bytes_serial too small"),
+            (self.bb_bytes_parallel >= INSTRUCTION_BYTES, "bb_bytes_parallel too small"),
+            (
+                self.loop_body_bytes_serial >= self.bb_bytes_serial,
+                "serial loop body smaller than one basic block",
+            ),
+            (
+                self.loop_body_bytes_parallel >= self.bb_bytes_parallel,
+                "parallel loop body smaller than one basic block",
+            ),
+            (self.inner_trips_serial >= 1, "inner_trips_serial must be >= 1"),
+            (self.inner_trips_parallel >= 1, "inner_trips_parallel must be >= 1"),
+            (
+                self.footprint_serial_bytes >= self.loop_body_bytes_serial,
+                "serial footprint smaller than one loop body",
+            ),
+            (
+                self.footprint_parallel_bytes >= self.loop_body_bytes_parallel,
+                "parallel footprint smaller than one loop body",
+            ),
+            (self.cold_mpki_serial >= 0, "cold_mpki_serial must be >= 0"),
+            (self.cold_mpki_parallel >= 0, "cold_mpki_parallel must be >= 0"),
+            (self.branch_mpki_serial >= 0, "branch_mpki_serial must be >= 0"),
+            (self.branch_mpki_parallel >= 0, "branch_mpki_parallel must be >= 0"),
+            (0.0 < self.sharing_dynamic <= 1.0, "sharing_dynamic must be in (0, 1]"),
+            (0.0 < self.sharing_static <= 1.0, "sharing_static must be in (0, 1]"),
+            (self.ipc_master_serial > 0, "ipc_master_serial must be positive"),
+            (self.ipc_master_parallel > 0, "ipc_master_parallel must be positive"),
+            (self.ipc_worker_parallel > 0, "ipc_worker_parallel must be positive"),
+            (self.parallel_phases >= 1, "parallel_phases must be >= 1"),
+            (0.0 <= self.imbalance <= 0.5, "imbalance must be in [0, 0.5]"),
+            (self.parallel_instructions >= 1000, "parallel_instructions too small"),
+        ]
+        for condition, message in checks:
+            if not condition:
+                raise WorkloadError(f"workload {self.name!r}: {message}")
+
+    @property
+    def bb_instructions_serial(self) -> int:
+        """Mean serial basic-block length in instructions (>= 1)."""
+        return max(1, round(self.bb_bytes_serial / INSTRUCTION_BYTES))
+
+    @property
+    def bb_instructions_parallel(self) -> int:
+        """Mean parallel basic-block length in instructions (>= 1)."""
+        return max(1, round(self.bb_bytes_parallel / INSTRUCTION_BYTES))
+
+    def serial_instructions(self, thread_count: int, scale: float = 1.0) -> int:
+        """Total serial instructions for the master thread.
+
+        Chosen so that serial instructions make up :attr:`serial_fraction`
+        of all dynamic instructions when ``thread_count`` threads each run
+        ``parallel_instructions * scale`` parallel instructions.
+        """
+        parallel_total = self.parallel_instructions * scale * thread_count
+        fraction = self.serial_fraction
+        return int(parallel_total * fraction / (1.0 - fraction))
+
+    def scaled_parallel_instructions(self, scale: float = 1.0) -> int:
+        """Per-thread parallel instruction budget at the given scale."""
+        return max(1000, int(self.parallel_instructions * scale))

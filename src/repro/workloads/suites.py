@@ -1,0 +1,328 @@
+"""The 24 HPC benchmarks of the paper, as calibrated workload models.
+
+Suites (Section V-C): all ten NAS Parallel Benchmarks (input C), ten
+SPEC OMP 2012 benchmarks (reference inputs; the remaining three duplicate
+NPB codes and are excluded, as in the paper), and the four ExMatEx proxy
+applications.
+
+Parameter values are calibrated against the paper's own characterisation:
+
+* ``bb_bytes_*`` follow Fig. 2 (parallel basic blocks ~3x serial on
+  average; *nab* and *CoEVP* inverted).
+* ``cold_mpki_*`` follow Fig. 3 (serial MPKI up to ~60; parallel MPKI
+  ~0 everywhere except CoEVP's 1.27).
+* ``sharing_*`` follow Fig. 4 (~99 % dynamic sharing).
+* ``serial_fraction`` follows Fig. 13's x-axis placement (CoMD ~17 %,
+  LULESH ~12 %, nab ~10 %, most others < 3 %).
+* loop geometry (body bytes / trips / footprints) reproduces the Fig. 9
+  I-cache access-ratio split: tight-loop codes (CG, IS, botsalgn,
+  botsspar, CoSP) are captured by a few line buffers, large-body codes
+  (BT, LU, ilbdc, LULESH) defeat the loop buffer entirely, and UA sits at
+  the boundary where going from 4 to 8 line buffers matters (Fig. 10).
+* ``ipc_*`` stand in for the paper's i7/Cortex-A9 counter measurements;
+  the most bus-sensitive codes of Fig. 7 (UA, EP, FT) carry the highest
+  worker IPC demand.
+* *botsalgn* and *smithwa* carry parallel footprints between 16 KB and
+  32 KB, producing the capacity pressure the paper reports for the 16 KB
+  shared configuration (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.model import WorkloadModel
+
+KB = 1024
+
+
+def _model(
+    name: str,
+    suite: str,
+    *,
+    serial_pct: float,
+    bb_serial: float,
+    bb_parallel: float,
+    body_serial: float,
+    body_parallel: float,
+    trips_serial: int,
+    trips_parallel: int,
+    footprint_serial_kb: float,
+    footprint_parallel_kb: float,
+    cold_serial: float,
+    cold_parallel: float,
+    branch_serial: float,
+    branch_parallel: float,
+    sharing_dynamic: float,
+    sharing_static: float,
+    ipc_master_serial: float,
+    ipc_master_parallel: float,
+    ipc_worker: float,
+    phases: int = 3,
+    critical_sections: bool = False,
+    imbalance: float = 0.02,
+    parallel_instructions: int = 40_000,
+) -> WorkloadModel:
+    return WorkloadModel(
+        name=name,
+        suite=suite,
+        serial_fraction=serial_pct / 100.0,
+        bb_bytes_serial=bb_serial,
+        bb_bytes_parallel=bb_parallel,
+        loop_body_bytes_serial=body_serial,
+        loop_body_bytes_parallel=body_parallel,
+        inner_trips_serial=trips_serial,
+        inner_trips_parallel=trips_parallel,
+        footprint_serial_bytes=int(footprint_serial_kb * KB),
+        footprint_parallel_bytes=int(footprint_parallel_kb * KB),
+        cold_mpki_serial=cold_serial,
+        cold_mpki_parallel=cold_parallel,
+        branch_mpki_serial=branch_serial,
+        branch_mpki_parallel=branch_parallel,
+        sharing_dynamic=sharing_dynamic,
+        sharing_static=sharing_static,
+        ipc_master_serial=ipc_master_serial,
+        ipc_master_parallel=ipc_master_parallel,
+        ipc_worker_parallel=ipc_worker,
+        parallel_phases=phases,
+        uses_critical_sections=critical_sections,
+        imbalance=imbalance,
+        parallel_instructions=parallel_instructions,
+    )
+
+
+#: NAS Parallel Benchmarks, input set C.
+NPB_SUITE: tuple[WorkloadModel, ...] = (
+    _model(
+        "BT", "NPB", serial_pct=1.0, bb_serial=30, bb_parallel=330,
+        body_serial=512, body_parallel=3072, trips_serial=20, trips_parallel=12,
+        footprint_serial_kb=4, footprint_parallel_kb=12,
+        cold_serial=18, cold_parallel=0.0, branch_serial=5.0, branch_parallel=1.2,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.8, ipc_master_parallel=2.2, ipc_worker=0.60, phases=2,
+    ),
+    _model(
+        "CG", "NPB", serial_pct=1.5, bb_serial=25, bb_parallel=45,
+        body_serial=96, body_parallel=96, trips_serial=40, trips_parallel=80,
+        footprint_serial_kb=3, footprint_parallel_kb=3,
+        cold_serial=14, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.0,
+        sharing_dynamic=0.995, sharing_static=0.97,
+        ipc_master_serial=1.6, ipc_master_parallel=2.0, ipc_worker=0.50,
+    ),
+    _model(
+        "DC", "NPB", serial_pct=3.0, bb_serial=35, bb_parallel=60,
+        body_serial=256, body_parallel=320, trips_serial=15, trips_parallel=10,
+        footprint_serial_kb=6, footprint_parallel_kb=8,
+        cold_serial=45, cold_parallel=0.01, branch_serial=8.0, branch_parallel=2.5,
+        sharing_dynamic=0.98, sharing_static=0.95,
+        ipc_master_serial=1.4, ipc_master_parallel=1.7, ipc_worker=0.60, phases=2,
+    ),
+    _model(
+        "EP", "NPB", serial_pct=0.5, bb_serial=30, bb_parallel=90,
+        body_serial=192, body_parallel=448, trips_serial=25, trips_parallel=40,
+        footprint_serial_kb=2, footprint_parallel_kb=4,
+        cold_serial=8, cold_parallel=0.0, branch_serial=3.0, branch_parallel=0.8,
+        sharing_dynamic=0.999, sharing_static=0.99,
+        ipc_master_serial=2.0, ipc_master_parallel=2.4, ipc_worker=1.10,
+    ),
+    _model(
+        "FT", "NPB", serial_pct=1.2, bb_serial=30, bb_parallel=120,
+        body_serial=320, body_parallel=640, trips_serial=18, trips_parallel=25,
+        footprint_serial_kb=4, footprint_parallel_kb=8,
+        cold_serial=22, cold_parallel=0.0, branch_serial=5.0, branch_parallel=1.5,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.9, ipc_master_parallel=2.3, ipc_worker=1.05,
+    ),
+    _model(
+        "IS", "NPB", serial_pct=2.0, bb_serial=20, bb_parallel=40,
+        body_serial=80, body_parallel=80, trips_serial=30, trips_parallel=60,
+        footprint_serial_kb=2, footprint_parallel_kb=3,
+        cold_serial=28, cold_parallel=0.0, branch_serial=6.0, branch_parallel=1.8,
+        sharing_dynamic=0.995, sharing_static=0.98,
+        ipc_master_serial=1.5, ipc_master_parallel=1.9, ipc_worker=0.55,
+    ),
+    _model(
+        "LU", "NPB", serial_pct=0.8, bb_serial=30, bb_parallel=310,
+        body_serial=512, body_parallel=2560, trips_serial=22, trips_parallel=15,
+        footprint_serial_kb=4, footprint_parallel_kb=10,
+        cold_serial=16, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.0,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.8, ipc_master_parallel=2.2, ipc_worker=0.70, phases=2,
+    ),
+    _model(
+        "MG", "NPB", serial_pct=1.5, bb_serial=35, bb_parallel=150,
+        body_serial=384, body_parallel=768, trips_serial=20, trips_parallel=20,
+        footprint_serial_kb=4, footprint_parallel_kb=10,
+        cold_serial=20, cold_parallel=0.0, branch_serial=5.0, branch_parallel=1.4,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.7, ipc_master_parallel=2.1, ipc_worker=0.80,
+    ),
+    _model(
+        "SP", "NPB", serial_pct=0.7, bb_serial=30, bb_parallel=260,
+        body_serial=448, body_parallel=2048, trips_serial=20, trips_parallel=18,
+        footprint_serial_kb=4, footprint_parallel_kb=10,
+        cold_serial=18, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.1,
+        sharing_dynamic=0.995, sharing_static=0.98,
+        ipc_master_serial=1.8, ipc_master_parallel=2.2, ipc_worker=0.90, phases=2,
+    ),
+    _model(
+        "UA", "NPB", serial_pct=1.0, bb_serial=30, bb_parallel=140,
+        body_serial=384, body_parallel=448, trips_serial=20, trips_parallel=30,
+        footprint_serial_kb=4, footprint_parallel_kb=10,
+        cold_serial=24, cold_parallel=0.0, branch_serial=6.0, branch_parallel=1.6,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.9, ipc_master_parallel=2.3, ipc_worker=1.30,
+    ),
+)
+
+#: SPEC OMP 2012 benchmarks with reference inputs (the three NPB
+#: duplicates omitted, as in the paper).
+SPECOMP_SUITE: tuple[WorkloadModel, ...] = (
+    _model(
+        "md", "SPECOMP", serial_pct=0.5, bb_serial=25, bb_parallel=200,
+        body_serial=320, body_parallel=1024, trips_serial=18, trips_parallel=30,
+        footprint_serial_kb=3, footprint_parallel_kb=8,
+        cold_serial=11, cold_parallel=0.0, branch_serial=3.0, branch_parallel=0.9,
+        sharing_dynamic=0.995, sharing_static=0.98,
+        ipc_master_serial=1.7, ipc_master_parallel=2.1, ipc_worker=0.80,
+    ),
+    _model(
+        "bwaves", "SPECOMP", serial_pct=2.0, bb_serial=40, bb_parallel=180,
+        body_serial=448, body_parallel=1024, trips_serial=16, trips_parallel=22,
+        footprint_serial_kb=5, footprint_parallel_kb=10,
+        cold_serial=14, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.2,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.6, ipc_master_parallel=2.0, ipc_worker=0.75,
+    ),
+    _model(
+        "nab", "SPECOMP", serial_pct=10.0, bb_serial=90, bb_parallel=60,
+        body_serial=512, body_parallel=256, trips_serial=25, trips_parallel=35,
+        footprint_serial_kb=6, footprint_parallel_kb=8,
+        cold_serial=7, cold_parallel=0.0, branch_serial=3.0, branch_parallel=1.3,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.9, ipc_master_parallel=2.0, ipc_worker=0.70,
+    ),
+    _model(
+        "botsspar", "SPECOMP", serial_pct=2.0, bb_serial=30, bb_parallel=70,
+        body_serial=128, body_parallel=128, trips_serial=25, trips_parallel=40,
+        footprint_serial_kb=3, footprint_parallel_kb=6,
+        cold_serial=32, cold_parallel=0.0, branch_serial=7.0, branch_parallel=2.0,
+        sharing_dynamic=0.98, sharing_static=0.94,
+        ipc_master_serial=1.6, ipc_master_parallel=1.9, ipc_worker=0.65,
+        critical_sections=True, imbalance=0.15,
+    ),
+    _model(
+        "botsalgn", "SPECOMP", serial_pct=3.0, bb_serial=25, bb_parallel=50,
+        body_serial=96, body_parallel=128, trips_serial=25, trips_parallel=10,
+        footprint_serial_kb=3, footprint_parallel_kb=22,
+        cold_serial=28, cold_parallel=0.0, branch_serial=6.0, branch_parallel=1.7,
+        sharing_dynamic=0.98, sharing_static=0.94,
+        ipc_master_serial=1.5, ipc_master_parallel=1.9, ipc_worker=0.60,
+        critical_sections=True, imbalance=0.15, parallel_instructions=100_000,
+    ),
+    _model(
+        "ilbdc", "SPECOMP", serial_pct=1.0, bb_serial=35, bb_parallel=340,
+        body_serial=512, body_parallel=3584, trips_serial=18, trips_parallel=14,
+        footprint_serial_kb=4, footprint_parallel_kb=11,
+        cold_serial=9, cold_parallel=0.0, branch_serial=3.0, branch_parallel=0.8,
+        sharing_dynamic=0.995, sharing_static=0.98,
+        ipc_master_serial=1.8, ipc_master_parallel=2.2, ipc_worker=0.85, phases=2,
+    ),
+    _model(
+        "fma3d", "SPECOMP", serial_pct=7.0, bb_serial=40, bb_parallel=130,
+        body_serial=512, body_parallel=768, trips_serial=15, trips_parallel=18,
+        footprint_serial_kb=8, footprint_parallel_kb=14,
+        cold_serial=40, cold_parallel=0.005, branch_serial=8.0, branch_parallel=2.1,
+        sharing_dynamic=0.98, sharing_static=0.95,
+        ipc_master_serial=1.7, ipc_master_parallel=2.0, ipc_worker=0.75,
+    ),
+    _model(
+        "imagick", "SPECOMP", serial_pct=4.0, bb_serial=30, bb_parallel=100,
+        body_serial=384, body_parallel=512, trips_serial=15, trips_parallel=20,
+        footprint_serial_kb=6, footprint_parallel_kb=10,
+        cold_serial=55, cold_parallel=0.005, branch_serial=7.0, branch_parallel=1.9,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.8, ipc_master_parallel=2.1, ipc_worker=0.90,
+    ),
+    _model(
+        "smithwa", "SPECOMP", serial_pct=5.0, bb_serial=25, bb_parallel=80,
+        body_serial=192, body_parallel=256, trips_serial=20, trips_parallel=25,
+        footprint_serial_kb=4, footprint_parallel_kb=20,
+        cold_serial=20, cold_parallel=0.0, branch_serial=5.0, branch_parallel=1.5,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.6, ipc_master_parallel=2.0, ipc_worker=0.70,
+        parallel_instructions=100_000,
+    ),
+    _model(
+        "kdtree", "SPECOMP", serial_pct=2.0, bb_serial=20, bb_parallel=50,
+        body_serial=96, body_parallel=128, trips_serial=25, trips_parallel=45,
+        footprint_serial_kb=3, footprint_parallel_kb=6,
+        cold_serial=24, cold_parallel=0.0, branch_serial=6.0, branch_parallel=1.8,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.5, ipc_master_parallel=1.9, ipc_worker=0.60,
+    ),
+)
+
+#: ExMatEx proxy applications, default input parameters.
+EXMATEX_SUITE: tuple[WorkloadModel, ...] = (
+    _model(
+        "CoEVP", "ExMatEx", serial_pct=8.0, bb_serial=120, bb_parallel=70,
+        body_serial=768, body_parallel=320, trips_serial=18, trips_parallel=22,
+        footprint_serial_kb=8, footprint_parallel_kb=14,
+        cold_serial=60, cold_parallel=1.27, branch_serial=9.0, branch_parallel=2.4,
+        sharing_dynamic=0.98, sharing_static=0.95,
+        ipc_master_serial=1.8, ipc_master_parallel=2.1, ipc_worker=0.70, phases=4,
+    ),
+    _model(
+        "CoMD", "ExMatEx", serial_pct=17.0, bb_serial=35, bb_parallel=110,
+        body_serial=192, body_parallel=640, trips_serial=60, trips_parallel=25,
+        footprint_serial_kb=2, footprint_parallel_kb=9,
+        cold_serial=5, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.1,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.9, ipc_master_parallel=2.2, ipc_worker=0.80,
+    ),
+    _model(
+        "CoSP", "ExMatEx", serial_pct=3.0, bb_serial=25, bb_parallel=55,
+        body_serial=112, body_parallel=112, trips_serial=30, trips_parallel=50,
+        footprint_serial_kb=3, footprint_parallel_kb=5,
+        cold_serial=30, cold_parallel=0.0, branch_serial=6.0, branch_parallel=1.7,
+        sharing_dynamic=0.99, sharing_static=0.96,
+        ipc_master_serial=1.6, ipc_master_parallel=1.9, ipc_worker=0.60,
+    ),
+    _model(
+        "LULESH", "ExMatEx", serial_pct=12.0, bb_serial=40, bb_parallel=300,
+        body_serial=512, body_parallel=2816, trips_serial=18, trips_parallel=16,
+        footprint_serial_kb=5, footprint_parallel_kb=12,
+        cold_serial=12, cold_parallel=0.0, branch_serial=4.0, branch_parallel=1.2,
+        sharing_dynamic=0.99, sharing_static=0.97,
+        ipc_master_serial=1.9, ipc_master_parallel=2.3, ipc_worker=0.90, phases=2,
+    ),
+)
+
+#: All 24 benchmarks in the paper's figure order.
+ALL_BENCHMARKS: tuple[WorkloadModel, ...] = NPB_SUITE + SPECOMP_SUITE + EXMATEX_SUITE
+
+_BY_NAME = {model.name: model for model in ALL_BENCHMARKS}
+
+
+def benchmark_names() -> list[str]:
+    """Names of all 24 benchmarks in figure order."""
+    return [model.name for model in ALL_BENCHMARKS]
+
+
+def get_benchmark(name: str) -> WorkloadModel:
+    """Look up a benchmark model by its paper name.
+
+    Raises:
+        WorkloadError: for unknown names, listing the valid ones.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; expected one of {benchmark_names()}"
+        ) from None
+
+
+def suite_of(name: str) -> str:
+    """Return the suite a benchmark belongs to."""
+    return get_benchmark(name).suite

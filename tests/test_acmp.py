@@ -1,0 +1,172 @@
+"""Integration tests for the full ACMP system and simulator."""
+
+import pytest
+
+from repro.acmp import (
+    AcmpConfig,
+    all_shared_config,
+    baseline_config,
+    build_topology,
+    simulate,
+    worker_shared_config,
+)
+from repro.errors import ConfigurationError
+from repro.trace.synthesis import synthesize_benchmark
+
+
+@pytest.fixture(scope="module")
+def cg_traces():
+    return synthesize_benchmark("CG", thread_count=9, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def cg_baseline(cg_traces):
+    return simulate(baseline_config(), cg_traces)
+
+
+class TestConfig:
+    def test_table1_defaults(self):
+        config = AcmpConfig()
+        assert config.worker_count == 8
+        assert config.worker_icache_bytes == 32 * 1024
+        assert config.icache_ways == 8
+        assert config.icache_latency == 1
+        assert config.line_buffers == 4
+        assert config.bus_width_bytes == 32
+        assert config.bus_latency == 2
+        assert config.arbitration == "round-robin"
+        assert config.gshare_bytes == 16 * 1024
+        assert config.loop_predictor_entries == 256
+        assert config.l2_bytes == 1024 * 1024
+        assert config.l2_latency == 20
+
+    def test_invalid_cpc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcmpConfig(cores_per_cache=3)
+        with pytest.raises(ConfigurationError):
+            AcmpConfig(cores_per_cache=16)
+
+    def test_all_shared_requires_full_group(self):
+        with pytest.raises(ConfigurationError):
+            AcmpConfig(all_shared=True, cores_per_cache=4)
+
+    def test_labels(self):
+        assert baseline_config().label() == "baseline::32KB::4lb"
+        assert (
+            worker_shared_config().label() == "cpc=8::16KB::4lb::double-bus"
+        )
+        assert "all-shared" in all_shared_config().label()
+
+
+class TestTopology:
+    def test_baseline_private_groups(self):
+        topology = build_topology(baseline_config())
+        assert topology.icache_count == 9
+        assert all(not group.shared for group in topology.groups)
+
+    def test_cpc4_two_worker_groups(self):
+        topology = build_topology(
+            worker_shared_config(cores_per_cache=4, icache_kb=32)
+        )
+        assert topology.icache_count == 3  # master + two worker groups
+        shared = topology.shared_groups
+        assert len(shared) == 2
+        assert shared[0].core_ids == (1, 2, 3, 4)
+        assert shared[1].core_ids == (5, 6, 7, 8)
+
+    def test_all_shared_single_group(self):
+        topology = build_topology(all_shared_config())
+        assert topology.icache_count == 1
+        assert topology.groups[0].core_ids == tuple(range(9))
+
+    def test_group_of(self):
+        topology = build_topology(worker_shared_config())
+        assert topology.group_of(0).core_ids == (0,)
+        assert 5 in topology.group_of(5).core_ids
+        with pytest.raises(KeyError):
+            topology.group_of(99)
+
+
+class TestSimulation:
+    def test_all_instructions_commit(self, cg_traces, cg_baseline):
+        assert cg_baseline.total_committed == cg_traces.instruction_count
+
+    def test_cycle_count_positive_and_bounded(self, cg_traces, cg_baseline):
+        assert cg_baseline.cycles > 0
+        # Sanity: cannot be faster than the master's trace at max IPC.
+        assert cg_baseline.cycles > cg_traces.master.instruction_count / 16
+
+    def test_deterministic(self, cg_traces):
+        first = simulate(baseline_config(), cg_traces)
+        second = simulate(baseline_config(), cg_traces)
+        assert first.cycles == second.cycles
+        assert first.worker_icache_misses() == second.worker_icache_misses()
+
+    def test_thread_count_mismatch_rejected(self, cg_traces):
+        with pytest.raises(ConfigurationError):
+            simulate(AcmpConfig(worker_count=4), cg_traces)
+
+    def test_shared_commits_everything_too(self, cg_traces):
+        shared = simulate(
+            worker_shared_config(cores_per_cache=8, icache_kb=32, bus_count=1),
+            cg_traces,
+        )
+        assert shared.total_committed == cg_traces.instruction_count
+
+    def test_sharing_reduces_worker_misses(self, cg_traces, cg_baseline):
+        # Fig. 11: cross-thread prefetching cuts worker I-cache misses.
+        shared = simulate(
+            worker_shared_config(cores_per_cache=8, icache_kb=32, bus_count=1),
+            cg_traces,
+        )
+        assert shared.worker_icache_misses() < cg_baseline.worker_icache_misses()
+
+    def test_shared_16kb_beats_private_32kb_misses(self, cg_traces, cg_baseline):
+        # Fig. 11: even a 16 KB shared I-cache misses less than 8x32 KB private.
+        shared = simulate(worker_shared_config(), cg_traces)
+        assert shared.worker_icache_misses() < cg_baseline.worker_icache_misses()
+
+    def test_bus_traffic_only_in_shared_configs(self, cg_traces, cg_baseline):
+        shared = simulate(
+            worker_shared_config(cores_per_cache=8, icache_kb=32, bus_count=1),
+            cg_traces,
+        )
+        assert all(g.bus_transactions == 0 for g in cg_baseline.cache_groups)
+        assert any(g.bus_transactions > 0 for g in shared.cache_groups)
+
+    def test_all_shared_runs(self, cg_traces):
+        result = simulate(all_shared_config(), cg_traces)
+        assert result.total_committed == cg_traces.instruction_count
+        assert len(result.cache_groups) == 1
+
+    def test_cpi_stack_components_sum(self, cg_baseline):
+        stack = cg_baseline.cpi_stack()
+        assert stack["base"] > 0
+        workers = cg_baseline.cores[1:]
+        total_cycles = sum(
+            core.base_cycles + core.total_stalls for core in workers
+        )
+        committed = sum(core.committed for core in workers)
+        assert sum(stack.values()) == pytest.approx(total_cycles / committed)
+
+    def test_access_ratio_in_unit_range(self, cg_baseline):
+        ratio = cg_baseline.worker_access_ratio()
+        assert 0.0 <= ratio <= 1.0
+
+    def test_critical_sections_hand_off(self):
+        traces = synthesize_benchmark("botsspar", thread_count=9, scale=0.1)
+        result = simulate(baseline_config(), traces)
+        assert result.lock_hand_offs >= 0
+        assert result.total_committed == traces.instruction_count
+
+
+class TestWarmup:
+    def test_warm_l2_reduces_time(self, cg_traces):
+        cold = simulate(baseline_config(), cg_traces, warm_l2=False)
+        warm = simulate(baseline_config(), cg_traces, warm_l2=True)
+        assert warm.cycles <= cold.cycles
+
+    def test_warm_l2_keeps_icache_misses(self, cg_traces):
+        cold = simulate(baseline_config(), cg_traces, warm_l2=False)
+        warm = simulate(baseline_config(), cg_traces, warm_l2=True)
+        assert warm.worker_icache_misses() == cold.worker_icache_misses()

@@ -1,0 +1,83 @@
+"""Tests for the Hill-Marty ACMP speedup model (Fig. 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    acmp_crossover_fraction,
+    asymmetric_speedup,
+    core_performance,
+    figure1_series,
+    symmetric_speedup,
+)
+
+
+class TestCorePerformance:
+    def test_sqrt_law(self):
+        # A big core spends 4x the resources for 2x the performance.
+        assert core_performance(4) == pytest.approx(2 * core_performance(1))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            core_performance(0)
+
+
+class TestSymmetric:
+    def test_fully_parallel_uses_all_cores(self):
+        # 16 small cores at perf 1: speedup 16 with no serial code.
+        assert symmetric_speedup(0.0, 16, 1) == pytest.approx(16.0)
+
+    def test_fully_serial_is_single_core(self):
+        assert symmetric_speedup(1.0, 16, 4) == pytest.approx(2.0)
+
+    def test_big_cores_win_at_high_serial(self):
+        big = symmetric_speedup(0.3, 16, 4)
+        small = symmetric_speedup(0.3, 16, 1)
+        assert big > small
+
+    def test_small_cores_win_at_low_serial(self):
+        big = symmetric_speedup(0.0, 16, 4)
+        small = symmetric_speedup(0.0, 16, 1)
+        assert small > big
+
+    def test_invalid_core_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            symmetric_speedup(0.1, 16, 32)
+
+
+class TestAsymmetric:
+    def test_matches_paper_figure_at_zero_serial(self):
+        # Fig. 1: the ACMP tops out at 14 with no serial code
+        # (big perf 2 + 12 small cores = 14 effective units).
+        assert asymmetric_speedup(0.0, 16, 4) == pytest.approx(14.0)
+
+    def test_serial_runs_at_big_core_speed(self):
+        assert asymmetric_speedup(1.0, 16, 4) == pytest.approx(2.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_acmp_never_below_big_symmetric_serial_side(self, fraction):
+        # The ACMP's serial performance equals the big core's, and its
+        # parallel throughput exceeds the 4-big symmetric machine's
+        # (2 + 12 = 14 > 4 cores x 2 = 8), so it dominates everywhere.
+        acmp = asymmetric_speedup(fraction, 16, 4)
+        symmetric = symmetric_speedup(fraction, 16, 4)
+        assert acmp >= symmetric - 1e-9
+
+
+class TestFigure1:
+    def test_crossover_near_two_percent(self):
+        crossover = acmp_crossover_fraction()
+        assert 0.01 < crossover < 0.03  # paper reads ~2% off the figure
+
+    def test_series_monotonic_decreasing(self):
+        points = figure1_series()
+        for earlier, later in zip(points, points[1:]):
+            assert later.asymmetric <= earlier.asymmetric
+            assert later.symmetric_small <= earlier.symmetric_small
+
+    def test_small_symmetric_peaks_at_zero_serial(self):
+        points = figure1_series()
+        assert points[0].symmetric_small == pytest.approx(16.0)
+        assert points[0].symmetric_big == pytest.approx(8.0)

@@ -1,0 +1,126 @@
+"""Tests for characterisation, sharing analysis and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    basic_block_profile,
+    format_bar_chart,
+    format_stacked_bars,
+    format_table,
+    mpki_profile,
+    sharing_profile,
+)
+from repro.trace.records import BasicBlockRecord, SyncKind, SyncRecord
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.synthesis import synthesize_benchmark
+
+
+class TestBasicBlockProfile:
+    def test_region_means(self):
+        trace = ThreadTrace(
+            0,
+            [
+                BasicBlockRecord(0x100, 5),  # serial: 20 B
+                SyncRecord(SyncKind.PARALLEL_START, 0),
+                BasicBlockRecord(0x200, 20),  # parallel: 80 B
+                BasicBlockRecord(0x300, 10),  # parallel: 40 B
+                SyncRecord(SyncKind.PARALLEL_END, 0),
+            ],
+        )
+        profile = basic_block_profile(trace)
+        assert profile.serial_mean_bytes == pytest.approx(20.0)
+        assert profile.parallel_mean_bytes == pytest.approx(60.0)
+        assert profile.parallel_to_serial_ratio == pytest.approx(3.0)
+        assert profile.serial_blocks == 1
+        assert profile.parallel_blocks == 2
+
+    def test_empty_regions(self):
+        profile = basic_block_profile(ThreadTrace(0, []))
+        assert profile.serial_mean_bytes == 0.0
+        assert profile.parallel_to_serial_ratio == 0.0
+
+    def test_synthesized_benchmark_matches_model(self):
+        from repro.workloads import get_benchmark
+
+        traces = synthesize_benchmark("LU", thread_count=2, scale=0.3)
+        profile = basic_block_profile(traces.master)
+        model = get_benchmark("LU")
+        assert profile.parallel_mean_bytes == pytest.approx(
+            model.bb_bytes_parallel, rel=0.3
+        )
+
+
+class TestMpkiProfile:
+    def test_runs_on_synthesized_trace(self):
+        traces = synthesize_benchmark("DC", thread_count=2, scale=0.3)
+        profile = mpki_profile(traces.master)
+        assert profile.serial.instructions > 0
+        assert profile.parallel.instructions > 0
+        assert profile.serial.steady_state_mpki > profile.parallel.steady_state_mpki
+
+
+class TestSharingProfile:
+    def test_fully_shared(self):
+        block = BasicBlockRecord(0x100, 4)
+        records = [
+            SyncRecord(SyncKind.PARALLEL_START, 0),
+            block,
+            SyncRecord(SyncKind.PARALLEL_END, 0),
+        ]
+        trace_set = TraceSet(
+            "demo",
+            [ThreadTrace(0, list(records)), ThreadTrace(1, list(records))],
+        )
+        profile = sharing_profile(trace_set)
+        assert profile.static_sharing == 1.0
+        assert profile.dynamic_sharing == 1.0
+
+    def test_disjoint_threads(self):
+        def records(address):
+            return [
+                SyncRecord(SyncKind.PARALLEL_START, 0),
+                BasicBlockRecord(address, 4),
+                SyncRecord(SyncKind.PARALLEL_END, 0),
+            ]
+
+        trace_set = TraceSet(
+            "demo", [ThreadTrace(0, records(0x100)), ThreadTrace(1, records(0x900))]
+        )
+        profile = sharing_profile(trace_set)
+        assert profile.static_sharing == 0.0
+        assert profile.dynamic_sharing == 0.0
+
+    def test_synthesized_sharing_high(self):
+        traces = synthesize_benchmark("EP", thread_count=5, scale=0.2)
+        profile = sharing_profile(traces)
+        assert profile.dynamic_sharing > 0.97  # Fig. 4: ~99%
+
+    def test_empty_set(self):
+        trace_set = TraceSet("demo", [ThreadTrace(0, [])])
+        profile = sharing_profile(trace_set)
+        assert profile.static_sharing == 0.0
+
+
+class TestReportRendering:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "20.250" in lines[3]
+
+    def test_bar_chart(self):
+        chart = format_bar_chart({"x": 1.0, "y": 0.5}, width=10)
+        assert "x" in chart and "y" in chart
+        assert chart.count("#") > 0
+
+    def test_bar_chart_empty(self):
+        assert format_bar_chart({}) == "(no data)"
+
+    def test_stacked_bars_legend(self):
+        stacks = {"bench": {"base": 1.0, "memory": 0.5}}
+        rendered = format_stacked_bars(
+            stacks, ["base", "memory"], {"base": "#", "memory": "M"}
+        )
+        assert "legend" in rendered
+        assert "#" in rendered and "M" in rendered

@@ -1,0 +1,105 @@
+"""Unit tests for line buffers and MSHRs."""
+
+import pytest
+
+from repro.cache.line_buffer import LineBufferSet, LookupState
+from repro.cache.mshr import MshrFile
+from repro.errors import SimulationError
+
+
+class TestLineBufferSet:
+    def test_miss_then_allocate_then_hit(self):
+        buffers = LineBufferSet(count=2)
+        assert buffers.lookup(0x100) is LookupState.MISS
+        assert buffers.allocate(0x100)
+        assert buffers.lookup(0x108) is LookupState.PENDING  # same line
+        buffers.fill(0x100)
+        assert buffers.lookup(0x110) is LookupState.HIT
+
+    def test_access_ratio_definition(self):
+        # Fig. 9: ratio = lines fetched from I-cache / total line requests.
+        buffers = LineBufferSet(count=4)
+        buffers.lookup(0x000)
+        buffers.allocate(0x000)
+        buffers.fill(0x000)
+        for _ in range(9):
+            assert buffers.lookup(0x020) is LookupState.HIT
+        assert buffers.stats.access_ratio == pytest.approx(0.1)
+
+    def test_lru_reuse_of_oldest(self):
+        buffers = LineBufferSet(count=2)
+        for line in (0x000, 0x040):
+            buffers.lookup(line)
+            buffers.allocate(line)
+            buffers.fill(line)
+        buffers.lookup(0x000)  # refresh line 0: line 0x040 becomes LRU
+        buffers.lookup(0x080)
+        buffers.allocate(0x080)
+        buffers.fill(0x080)
+        assert buffers.lookup(0x000) is LookupState.HIT
+        assert buffers.lookup(0x040) is LookupState.MISS
+
+    def test_all_pending_blocks_allocation(self):
+        buffers = LineBufferSet(count=1)
+        buffers.lookup(0x000)
+        assert buffers.allocate(0x000)
+        assert not buffers.allocate(0x040)  # sole buffer is pending
+
+    def test_discard_pending_keeps_valid(self):
+        buffers = LineBufferSet(count=2)
+        buffers.lookup(0x000)
+        buffers.allocate(0x000)
+        buffers.fill(0x000)
+        buffers.lookup(0x040)
+        buffers.allocate(0x040)
+        assert buffers.discard_pending() == 1
+        assert buffers.lookup(0x000) is LookupState.HIT
+        assert buffers.lookup(0x040) is LookupState.MISS
+
+    def test_late_fill_after_discard_is_dropped(self):
+        buffers = LineBufferSet(count=1)
+        buffers.lookup(0x000)
+        buffers.allocate(0x000)
+        buffers.discard_pending()
+        buffers.fill(0x000)  # must not raise nor revive the line
+        assert buffers.lookup(0x000) is LookupState.MISS
+
+    def test_pending_count(self):
+        buffers = LineBufferSet(count=4)
+        for line in (0x000, 0x040, 0x080):
+            buffers.lookup(line)
+            buffers.allocate(line)
+        assert buffers.pending_count() == 3
+        buffers.fill(0x040)
+        assert buffers.pending_count() == 2
+        assert buffers.valid_lines() == {0x040}
+
+
+class TestMshrFile:
+    def test_new_then_merge(self):
+        mshrs = MshrFile(capacity=4)
+        assert mshrs.request(0x100, "a") == "new"
+        assert mshrs.request(0x100, "b") == "merged"
+        assert mshrs.outstanding(0x100)
+        waiters = mshrs.complete(0x100)
+        assert waiters == ["a", "b"]
+        assert not mshrs.outstanding(0x100)
+
+    def test_capacity_full(self):
+        mshrs = MshrFile(capacity=1)
+        assert mshrs.request(0x100, "a") == "new"
+        assert mshrs.request(0x200, "b") == "full"
+        assert mshrs.stats.full_stalls == 1
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            MshrFile(capacity=1).complete(0x500)
+
+    def test_merge_statistics(self):
+        mshrs = MshrFile(capacity=8)
+        mshrs.request(0x100, 1)
+        mshrs.request(0x100, 2)
+        mshrs.request(0x100, 3)
+        assert mshrs.stats.allocations == 1
+        assert mshrs.stats.merges == 2
+        assert mshrs.occupancy == 1

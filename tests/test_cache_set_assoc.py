@@ -1,0 +1,168 @@
+"""Unit and property tests for the set-associative cache and policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_icache_geometry(self):
+        # Table I: 32 KB, 8-way, 64 B lines.
+        cache = SetAssociativeCache(32 * 1024, 8, 64)
+        assert cache.set_count == 64
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(30000, 8, 64)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1024, 0, 64)
+
+    def test_rejects_more_ways_than_lines(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(128, 4, 64)
+
+
+class TestAccessBehaviour:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert not cache.access(0x100).hit
+        assert cache.access(0x100).hit
+        assert cache.access(0x13F).hit  # same line
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+
+    def test_compulsory_classification(self):
+        cache = SetAssociativeCache(256, 1, 64)  # 4 direct-mapped lines
+        cache.access(0x000)
+        cache.access(0x100)  # evicts 0x000 (same set, direct-mapped)
+        cache.access(0x000)  # miss again: non-compulsory
+        assert cache.stats.misses == 3
+        assert cache.stats.compulsory_misses == 2
+        assert cache.stats.non_compulsory_misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(128, 2, 64)  # one set, two ways
+        cache.access(0x000)
+        cache.access(0x080)
+        cache.access(0x000)  # touch: 0x080 is now LRU
+        cache.access(0x100)  # evicts 0x080
+        assert cache.probe(0x000)
+        assert not cache.probe(0x080)
+        assert cache.probe(0x100)
+
+    def test_probe_does_not_update(self):
+        cache = SetAssociativeCache(128, 2, 64)
+        cache.access(0x000)
+        cache.access(0x080)
+        cache.probe(0x000)  # must NOT refresh recency of 0x000... probe only
+        assert cache.stats.accesses == 2
+
+    def test_fill_installs_silently(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert cache.fill(0x200) is None
+        assert cache.probe(0x200)
+        assert cache.stats.accesses == 0
+
+    def test_invalidate_all(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.access(0x100)
+        cache.invalidate_all()
+        assert not cache.probe(0x100)
+        assert cache.resident_lines() == set()
+
+    def test_victim_reported(self):
+        cache = SetAssociativeCache(128, 1, 64)  # 2 sets direct-mapped
+        cache.access(0x000)
+        result = cache.access(0x080)  # same set as 0x000 (set stride 128)
+        assert result.victim_line == 0x000
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=400))
+    @settings(max_examples=30)
+    def test_capacity_invariant(self, addresses):
+        cache = SetAssociativeCache(1024, 4, 64)
+        for address in addresses:
+            cache.access(address)
+        assert len(cache.resident_lines()) <= 1024 // 64
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFFF), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_fits_entirely_when_small(self, addresses):
+        # Any working set smaller than one way-capacity per set never
+        # re-misses: second pass over the same addresses is all hits.
+        cache = SetAssociativeCache(1024 * 1024, 16, 64)
+        lines = {a & ~63 for a in addresses}
+        for address in addresses:
+            cache.access(address)
+        before = cache.stats.misses
+        assert before == len(lines)
+        for address in addresses:
+            assert cache.access(address).hit
+
+
+class TestPolicies:
+    def test_make_policy_names(self):
+        for name, cls in [
+            ("lru", LruPolicy),
+            ("fifo", FifoPolicy),
+            ("random", RandomPolicy),
+            ("plru", TreePlruPolicy),
+        ]:
+            assert isinstance(make_policy(name, 4, 4), cls)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("mru", 4, 4)
+
+    def test_fifo_ignores_touches(self):
+        cache = SetAssociativeCache(128, 2, 64, policy="fifo")
+        cache.access(0x000)
+        cache.access(0x080)
+        cache.access(0x000)  # touch should not matter for FIFO
+        cache.access(0x100)  # evicts 0x000 (oldest fill)
+        assert not cache.probe(0x000)
+        assert cache.probe(0x080)
+
+    def test_plru_requires_power_of_two_ways(self):
+        with pytest.raises(ConfigurationError):
+            TreePlruPolicy(4, 3)
+
+    def test_plru_victim_matches_lru_after_inorder_fills(self):
+        policy = TreePlruPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        assert policy.victim(0) == 0
+
+    def test_plru_victim_moves_away_from_touched_half(self):
+        policy = TreePlruPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_access(0, 0)
+        assert policy.victim(0) in (2, 3)
+
+    def test_random_policy_deterministic_with_seed(self):
+        a = RandomPolicy(1, 8, seed=7)
+        b = RandomPolicy(1, 8, seed=7)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x3FFF), min_size=1, max_size=200))
+    @settings(max_examples=20)
+    def test_all_policies_produce_valid_states(self, addresses):
+        for policy in ("lru", "fifo", "random", "plru"):
+            cache = SetAssociativeCache(512, 2, 64, policy=policy)
+            for address in addresses:
+                cache.access(address)
+            assert len(cache.resident_lines()) <= 8

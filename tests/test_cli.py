@@ -1,0 +1,33 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "fig13" in out
+        assert "table1" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "ACMP" in out
+        assert "total]" in out
+
+    def test_run_with_subset_and_scale(self, capsys):
+        assert main(["fig02", "--scale", "0.05", "--benchmarks", "CG,IS"]) == 0
+        out = capsys.readouterr().out
+        assert "CG" in out and "IS" in out
+        assert "BT" not in out.split("==")[1]  # subset respected
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(Exception):
+            main(["fig99"])
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["fig04", "--scale", "0.05", "--benchmarks", "CG", "--seed", "3"]) == 0

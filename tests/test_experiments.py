@@ -1,0 +1,139 @@
+"""Integration tests for the experiment drivers (shape fidelity checks).
+
+Run on a reduced benchmark subset and scale so the whole module stays
+fast; the full-scale runs live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+
+#: Small but informative subset: a bus-sensitive code (UA), a tight-loop
+#: code (CG), a long-block code (BT) and the high-MPKI outlier (CoEVP).
+SUBSET = ["BT", "CG", "UA", "CoEVP"]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale=0.2, benchmarks=SUBSET)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "fig01",
+            "fig02",
+            "fig03",
+            "fig04",
+            "table1",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+        }
+        assert set(experiment_ids()) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_id_normalisation(self):
+        result = run_experiment("Fig 01")
+        assert result.experiment_id == "fig01"
+
+
+class TestAnalyticExperiments:
+    def test_fig01_crossover(self):
+        result = run_experiment("fig01")
+        assert 1.0 < result.summary["crossover_percent"] < 3.0
+
+    def test_table1_matches_paper(self):
+        result = run_experiment("table1")
+        assert result.summary["all_match"] == 1.0
+
+
+class TestCharacterisationExperiments:
+    def test_fig02_ratio(self, ctx):
+        result = run_experiment("fig02", ctx)
+        assert result.summary["amean_ratio"] > 2.0
+
+    def test_fig03_coevp_outlier(self, ctx):
+        result = run_experiment("fig03", ctx)
+        assert result.summary["coevp_parallel_mpki"] == pytest.approx(1.27, rel=0.5)
+        assert (
+            result.summary["max_other_parallel_mpki"]
+            < result.summary["coevp_parallel_mpki"]
+        )
+
+    def test_fig04_sharing(self, ctx):
+        result = run_experiment("fig04", ctx)
+        assert result.summary["mean_dynamic_sharing_percent"] > 97.0
+
+
+class TestTimingExperiments:
+    def test_fig07_shape(self, ctx):
+        result = run_experiment("fig07", ctx)
+        # Slowdown grows with sharing degree; UA degrades most at cpc=8.
+        assert result.summary["mean_cpc8_ratio"] >= result.summary["mean_cpc2_ratio"]
+        assert result.summary["worst_cpc8_ratio"] > 1.05
+
+    def test_fig08_bus_domination(self, ctx):
+        result = run_experiment("fig08", ctx)
+        assert result.summary["bus_dominated_count"] >= len(SUBSET) - 1
+
+    def test_fig09_line_buffer_split(self, ctx):
+        result = run_experiment("fig09", ctx)
+        # CG (tight loops) must sit far below BT (large bodies).
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["CG"][2] < 30.0  # 4 LB column, percent
+        assert by_name["BT"][2] > 60.0
+
+    def test_fig10_double_bus_recovers(self, ctx):
+        result = run_experiment("fig10", ctx)
+        assert result.summary["mean_double_bus"] < result.summary["mean_naive"] + 1e-9
+        assert result.summary["mean_double_bus"] == pytest.approx(1.0, abs=0.03)
+
+    def test_fig11_sharing_cuts_misses(self, ctx):
+        result = run_experiment("fig11", ctx)
+        assert result.summary["mean_ratio_32kb_percent"] < 80.0
+        assert result.summary["mean_ratio_16kb_percent"] < 100.0
+
+    def test_fig12_headline_savings(self, ctx):
+        result = run_experiment("fig12", ctx)
+        assert result.summary["area_4_LB_double_bus"] == pytest.approx(0.89, abs=0.03)
+        assert result.summary["energy_4_LB_double_bus"] < 1.0
+        assert result.summary["time_4_LB_double_bus"] == pytest.approx(1.0, abs=0.03)
+
+    def test_fig13_serial_fraction_trend(self, ctx):
+        result = run_experiment("fig13", ctx)
+        assert (
+            result.summary["high_serial_mean_ratio"]
+            >= result.summary["low_serial_mean_ratio"] - 0.01
+        )
+
+
+class TestRenderedOutput:
+    def test_every_experiment_renders(self, ctx):
+        for experiment_id in experiment_ids():
+            result = run_experiment(experiment_id, ctx)
+            assert result.rendered
+            assert result.headers
+            assert str(result).startswith(f"== {experiment_id}")
+
+    def test_results_memoised_across_figures(self, ctx):
+        # Figs 7 and 8 share the cpc=8 naive run: the context cache must
+        # contain exactly one entry for that design point per benchmark.
+        run_experiment("fig07", ctx)
+        before = len(ctx._results)
+        run_experiment("fig08", ctx)
+        after = len(ctx._results)
+        assert after == before  # no extra simulations needed

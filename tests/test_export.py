@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md renderer."""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.export import SHAPE_CHECKS, ShapeCheck, render_markdown
+from repro.experiments.registry import experiment_ids
+
+
+def _result(experiment_id="fig01", **summary):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="demo",
+        headers=["a"],
+        rows=[["x"]],
+        rendered="a\n-\nx",
+        summary=summary,
+    )
+
+
+class TestShapeCheck:
+    def test_pass_and_fail(self):
+        check = ShapeCheck("claim", "~2", "value", 1.0, 3.0)
+        measured, ok = check.evaluate(_result(value=2.0))
+        assert ok and measured == "2.000"
+        measured, ok = check.evaluate(_result(value=5.0))
+        assert not ok
+
+    def test_missing_key(self):
+        check = ShapeCheck("claim", "~2", "absent", 1.0, 3.0)
+        measured, ok = check.evaluate(_result())
+        assert not ok and measured == "(missing)"
+
+
+class TestCoverage:
+    def test_every_experiment_has_checks(self):
+        assert set(SHAPE_CHECKS) == set(experiment_ids())
+
+    def test_all_checks_have_valid_ranges(self):
+        for checks in SHAPE_CHECKS.values():
+            for check in checks:
+                assert check.low <= check.high
+
+
+class TestRender:
+    def test_renders_pass_counts(self):
+        results = [_result(experiment_id="fig01", crossover_percent=1.8)]
+        markdown = render_markdown(results, scale=1.0)
+        assert "Shape checks passed: 1/1." in markdown
+        assert "## fig01" in markdown
+        assert "| yes |" in markdown
+
+    def test_renders_failures_visibly(self):
+        results = [_result(experiment_id="fig01", crossover_percent=50.0)]
+        markdown = render_markdown(results, scale=1.0)
+        assert "| NO |" in markdown

@@ -1,0 +1,131 @@
+"""Tests for the Section VII future-work extensions.
+
+The paper's conclusion proposes evaluating (a) SMT-style fetch policies as
+the I-bus arbitration ("the arbitration policy on an I-bus becomes the
+fetching policy") and (b) sharing more front-end structures such as the
+branch predictor. Both are implemented as configuration options; these
+tests exercise them end-to-end, plus the crossbar interconnect option.
+"""
+
+import pytest
+
+from repro.acmp import baseline_config, simulate, worker_shared_config
+from repro.errors import ConfigurationError
+from repro.power import worker_cluster_area
+from repro.trace.synthesis import synthesize_benchmark
+
+
+@pytest.fixture(scope="module")
+def ua_traces():
+    return synthesize_benchmark("UA", thread_count=9, scale=0.15)
+
+
+class TestArbitrationPolicies:
+    @pytest.mark.parametrize(
+        "policy",
+        ["round-robin", "fixed-priority", "least-recently-granted", "icount"],
+    )
+    def test_policies_run_to_completion(self, ua_traces, policy):
+        config = worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=1, arbitration=policy
+        )
+        result = simulate(config, ua_traces)
+        assert result.total_committed == ua_traces.instruction_count
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            worker_shared_config(arbitration="lottery")
+
+    def test_policies_change_timing(self, ua_traces):
+        cycles = {}
+        for policy in ("round-robin", "fixed-priority"):
+            config = worker_shared_config(
+                cores_per_cache=8, icache_kb=32, bus_count=1, arbitration=policy
+            )
+            cycles[policy] = simulate(config, ua_traces).cycles
+        # Unfair arbitration starves high-id cores; completion time of the
+        # whole job should not beat the fair policy by much, and typically
+        # loses. At minimum the policies must be distinguishable.
+        assert cycles["round-robin"] != cycles["fixed-priority"]
+
+
+class TestSharedFetchPredictor:
+    def test_requires_shared_topology(self):
+        with pytest.raises(ConfigurationError):
+            baseline_config(shared_fetch_predictor=True)
+
+    def test_runs_and_commits(self, ua_traces):
+        config = worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=2,
+            shared_fetch_predictor=True,
+        )
+        result = simulate(config, ua_traces)
+        assert result.total_committed == ua_traces.instruction_count
+
+    def test_predictor_stats_not_multiplied(self, ua_traces):
+        config = worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=2,
+            shared_fetch_predictor=True,
+        )
+        result = simulate(config, ua_traces)
+        workers = result.cores[1:]
+        reporting = [core for core in workers if core.branch_lookups > 0]
+        # One group-level predictor: exactly one worker reports its stats.
+        assert len(reporting) == 1
+
+    def test_cross_thread_training_reduces_mispredicts(self):
+        # All threads run the same code: a shared predictor sees each
+        # branch 8x as often and should mispredict less per instruction.
+        traces = synthesize_benchmark("DC", thread_count=9, scale=0.15)
+        private = simulate(
+            worker_shared_config(cores_per_cache=8, icache_kb=32, bus_count=2),
+            traces,
+        )
+        shared = simulate(
+            worker_shared_config(
+                cores_per_cache=8, icache_kb=32, bus_count=2,
+                shared_fetch_predictor=True,
+            ),
+            traces,
+        )
+        private_mispredicts = sum(c.branch_mispredictions for c in private.cores[1:])
+        shared_mispredicts = sum(c.branch_mispredictions for c in shared.cores[1:])
+        # Not a strict win (data-dependent branches stay random), but the
+        # loop-exit training must not get worse.
+        assert shared_mispredicts <= private_mispredicts * 1.2
+
+
+class TestCrossbar:
+    def test_rejected_on_bad_name(self):
+        with pytest.raises(ConfigurationError):
+            worker_shared_config(interconnect="mesh")
+
+    def test_crossbar_runs(self, ua_traces):
+        config = worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=2, interconnect="crossbar"
+        )
+        result = simulate(config, ua_traces)
+        assert result.total_committed == ua_traces.instruction_count
+
+    def test_crossbar_costs_more_area_than_bus(self):
+        bus = worker_cluster_area(
+            worker_shared_config(bus_count=2, interconnect="bus")
+        ).total
+        crossbar = worker_cluster_area(
+            worker_shared_config(bus_count=2, interconnect="crossbar")
+        ).total
+        assert crossbar > bus
+
+    def test_crossbar_not_slower_than_single_bus(self, ua_traces):
+        single = simulate(
+            worker_shared_config(cores_per_cache=8, icache_kb=32, bus_count=1),
+            ua_traces,
+        )
+        crossbar = simulate(
+            worker_shared_config(
+                cores_per_cache=8, icache_kb=32, bus_count=2,
+                interconnect="crossbar",
+            ),
+            ua_traces,
+        )
+        assert crossbar.cycles <= single.cycles

@@ -1,0 +1,156 @@
+"""Failure injection: the simulator must fail loudly on broken inputs."""
+
+import pytest
+
+from repro.acmp import AcmpConfig, simulate
+from repro.errors import DeadlockError, SimulationError, TraceError
+from repro.trace.records import (
+    BasicBlockRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.validation import validate_trace_set
+
+
+def _config(workers=2):
+    return AcmpConfig(worker_count=workers)
+
+
+def _master_records(phases=1):
+    records = [IpcRecord(1.0), BasicBlockRecord(0x100, 8)]
+    for phase in range(phases):
+        records += [
+            SyncRecord(SyncKind.PARALLEL_START, phase),
+            IpcRecord(2.0),
+            BasicBlockRecord(0x1000, 8),
+            SyncRecord(SyncKind.PARALLEL_END, phase),
+        ]
+    return records
+
+
+def _worker_records(phases=1):
+    records = []
+    for phase in range(phases):
+        records += [
+            SyncRecord(SyncKind.PARALLEL_START, phase),
+            IpcRecord(1.0),
+            BasicBlockRecord(0x1000, 8),
+            SyncRecord(SyncKind.PARALLEL_END, phase),
+        ]
+    return records
+
+
+class TestHealthyBaseline:
+    def test_handcrafted_traces_simulate(self):
+        traces = TraceSet(
+            "hand",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, _worker_records()),
+            ],
+        )
+        validate_trace_set(traces)
+        result = simulate(_config(), traces)
+        assert result.total_committed == traces.instruction_count
+
+
+class TestProtocolViolations:
+    def test_missing_worker_join_deadlocks(self):
+        # Worker 2 never reaches the PARALLEL_END join: the master and
+        # worker 1 wait forever. Validation catches it; running the
+        # simulator anyway must raise DeadlockError, not hang.
+        bad_worker = [
+            SyncRecord(SyncKind.PARALLEL_START, 0),
+            IpcRecord(1.0),
+            BasicBlockRecord(0x1000, 8),
+            # missing PARALLEL_END
+        ]
+        traces = TraceSet(
+            "deadlock",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, bad_worker),
+            ],
+        )
+        with pytest.raises(TraceError):
+            validate_trace_set(traces)
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(_config(), traces)
+        assert "join" in str(excinfo.value)
+
+    def test_worker_waiting_for_phantom_phase_deadlocks(self):
+        # Worker waits for phase 5 which the master never starts.
+        bad_worker = [
+            SyncRecord(SyncKind.PARALLEL_START, 5),
+            IpcRecord(1.0),
+            BasicBlockRecord(0x1000, 8),
+            SyncRecord(SyncKind.PARALLEL_END, 5),
+        ]
+        traces = TraceSet(
+            "phantom",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, bad_worker),
+            ],
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(_config(), traces)
+        assert "phase 5" in str(excinfo.value)
+
+    def test_signal_of_unheld_lock_raises(self):
+        bad_worker = [
+            SyncRecord(SyncKind.PARALLEL_START, 0),
+            IpcRecord(1.0),
+            SyncRecord(SyncKind.SIGNAL, 3),
+            SyncRecord(SyncKind.PARALLEL_END, 0),
+        ]
+        traces = TraceSet(
+            "unheld",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, bad_worker),
+            ],
+        )
+        with pytest.raises(SimulationError, match="does not hold"):
+            simulate(_config(), traces)
+
+    def test_max_cycles_guard(self):
+        traces = TraceSet(
+            "long",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, _worker_records()),
+            ],
+        )
+        with pytest.raises(SimulationError, match="max_cycles"):
+            simulate(_config(), traces, max_cycles=3)
+
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_error_names_core_states(self):
+        bad_worker = [
+            SyncRecord(SyncKind.PARALLEL_START, 7),
+            IpcRecord(1.0),
+            BasicBlockRecord(0x1000, 4),
+            SyncRecord(SyncKind.PARALLEL_END, 7),
+        ]
+        traces = TraceSet(
+            "diag",
+            [
+                ThreadTrace(0, _master_records()),
+                ThreadTrace(1, _worker_records()),
+                ThreadTrace(2, bad_worker),
+            ],
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(_config(), traces)
+        message = str(excinfo.value)
+        assert "core states" in message
+        assert "blocked" in message

@@ -1,0 +1,64 @@
+"""End-to-end integration tests of the paper's headline claims.
+
+These run the exact headline comparison a user would (baseline vs the
+chosen 16 KB shared / double-bus design) on representative benchmarks and
+assert the three numbers of the abstract: ~11 % area savings, energy
+savings, no performance cost.
+"""
+
+import pytest
+
+from repro.acmp import baseline_config, simulate, worker_shared_config
+from repro.power import evaluate_power
+from repro.trace.synthesis import synthesize_benchmark
+
+#: One benchmark per behavioural class.
+REPRESENTATIVES = ("CG", "UA", "LULESH")
+
+
+@pytest.fixture(scope="module")
+def headline_runs():
+    runs = {}
+    base_config = baseline_config()
+    proposal_config = worker_shared_config()
+    for name in REPRESENTATIVES:
+        traces = synthesize_benchmark(name, thread_count=9, scale=0.25)
+        base = simulate(base_config, traces)
+        proposal = simulate(proposal_config, traces)
+        runs[name] = (
+            base,
+            proposal,
+            evaluate_power(base, base_config),
+            evaluate_power(proposal, proposal_config),
+        )
+    return runs
+
+
+class TestAbstractClaims:
+    def test_no_performance_cost(self, headline_runs):
+        # "11% area savings with a 5% energy reduction at no performance
+        # cost" — never slower than baseline; small speedups (mutual
+        # prefetching) are allowed, as in the paper's CoEVP case.
+        for name, (base, proposal, _, _) in headline_runs.items():
+            ratio = proposal.cycles / base.cycles
+            assert 0.90 <= ratio <= 1.02, name
+
+    def test_area_savings_around_11_percent(self, headline_runs):
+        for name, (_, _, base_power, proposal_power) in headline_runs.items():
+            saving = 1 - proposal_power.area_mm2 / base_power.area_mm2
+            assert 0.08 < saving < 0.14, name
+
+    def test_energy_savings_positive(self, headline_runs):
+        for name, (_, _, base_power, proposal_power) in headline_runs.items():
+            saving = 1 - proposal_power.energy_nj / base_power.energy_nj
+            assert 0.0 < saving < 0.15, name
+
+    def test_misses_reduced_by_sharing(self, headline_runs):
+        for name, (base, proposal, _, _) in headline_runs.items():
+            assert (
+                proposal.worker_icache_misses() < base.worker_icache_misses()
+            ), name
+
+    def test_worker_cluster_smaller_but_work_identical(self, headline_runs):
+        for name, (base, proposal, _, _) in headline_runs.items():
+            assert proposal.total_committed == base.total_committed, name

@@ -1,0 +1,77 @@
+"""Tests for the instruction TLB extension (Section VII)."""
+
+import pytest
+
+from repro.acmp import baseline_config, simulate, worker_shared_config
+from repro.errors import ConfigurationError
+from repro.frontend.itlb import InstructionTlb
+from repro.trace.synthesis import synthesize_benchmark
+
+
+class TestInstructionTlb:
+    def test_cold_miss_then_hit(self):
+        itlb = InstructionTlb(entries=4, miss_penalty=30)
+        assert itlb.translate(0x1000) == 30
+        assert itlb.translate(0x1FFF) == 0  # same 4 KB page
+        assert itlb.translate(0x2000) == 30  # next page
+        assert itlb.stats.lookups == 3
+        assert itlb.stats.misses == 2
+        assert itlb.stats.compulsory_misses == 2
+
+    def test_lru_eviction(self):
+        itlb = InstructionTlb(entries=2, miss_penalty=10)
+        itlb.translate(0x0000)  # page 0
+        itlb.translate(0x1000)  # page 1
+        itlb.translate(0x0000)  # touch page 0: page 1 becomes LRU
+        itlb.translate(0x2000)  # page 2 evicts page 1
+        assert itlb.translate(0x0000) == 0
+        assert itlb.translate(0x1000) == 10  # non-compulsory re-miss
+        assert itlb.stats.compulsory_misses == 3
+        assert itlb.stats.misses == 4
+
+    def test_resident_pages_bounded(self):
+        itlb = InstructionTlb(entries=3)
+        for page in range(10):
+            itlb.translate(page * 4096)
+        assert len(itlb.resident_pages()) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            InstructionTlb(entries=0)
+        with pytest.raises(ConfigurationError):
+            InstructionTlb(page_bytes=3000)
+
+
+class TestItlbIntegration:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return synthesize_benchmark("CG", thread_count=9, scale=0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            baseline_config(shared_itlb=True, itlb_enabled=True)
+        with pytest.raises(ConfigurationError):
+            worker_shared_config(shared_itlb=True)  # itlb not enabled
+
+    def test_itlb_adds_walk_time(self, traces):
+        without = simulate(baseline_config(), traces)
+        with_tlb = simulate(baseline_config(itlb_enabled=True), traces)
+        assert with_tlb.cycles >= without.cycles
+        assert with_tlb.total_committed == traces.instruction_count
+
+    def test_shared_itlb_runs(self, traces):
+        config = worker_shared_config(itlb_enabled=True, shared_itlb=True)
+        result = simulate(config, traces)
+        assert result.total_committed == traces.instruction_count
+
+    def test_shared_itlb_amortises_cold_walks(self, traces):
+        # Private iTLBs: every worker walks every code page. Shared iTLB:
+        # the group walks each page roughly once (cross-thread warming,
+        # the same effect as the shared I-cache's mutual prefetching).
+        private = simulate(
+            worker_shared_config(itlb_enabled=True), traces
+        )
+        shared = simulate(
+            worker_shared_config(itlb_enabled=True, shared_itlb=True), traces
+        )
+        assert shared.cycles <= private.cycles

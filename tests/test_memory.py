@@ -1,0 +1,117 @@
+"""Unit tests for the DRAM model, memory controller and L2 hierarchy."""
+
+import pytest
+
+from repro.memory import (
+    DramModel,
+    DramTimings,
+    FcfsBus,
+    InstructionHierarchy,
+    MemoryController,
+)
+
+
+class TestDramTimings:
+    def test_ddr3_1600_defaults(self):
+        timings = DramTimings()
+        assert timings.tck_ns == 1.25
+        assert timings.row_hit_ns() == pytest.approx((11 + 4) * 1.25)
+        assert timings.row_miss_ns() == pytest.approx((11 + 11 + 11 + 4) * 1.25)
+
+
+class TestDramModel:
+    def test_row_hit_faster_than_miss(self):
+        dram = DramModel()
+        first = dram.access(0x0000, now=0)  # row miss (cold)
+        # Lines interleave across 8 banks, so the next line in bank 0 is
+        # 8 lines away; it shares the open row.
+        second = dram.access(0x0000 + 64 * 8, now=first)
+        assert first == dram.row_miss_cycles
+        assert second - first == dram.row_hit_cycles
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses == 1
+
+    def test_row_conflict_reopens(self):
+        dram = DramModel(row_bytes=8192, bank_count=8)
+        done1 = dram.access(0x0000, now=0)
+        # Same bank, different row: 8 banks x 64 B interleave means
+        # +8*64 hits the same bank; row differs at 8 KB granularity.
+        conflict_address = 8192 * 8  # same bank 0, different row
+        done2 = dram.access(conflict_address, now=done1)
+        assert done2 - done1 == dram.row_miss_cycles
+
+    def test_busy_bank_serialises(self):
+        dram = DramModel()
+        first = dram.access(0x0000, now=0)
+        second = dram.access(0x0000, now=0)  # same bank, must queue
+        assert second > first
+        assert dram.stats.busy_wait_cycles > 0
+
+    def test_different_banks_overlap(self):
+        dram = DramModel()
+        first = dram.access(0x0000, now=0)
+        second = dram.access(0x0040, now=0)  # bank 1: starts immediately
+        assert second <= first + dram.row_hit_cycles
+
+
+class TestFcfsBus:
+    def test_latency_applied(self):
+        bus = FcfsBus(width_bytes=32, latency=4)
+        assert bus.schedule(now=10, payload_bytes=64) == 10 + 4
+
+    def test_back_to_back_contention(self):
+        bus = FcfsBus(width_bytes=32, latency=4)
+        first = bus.schedule(now=0, payload_bytes=64)
+        second = bus.schedule(now=0, payload_bytes=64)
+        assert first == 4
+        assert second == 6  # waits 2 transfer cycles
+        assert bus.stats.wait_cycles == 2
+
+    def test_idle_bus_no_wait(self):
+        bus = FcfsBus()
+        bus.schedule(now=0)
+        bus.schedule(now=100)
+        assert bus.stats.wait_cycles == 0
+
+
+class TestMemoryController:
+    def test_fetch_line_roundtrip(self):
+        controller = MemoryController()
+        done = controller.fetch_line(0x1000, now=0)
+        # Request bus latency + DRAM row miss + response bus latency.
+        minimum = 4 + controller.dram.row_miss_cycles + 4
+        assert done >= minimum
+
+    def test_contention_across_requests(self):
+        controller = MemoryController()
+        first = controller.fetch_line(0x0000, now=0)
+        second = controller.fetch_line(0x0000, now=0)  # same bank
+        assert second > first
+
+
+class TestInstructionHierarchy:
+    def test_l2_hit_is_20_cycles(self):
+        hierarchy = InstructionHierarchy(MemoryController())
+        hierarchy.l2.fill(0x1000)
+        result = hierarchy.fetch_line(0x1000, now=100)
+        assert result.l2_hit
+        assert result.completion_cycle == 120
+
+    def test_l2_miss_goes_to_dram(self):
+        hierarchy = InstructionHierarchy(MemoryController())
+        result = hierarchy.fetch_line(0x2000, now=0)
+        assert not result.l2_hit
+        assert result.completion_cycle > 20 + 8
+
+    def test_l2_learns_line(self):
+        hierarchy = InstructionHierarchy(MemoryController())
+        first = hierarchy.fetch_line(0x3000, now=0)
+        second = hierarchy.fetch_line(0x3000, now=first.completion_cycle)
+        assert not first.l2_hit
+        assert second.l2_hit
+
+    def test_paper_l2_geometry(self):
+        hierarchy = InstructionHierarchy(MemoryController())
+        assert hierarchy.l2.size_bytes == 1024 * 1024
+        assert hierarchy.l2.ways == 32
+        assert hierarchy.l2_latency == 20

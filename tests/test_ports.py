@@ -1,0 +1,163 @@
+"""Focused tests for the I-cache ports' corner cases."""
+
+import pytest
+
+from repro.acmp.system import EventQueue
+from repro.cache import SetAssociativeCache
+from repro.errors import SimulationError
+from repro.frontend import RequestState, SharedIcacheGroup
+from repro.frontend.ports import PrivateIcachePort
+from repro.interconnect import MultiBus
+from repro.memory import InstructionHierarchy, MemoryController
+
+
+def _group(core_count=2, bus_count=1, mshr_capacity=16, cache_kb=32):
+    events = EventQueue()
+    cache = SetAssociativeCache(cache_kb * 1024, 8, 64, name="icache")
+    hierarchy = InstructionHierarchy(MemoryController())
+    fills: dict[int, list] = {i: [] for i in range(core_count)}
+    group = SharedIcacheGroup(
+        core_ids=list(range(core_count)),
+        cache=cache,
+        hierarchy=hierarchy,
+        interconnect=MultiBus(requester_count=core_count, bus_count=bus_count),
+        scheduler=events.schedule,
+        fill_callbacks={i: fills[i].append for i in range(core_count)},
+        mshr_capacity=mshr_capacity,
+    )
+    return group, events, fills, cache, hierarchy
+
+
+def _drain(group, events, cycles):
+    for now in range(cycles):
+        events.run_due(now)
+        group.step(now)
+
+
+class TestEventQueue:
+    def test_runs_in_cycle_order(self):
+        events = EventQueue()
+        order = []
+        events.schedule(5, lambda: order.append("b"))
+        events.schedule(2, lambda: order.append("a"))
+        events.run_due(10)
+        assert order == ["a", "b"]
+
+    def test_same_cycle_fifo(self):
+        events = EventQueue()
+        order = []
+        events.schedule(3, lambda: order.append(1))
+        events.schedule(3, lambda: order.append(2))
+        events.run_due(3)
+        assert order == [1, 2]
+
+    def test_future_events_stay(self):
+        events = EventQueue()
+        events.schedule(9, lambda: None)
+        assert events.run_due(8) == 0
+        assert len(events) == 1
+        assert events.next_cycle == 9
+
+
+class TestSharedGroupCornerCases:
+    def test_l2_hit_latency_path(self):
+        group, events, fills, cache, hierarchy = _group()
+        hierarchy.l2.fill(0x1000)
+        request = group.request(0x1000, now=0, core_id=0)
+        _drain(group, events, 40)
+        assert fills[0] and fills[0][0] is request
+        assert request.state is RequestState.DONE
+        # grant(0) + bus latency(2) + icache miss -> L2 20 cycles.
+        assert request.completion_at >= 20
+
+    def test_hit_after_fill_is_fast(self):
+        group, events, fills, cache, hierarchy = _group()
+        hierarchy.l2.fill(0x1000)
+        group.request(0x1000, now=0, core_id=0)
+        _drain(group, events, 60)
+        second = group.request(0x1000, now=60, core_id=1)
+        for now in range(60, 80):
+            events.run_due(now)
+            group.step(now)
+        assert second.icache_hit is True
+        # grant + 2-cycle bus + 1-cycle cache.
+        assert second.completion_at - second.granted_at <= 4
+
+    def test_mshr_full_retries(self):
+        group, events, fills, cache, hierarchy = _group(mshr_capacity=1)
+        group.request(0x1000, now=0, core_id=0)
+        group.request(0x2000, now=0, core_id=1)  # second distinct miss
+        _drain(group, events, 400)
+        assert len(fills[0]) == 1
+        assert len(fills[1]) == 1
+        assert group.mshrs.stats.full_stalls >= 1
+
+    def test_flush_core_drops_queued_requests(self):
+        group, events, fills, cache, hierarchy = _group()
+        group.request(0x1000, now=0, core_id=0)
+        group.request(0x3000, now=0, core_id=0)
+        dropped = group.flush_core(0)
+        assert dropped == 2
+
+    def test_mismatched_interconnect_rejected(self):
+        events = EventQueue()
+        cache = SetAssociativeCache(32 * 1024, 8, 64)
+        hierarchy = InstructionHierarchy(MemoryController())
+        with pytest.raises(SimulationError, match="ports"):
+            SharedIcacheGroup(
+                core_ids=[0, 1, 2],
+                cache=cache,
+                hierarchy=hierarchy,
+                interconnect=MultiBus(requester_count=2, bus_count=1),
+                scheduler=events.schedule,
+                fill_callbacks={},
+            )
+
+    def test_double_bus_parallel_service(self):
+        group, events, fills, cache, hierarchy = _group(bus_count=2)
+        hierarchy.l2.fill(0x1000)  # even line (bank 0)
+        hierarchy.l2.fill(0x1040)  # odd line (bank 1)
+        a = group.request(0x1000, now=0, core_id=0)
+        b = group.request(0x1040, now=0, core_id=1)
+        _drain(group, events, 40)
+        assert a.granted_at == b.granted_at == 0  # no serialisation
+
+
+class TestPrivatePort:
+    def test_hit_latency_is_one_cycle(self):
+        events = EventQueue()
+        cache = SetAssociativeCache(32 * 1024, 8, 64)
+        cache.fill(0x500)
+        hierarchy = InstructionHierarchy(MemoryController())
+        fills = []
+        port = PrivateIcachePort(
+            core_id=0,
+            cache=cache,
+            hierarchy=hierarchy,
+            scheduler=events.schedule,
+            on_fill=fills.append,
+            latency=1,
+        )
+        request = port.request(0x500, now=10)
+        assert request.completion_at == 11
+        events.run_due(11)
+        assert fills == [request]
+        assert request.state is RequestState.DONE
+
+    def test_miss_goes_down_hierarchy(self):
+        events = EventQueue()
+        cache = SetAssociativeCache(32 * 1024, 8, 64)
+        hierarchy = InstructionHierarchy(MemoryController())
+        hierarchy.l2.fill(0x600)
+        fills = []
+        port = PrivateIcachePort(
+            core_id=0,
+            cache=cache,
+            hierarchy=hierarchy,
+            scheduler=events.schedule,
+            on_fill=fills.append,
+        )
+        request = port.request(0x600, now=0)
+        assert request.completion_at == 21  # 1-cycle access + 20-cycle L2
+        events.run_due(21)
+        assert cache.probe(0x600)  # refill installed at completion

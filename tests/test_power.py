@@ -1,0 +1,119 @@
+"""Tests for the area/power models against the paper's published relations."""
+
+import pytest
+
+from repro.acmp import baseline_config, simulate, worker_shared_config
+from repro.power import (
+    DEFAULT_TECH,
+    cache_access_energy_nj,
+    cache_area_mm2,
+    evaluate_power,
+    interconnect_area_mm2,
+    single_bus_area_mm2,
+    worker_cluster_area,
+)
+from repro.trace.synthesis import synthesize_benchmark
+
+
+class TestCacheModel:
+    def test_area_grows_with_capacity(self):
+        assert cache_area_mm2(32 * 1024) > cache_area_mm2(16 * 1024)
+
+    def test_icache_share_of_core(self):
+        # Section II-C: McPAT shows lean cores spend ~15% of area on I-caches.
+        icache = cache_area_mm2(32 * 1024)
+        core_total = DEFAULT_TECH.core_area_mm2 + icache
+        assert 0.08 < icache / core_total < 0.20
+
+    def test_access_energy_sublinear(self):
+        # CACTI-like sqrt scaling: halving capacity saves ~30% per access.
+        e32 = cache_access_energy_nj(32 * 1024)
+        e16 = cache_access_energy_nj(16 * 1024)
+        assert e16 / e32 == pytest.approx(0.707, rel=0.01)
+
+
+class TestBusModel:
+    def test_area_quadratic_in_width(self):
+        # Section VI-D: quadratic dependence of bus area on line width.
+        narrow = single_bus_area_mm2(32, 8)
+        wide = single_bus_area_mm2(64, 8)
+        assert 3.0 < wide / narrow < 4.2
+
+    def test_double_bus_is_4x_single(self):
+        # Section VI-B: two buses quadruple the I-interconnect area.
+        single = interconnect_area_mm2(32, 8, 1)
+        double = interconnect_area_mm2(32, 8, 2)
+        assert double == pytest.approx(4 * single)
+
+    def test_double_bus_fraction_of_16kb_cache(self):
+        # Section VI-D: a double I-bus is ~45% of a 16 KB I-cache.
+        ratio = interconnect_area_mm2(32, 8, 2) / cache_area_mm2(16 * 1024)
+        assert 0.3 < ratio < 0.6
+
+    def test_crossbar_grows_with_ports(self):
+        bus = interconnect_area_mm2(32, 8, 4)
+        crossbar = interconnect_area_mm2(32, 8, 4, crossbar=True)
+        assert crossbar > bus
+
+
+class TestClusterArea:
+    def test_paper_headline_area_saving(self):
+        # Fig. 12: the 16 KB shared + double bus design saves ~11% area.
+        base = worker_cluster_area(baseline_config()).total
+        shared = worker_cluster_area(worker_shared_config()).total
+        saving = 1 - shared / base
+        assert 0.08 < saving < 0.14
+
+    def test_single_bus_saves_most_area(self):
+        double = worker_cluster_area(worker_shared_config(bus_count=2)).total
+        single = worker_cluster_area(worker_shared_config(bus_count=1)).total
+        assert single < double
+
+    def test_more_line_buffers_cost_area(self):
+        four = worker_cluster_area(worker_shared_config(line_buffers=4)).total
+        eight = worker_cluster_area(worker_shared_config(line_buffers=8)).total
+        assert eight > four
+
+    def test_breakdown_totals(self):
+        area = worker_cluster_area(baseline_config())
+        assert area.total == pytest.approx(
+            area.cores + area.icaches + area.line_buffers + area.interconnect
+        )
+        assert area.interconnect == 0.0  # private baseline has no I-bus
+
+
+class TestEnergyEvaluation:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        traces = synthesize_benchmark("CG", thread_count=9, scale=0.15)
+        base_config = baseline_config()
+        shared_config = worker_shared_config()
+        base = simulate(base_config, traces)
+        shared = simulate(shared_config, traces)
+        return (
+            evaluate_power(base, base_config),
+            evaluate_power(shared, shared_config),
+        )
+
+    def test_energy_positive_components(self, runs):
+        base, shared = runs
+        for report in runs:
+            breakdown = report.energy.as_dict()
+            assert breakdown["total"] > 0
+            assert breakdown["static"] > 0
+            assert breakdown["core_dynamic"] > 0
+
+    def test_sharing_saves_energy(self, runs):
+        # Fig. 12: the chosen design point saves ~5% energy.
+        base, shared = runs
+        saving = 1 - shared.energy_nj / base.energy_nj
+        assert 0.0 < saving < 0.15
+
+    def test_baseline_has_no_bus_energy(self, runs):
+        base, shared = runs
+        assert base.energy.interconnect_dynamic == 0.0
+        assert shared.energy.interconnect_dynamic > 0.0
+
+    def test_area_ratio_matches_static_model(self, runs):
+        base, shared = runs
+        assert shared.area_mm2 < base.area_mm2

@@ -1,0 +1,174 @@
+"""Cross-module property-based tests on simulator invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.acmp import AcmpConfig, simulate
+from repro.errors import WorkloadError
+from repro.interconnect import Bus
+from repro.trace.synthesis import synthesize
+from repro.trace.validation import validate_trace_set
+from repro.workloads.model import WorkloadModel
+
+
+def _make_model(
+    bb_parallel: float,
+    body_factor: float,
+    trips: int,
+    serial_pct: float,
+    ipc_worker: float,
+    phases: int,
+) -> WorkloadModel:
+    body = bb_parallel * body_factor
+    return WorkloadModel(
+        name="prop",
+        suite="NPB",
+        serial_fraction=serial_pct / 100.0,
+        bb_bytes_serial=24,
+        bb_bytes_parallel=bb_parallel,
+        loop_body_bytes_serial=96,
+        loop_body_bytes_parallel=body,
+        inner_trips_serial=10,
+        inner_trips_parallel=trips,
+        footprint_serial_bytes=2048,
+        footprint_parallel_bytes=max(4096, int(body * 2)),
+        cold_mpki_serial=10.0,
+        cold_mpki_parallel=0.2,
+        branch_mpki_serial=4.0,
+        branch_mpki_parallel=1.0,
+        sharing_dynamic=0.99,
+        sharing_static=0.97,
+        ipc_master_serial=1.8,
+        ipc_master_parallel=2.0,
+        ipc_worker_parallel=ipc_worker,
+        parallel_phases=phases,
+        uses_critical_sections=False,
+        imbalance=0.05,
+        parallel_instructions=3000,
+    )
+
+
+model_params = st.tuples(
+    st.floats(min_value=16, max_value=400),  # bb_parallel bytes
+    st.floats(min_value=1.0, max_value=8.0),  # body factor
+    st.integers(min_value=1, max_value=40),  # trips
+    st.floats(min_value=0.0, max_value=20.0),  # serial %
+    st.floats(min_value=0.3, max_value=2.0),  # worker IPC
+    st.integers(min_value=1, max_value=3),  # phases
+)
+
+
+class TestSynthesisProperties:
+    @given(model_params)
+    @settings(max_examples=20, deadline=None)
+    def test_synthesized_traces_always_validate(self, params):
+        model = _make_model(*params)
+        traces = synthesize(model, thread_count=3, scale=1.0)
+        report = validate_trace_set(traces)
+        assert report.parallel_phase_count == model.parallel_phases
+        assert report.total_instructions > 0
+
+    @given(model_params)
+    @settings(max_examples=10, deadline=None)
+    def test_worker_budget_met(self, params):
+        model = _make_model(*params)
+        traces = synthesize(model, thread_count=3, scale=1.0)
+        budget = model.scaled_parallel_instructions(1.0)
+        for worker in traces.workers:
+            executed = sum(
+                b.instruction_count for b in worker.parallel_region_blocks()
+            )
+            # The walker may overshoot by at most ~one basic block per
+            # phase chunk; it must never undershoot.
+            assert executed >= budget
+            assert executed <= budget * 1.5 + 64 * model.parallel_phases
+
+
+class TestSimulationConservation:
+    @given(
+        cpc=st.sampled_from([1, 2, 4]),
+        bus_count=st.sampled_from([1, 2]),
+        line_buffers=st.sampled_from([2, 4, 8]),
+        policy=st.sampled_from(["lru", "plru", "fifo"]),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_all_instructions_commit_everywhere(
+        self, cpc, bus_count, line_buffers, policy
+    ):
+        model = _make_model(96.0, 3.0, 10, 2.0, 0.8, 2)
+        traces = synthesize(model, thread_count=5, scale=1.0)
+        config = AcmpConfig(
+            worker_count=4,
+            cores_per_cache=cpc,
+            bus_count=bus_count,
+            line_buffers=line_buffers,
+            icache_policy=policy,
+        )
+        result = simulate(config, traces)
+        assert result.total_committed == traces.instruction_count
+        # CPI stack consistency: base + stalls == active cycles per core.
+        for core in result.cores:
+            assert core.base_cycles + core.total_stalls >= 0
+        # Access-ratio bounds.
+        assert 0.0 <= result.worker_access_ratio() <= 1.0
+        # Cache accounting.
+        for group in result.cache_groups:
+            assert group.hits + group.misses == group.accesses
+            assert group.compulsory_misses <= group.misses
+
+
+class TestBusProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_request_eventually_granted(self, requests):
+        bus = Bus(requester_count=4)
+        for requester, delay in requests:
+            bus.request(requester, 0x40 * requester, now=delay)
+        grants = 0
+        for cycle in range(2000):
+            if bus.step(cycle) is not None:
+                grants += 1
+            if grants == len(requests):
+                break
+        assert grants == len(requests)
+        assert bus.stats.transactions == len(requests)
+        per_requester = sum(bus.stats.per_requester_transactions.values())
+        assert per_requester == len(requests)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_utilization_bounded(self, n):
+        bus = Bus(requester_count=n)
+        for requester in range(n):
+            bus.request(requester, 0x40 * requester, now=0)
+        total = 4 * n
+        for cycle in range(total):
+            bus.step(cycle)
+        assert 0.0 <= bus.stats.utilization(total) <= 1.0
+
+
+class TestModelValidationProperty:
+    @given(
+        st.floats(min_value=-10, max_value=120),
+    )
+    @settings(max_examples=25)
+    def test_serial_fraction_bounds_enforced(self, serial_pct):
+        if 0.0 <= serial_pct / 100.0 < 1.0:
+            _make_model(96.0, 2.0, 5, serial_pct, 0.8, 1)
+        else:
+            with pytest.raises(WorkloadError):
+                _make_model(96.0, 2.0, 5, serial_pct, 0.8, 1)

@@ -1,0 +1,126 @@
+"""Unit tests for the runtime coordinator (OpenMP replay)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import RuntimeCoordinator, ThreadContext, ThreadState
+from repro.trace.records import SyncKind, SyncRecord
+
+
+def _runtime(n=3):
+    contexts = [ThreadContext(thread_id=i) for i in range(n)]
+    return RuntimeCoordinator(contexts), contexts
+
+
+def _start(phase=0):
+    return SyncRecord(SyncKind.PARALLEL_START, phase)
+
+
+def _end(phase=0):
+    return SyncRecord(SyncKind.PARALLEL_END, phase)
+
+
+class TestParallelStart:
+    def test_worker_blocks_until_master_starts(self):
+        runtime, contexts = _runtime()
+        assert not runtime.deliver(1, _start(), now=10)
+        assert contexts[1].state is ThreadState.BLOCKED
+        assert runtime.deliver(0, _start(), now=20)
+        assert contexts[1].state is ThreadState.RUNNING
+        assert contexts[1].block_cycles == 10
+
+    def test_worker_proceeds_if_master_already_started(self):
+        runtime, contexts = _runtime()
+        assert runtime.deliver(0, _start(), now=0)
+        assert runtime.deliver(1, _start(), now=5)
+        assert contexts[1].state is ThreadState.RUNNING
+
+    def test_master_never_blocks_at_start(self):
+        runtime, contexts = _runtime()
+        assert runtime.deliver(0, _start(), now=0)
+        assert contexts[0].state is ThreadState.RUNNING
+
+    def test_master_restart_rejected(self):
+        runtime, _ = _runtime()
+        runtime.deliver(0, _start(), now=0)
+        with pytest.raises(SimulationError):
+            runtime.deliver(0, _start(), now=1)
+
+    def test_phases_independent(self):
+        runtime, contexts = _runtime()
+        runtime.deliver(0, _start(0), now=0)
+        assert not runtime.deliver(1, _start(1), now=1)  # phase 1 not started
+        runtime.deliver(0, _start(1), now=2)
+        assert contexts[1].state is ThreadState.RUNNING
+
+
+class TestJoin:
+    def test_all_wait_for_last(self):
+        runtime, contexts = _runtime(3)
+        assert not runtime.deliver(0, _end(), now=0)
+        assert not runtime.deliver(1, _end(), now=5)
+        assert contexts[0].state is ThreadState.BLOCKED
+        assert runtime.deliver(2, _end(), now=9)
+        assert contexts[0].state is ThreadState.RUNNING
+        assert contexts[1].state is ThreadState.RUNNING
+        assert contexts[0].block_cycles == 9
+        assert contexts[1].block_cycles == 4
+
+    def test_barrier_kind_supported(self):
+        runtime, contexts = _runtime(2)
+        barrier = SyncRecord(SyncKind.BARRIER, 7)
+        assert not runtime.deliver(0, barrier, now=0)
+        assert runtime.deliver(1, barrier, now=3)
+        assert contexts[0].state is ThreadState.RUNNING
+
+
+class TestLocks:
+    def test_uncontended_acquire(self):
+        runtime, contexts = _runtime()
+        assert runtime.deliver(0, SyncRecord(SyncKind.WAIT, 1), now=0)
+        assert contexts[0].state is ThreadState.RUNNING
+
+    def test_contended_fifo_hand_off(self):
+        runtime, contexts = _runtime(3)
+        assert runtime.deliver(0, SyncRecord(SyncKind.WAIT, 1), now=0)
+        assert not runtime.deliver(1, SyncRecord(SyncKind.WAIT, 1), now=1)
+        assert not runtime.deliver(2, SyncRecord(SyncKind.WAIT, 1), now=2)
+        assert runtime.deliver(0, SyncRecord(SyncKind.SIGNAL, 1), now=10)
+        # FIFO: thread 1 gets the lock, thread 2 still waits.
+        assert contexts[1].state is ThreadState.RUNNING
+        assert contexts[2].state is ThreadState.BLOCKED
+        assert runtime.lock_hand_offs == 1
+        runtime.deliver(1, SyncRecord(SyncKind.SIGNAL, 1), now=20)
+        assert contexts[2].state is ThreadState.RUNNING
+
+    def test_signal_without_hold_rejected(self):
+        runtime, _ = _runtime()
+        with pytest.raises(SimulationError):
+            runtime.deliver(0, SyncRecord(SyncKind.SIGNAL, 5), now=0)
+
+    def test_reacquire_rejected(self):
+        runtime, _ = _runtime()
+        runtime.deliver(0, SyncRecord(SyncKind.WAIT, 1), now=0)
+        with pytest.raises(SimulationError):
+            runtime.deliver(0, SyncRecord(SyncKind.WAIT, 1), now=1)
+
+
+class TestDiagnostics:
+    def test_all_blocked_detection(self):
+        runtime, contexts = _runtime(2)
+        assert not runtime.all_blocked()
+        runtime.deliver(1, _start(), now=0)
+        assert not runtime.all_blocked()
+        contexts[0].block(0)
+        assert runtime.all_blocked()
+
+    def test_finished_threads_ignored(self):
+        runtime, contexts = _runtime(2)
+        contexts[0].finish(0)
+        contexts[1].block(0)
+        assert runtime.all_blocked()
+
+    def test_describe_blockage_mentions_waiters(self):
+        runtime, _ = _runtime(2)
+        runtime.deliver(1, _start(4), now=0)
+        assert "phase 4" in runtime.describe_blockage()

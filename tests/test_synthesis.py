@@ -1,0 +1,156 @@
+"""Tests for the synthetic trace generator (the Pin-replacement)."""
+
+import statistics
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.records import BasicBlockRecord, IpcRecord, SyncKind, SyncRecord
+from repro.trace.synthesis import synthesize, synthesize_benchmark
+from repro.trace.validation import validate_trace_set
+from repro.workloads import benchmark_names, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def bt_traces():
+    return synthesize_benchmark("BT", thread_count=5, scale=0.5)
+
+
+class TestStructure:
+    def test_validates(self, bt_traces):
+        report = validate_trace_set(bt_traces)
+        assert report.thread_count == 5
+        assert report.parallel_phase_count == get_benchmark("BT").parallel_phases
+
+    def test_master_has_serial_code(self, bt_traces):
+        assert sum(1 for _ in bt_traces.master.serial_region_blocks()) > 0
+
+    def test_workers_have_no_serial_code(self, bt_traces):
+        for worker in bt_traces.workers:
+            assert sum(1 for _ in worker.serial_region_blocks()) == 0
+
+    def test_ipc_records_present(self, bt_traces):
+        model = get_benchmark("BT")
+        master_ipcs = {
+            record.ipc
+            for record in bt_traces.master.records
+            if isinstance(record, IpcRecord)
+        }
+        assert model.ipc_master_serial in master_ipcs
+        assert model.ipc_master_parallel in master_ipcs
+        worker_ipcs = {
+            record.ipc
+            for record in bt_traces.workers[0].records
+            if isinstance(record, IpcRecord)
+        }
+        assert worker_ipcs == {model.ipc_worker_parallel}
+
+    def test_deterministic(self):
+        first = synthesize_benchmark("CG", thread_count=3, scale=0.2)
+        second = synthesize_benchmark("CG", thread_count=3, scale=0.2)
+        for t1, t2 in zip(first.threads, second.threads):
+            assert t1.records == t2.records
+
+    def test_seed_changes_trace(self):
+        first = synthesize_benchmark("CG", thread_count=3, scale=0.2, seed=0)
+        second = synthesize_benchmark("CG", thread_count=3, scale=0.2, seed=1)
+        assert any(
+            t1.records != t2.records
+            for t1, t2 in zip(first.threads, second.threads)
+        )
+
+    def test_invalid_args_rejected(self):
+        model = get_benchmark("BT")
+        with pytest.raises(WorkloadError):
+            synthesize(model, thread_count=0)
+        with pytest.raises(WorkloadError):
+            synthesize(model, scale=0.0)
+
+
+class TestCalibration:
+    def test_basic_block_means(self, bt_traces):
+        model = get_benchmark("BT")
+        parallel = [b.size_bytes for b in bt_traces.master.parallel_region_blocks()]
+        serial = [b.size_bytes for b in bt_traces.master.serial_region_blocks()]
+        assert statistics.mean(parallel) == pytest.approx(
+            model.bb_bytes_parallel, rel=0.25
+        )
+        assert statistics.mean(serial) == pytest.approx(model.bb_bytes_serial, rel=0.3)
+
+    def test_parallel_budget_respected(self, bt_traces):
+        model = get_benchmark("BT")
+        budget = model.scaled_parallel_instructions(0.5)
+        for worker in bt_traces.workers:
+            executed = sum(
+                b.instruction_count for b in worker.parallel_region_blocks()
+            )
+            assert executed == pytest.approx(budget, rel=0.2)
+
+    def test_threads_share_code(self, bt_traces):
+        footprints = []
+        for thread in bt_traces.threads:
+            footprints.append(
+                {b.address for b in thread.parallel_region_blocks()}
+            )
+        common = set.intersection(*footprints)
+        union = set.union(*footprints)
+        assert len(common) / len(union) > 0.9
+
+    def test_serial_fraction(self):
+        traces = synthesize_benchmark("CoMD", thread_count=9, scale=0.25)
+        serial = sum(
+            b.instruction_count for b in traces.master.serial_region_blocks()
+        )
+        total = traces.instruction_count
+        model = get_benchmark("CoMD")
+        assert serial / total == pytest.approx(model.serial_fraction, rel=0.25)
+
+    def test_critical_sections_only_for_task_codes(self):
+        bots = synthesize_benchmark("botsspar", thread_count=3, scale=0.1)
+        waits = sum(
+            1
+            for record in bots.workers[0].records
+            if isinstance(record, SyncRecord) and record.kind is SyncKind.WAIT
+        )
+        assert waits > 0
+        bt = synthesize_benchmark("BT", thread_count=3, scale=0.1)
+        waits_bt = sum(
+            1
+            for record in bt.workers[0].records
+            if isinstance(record, SyncRecord) and record.kind is SyncKind.WAIT
+        )
+        assert waits_bt == 0
+
+    def test_cold_streaming_produces_fresh_lines(self):
+        traces = synthesize_benchmark("CoEVP", thread_count=2, scale=0.25)
+        from repro.trace.synthesis import PARALLEL_COLD_BASE
+
+        streamed = [
+            b
+            for b in traces.workers[0].parallel_region_blocks()
+            if b.address >= PARALLEL_COLD_BASE
+        ]
+        assert streamed, "CoEVP must stream cold code (MPKI 1.27)"
+        addresses = [b.address for b in streamed]
+        assert len(set(addresses)) == len(addresses), "cold lines must be fresh"
+
+    def test_no_cold_streaming_when_mpki_zero(self):
+        traces = synthesize_benchmark("EP", thread_count=2, scale=0.25)
+        from repro.trace.synthesis import PARALLEL_COLD_BASE
+
+        streamed = [
+            b
+            for b in traces.workers[0].parallel_region_blocks()
+            if b.address >= PARALLEL_COLD_BASE
+        ]
+        assert not streamed
+
+
+class TestAllBenchmarksSmoke:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_synthesizes_and_validates(self, name):
+        traces = synthesize_benchmark(name, thread_count=3, scale=0.05)
+        report = validate_trace_set(traces)
+        assert report.total_instructions > 0
+        blocks = list(traces.master.basic_blocks())
+        assert all(isinstance(b, BasicBlockRecord) for b in blocks)

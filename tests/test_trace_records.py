@@ -1,0 +1,83 @@
+"""Unit tests for trace record types."""
+
+import pytest
+
+from repro.trace.records import (
+    INSTRUCTION_BYTES,
+    BasicBlockRecord,
+    BranchKind,
+    BranchOutcome,
+    EndRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+
+
+class TestBranchOutcome:
+    def test_taken_branch(self):
+        branch = BranchOutcome(BranchKind.CONDITIONAL, True, 0x1000)
+        assert branch.taken
+        assert branch.target == 0x1000
+
+    def test_unconditional_must_be_taken(self):
+        with pytest.raises(ValueError):
+            BranchOutcome(BranchKind.UNCONDITIONAL, False, 0x1000)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            BranchOutcome(BranchKind.CONDITIONAL, True, -4)
+
+
+class TestBasicBlockRecord:
+    def test_geometry(self):
+        block = BasicBlockRecord(address=0x1000, instruction_count=10)
+        assert block.size_bytes == 10 * INSTRUCTION_BYTES
+        assert block.end_address == 0x1000 + 40
+        assert block.branch_address == 0x1000 + 36
+
+    def test_fall_through_without_branch(self):
+        block = BasicBlockRecord(address=0x1000, instruction_count=4)
+        assert block.falls_through
+        assert block.next_address == block.end_address
+
+    def test_taken_branch_next_address(self):
+        branch = BranchOutcome(BranchKind.CONDITIONAL, True, 0x2000)
+        block = BasicBlockRecord(0x1000, 4, branch)
+        assert not block.falls_through
+        assert block.next_address == 0x2000
+
+    def test_not_taken_branch_falls_through(self):
+        branch = BranchOutcome(BranchKind.CONDITIONAL, False, 0x2000)
+        block = BasicBlockRecord(0x1000, 4, branch)
+        assert block.falls_through
+        assert block.next_address == block.end_address
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            BasicBlockRecord(0x1000, 0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            BasicBlockRecord(-8, 1)
+
+
+class TestOtherRecords:
+    def test_sync_record(self):
+        record = SyncRecord(SyncKind.BARRIER, 3)
+        assert record.kind is SyncKind.BARRIER
+        assert record.object_id == 3
+
+    def test_sync_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            SyncRecord(SyncKind.WAIT, -1)
+
+    def test_ipc_record_bounds(self):
+        assert IpcRecord(1.5).ipc == 1.5
+        with pytest.raises(ValueError):
+            IpcRecord(0.0)
+        with pytest.raises(ValueError):
+            IpcRecord(17.0)
+
+    def test_end_record_is_singleton_like(self):
+        assert EndRecord() == EndRecord()

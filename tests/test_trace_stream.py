@@ -1,0 +1,95 @@
+"""Unit tests for trace containers and streams."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.records import (
+    BasicBlockRecord,
+    EndRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet, TraceStream
+
+
+def _parallel_trace(thread_id=0):
+    return ThreadTrace(
+        thread_id=thread_id,
+        records=[
+            BasicBlockRecord(0x100, 5),
+            SyncRecord(SyncKind.PARALLEL_START, 0),
+            BasicBlockRecord(0x200, 7),
+            BasicBlockRecord(0x300, 9),
+            SyncRecord(SyncKind.PARALLEL_END, 0),
+            BasicBlockRecord(0x400, 3),
+        ],
+    )
+
+
+class TestThreadTrace:
+    def test_instruction_count(self):
+        assert _parallel_trace().instruction_count == 24
+
+    def test_region_split(self):
+        trace = _parallel_trace()
+        parallel = list(trace.parallel_region_blocks())
+        serial = list(trace.serial_region_blocks())
+        assert [b.address for b in parallel] == [0x200, 0x300]
+        assert [b.address for b in serial] == [0x100, 0x400]
+
+    def test_unbalanced_end_raises(self):
+        trace = ThreadTrace(0, [SyncRecord(SyncKind.PARALLEL_END, 0)])
+        with pytest.raises(TraceError):
+            list(trace.parallel_region_blocks())
+
+    def test_negative_thread_id_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(thread_id=-1)
+
+
+class TestTraceSet:
+    def test_master_and_workers(self):
+        trace_set = TraceSet(
+            benchmark="demo",
+            threads=[_parallel_trace(0), _parallel_trace(1)],
+        )
+        assert trace_set.master.thread_id == 0
+        assert len(trace_set.workers) == 1
+        assert trace_set.instruction_count == 48
+
+    def test_thread_id_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSet(benchmark="demo", threads=[_parallel_trace(1)])
+
+    def test_empty_master_raises(self):
+        with pytest.raises(TraceError):
+            TraceSet(benchmark="demo", threads=[]).master
+
+
+class TestTraceStream:
+    def test_peek_does_not_consume(self):
+        stream = TraceStream([BasicBlockRecord(0x100, 1), IpcRecord(1.0)])
+        first = stream.peek()
+        assert stream.peek() is first
+        assert stream.consumed == 0
+
+    def test_next_consumes_in_order(self):
+        records = [BasicBlockRecord(0x100, 1), IpcRecord(1.0)]
+        stream = TraceStream(records)
+        assert stream.next() is records[0]
+        assert stream.next() is records[1]
+        assert stream.consumed == 2
+
+    def test_exhaustion_returns_end_record(self):
+        stream = TraceStream([])
+        assert isinstance(stream.peek(), EndRecord)
+        assert isinstance(stream.next(), EndRecord)
+        assert stream.exhausted
+        assert stream.consumed == 0
+
+    def test_exhausted_after_draining(self):
+        stream = TraceStream([BasicBlockRecord(0x100, 1)])
+        assert not stream.exhausted
+        stream.next()
+        assert stream.exhausted

@@ -1,0 +1,125 @@
+"""Unit tests for trace protocol validation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.records import (
+    BasicBlockRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.validation import validate_thread_trace, validate_trace_set
+
+
+def _sync(kind, object_id=0):
+    return SyncRecord(kind, object_id)
+
+
+def _phase(phase, blocks=1):
+    records = [_sync(SyncKind.PARALLEL_START, phase)]
+    records += [BasicBlockRecord(0x1000 + 64 * i, 4) for i in range(blocks)]
+    records.append(_sync(SyncKind.PARALLEL_END, phase))
+    return records
+
+
+class TestThreadValidation:
+    def test_master_with_serial_and_phase(self):
+        trace = ThreadTrace(0, [BasicBlockRecord(0x100, 4)] + _phase(0))
+        assert validate_thread_trace(trace, is_master=True) == 1
+
+    def test_worker_outside_region_rejected(self):
+        trace = ThreadTrace(1, [BasicBlockRecord(0x100, 4)])
+        with pytest.raises(TraceError, match="outside"):
+            validate_thread_trace(trace, is_master=False)
+
+    def test_nested_parallel_rejected(self):
+        trace = ThreadTrace(
+            0,
+            [_sync(SyncKind.PARALLEL_START), _sync(SyncKind.PARALLEL_START)],
+        )
+        with pytest.raises(TraceError, match="nested"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_unmatched_end_rejected(self):
+        trace = ThreadTrace(0, [_sync(SyncKind.PARALLEL_END)])
+        with pytest.raises(TraceError, match="without start"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_unterminated_region_rejected(self):
+        trace = ThreadTrace(0, [_sync(SyncKind.PARALLEL_START)])
+        with pytest.raises(TraceError, match="unterminated"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_lock_reacquire_rejected(self):
+        trace = ThreadTrace(
+            0,
+            [
+                _sync(SyncKind.PARALLEL_START),
+                _sync(SyncKind.WAIT, 1),
+                _sync(SyncKind.WAIT, 1),
+                _sync(SyncKind.PARALLEL_END),
+            ],
+        )
+        with pytest.raises(TraceError, match="re-acquires"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_signal_of_unheld_lock_rejected(self):
+        trace = ThreadTrace(0, [_sync(SyncKind.SIGNAL, 2)])
+        with pytest.raises(TraceError, match="unheld"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_unreleased_lock_rejected(self):
+        trace = ThreadTrace(
+            0,
+            [
+                _sync(SyncKind.PARALLEL_START),
+                _sync(SyncKind.WAIT, 3),
+                _sync(SyncKind.PARALLEL_END),
+            ],
+        )
+        with pytest.raises(TraceError, match="never released"):
+            validate_thread_trace(trace, is_master=True)
+
+    def test_balanced_lock_ok(self):
+        trace = ThreadTrace(
+            0,
+            [
+                _sync(SyncKind.PARALLEL_START),
+                _sync(SyncKind.WAIT, 3),
+                BasicBlockRecord(0x100, 2),
+                _sync(SyncKind.SIGNAL, 3),
+                _sync(SyncKind.PARALLEL_END),
+            ],
+        )
+        assert validate_thread_trace(trace, is_master=True) == 1
+
+
+class TestSetValidation:
+    def test_valid_set(self):
+        trace_set = TraceSet(
+            benchmark="demo",
+            threads=[
+                ThreadTrace(0, [BasicBlockRecord(0x100, 4)] + _phase(0, blocks=2)),
+                ThreadTrace(1, _phase(0, blocks=3)),
+            ],
+        )
+        report = validate_trace_set(trace_set)
+        assert report.thread_count == 2
+        assert report.parallel_phase_count == 1
+        assert report.total_instructions == 4 + 8 + 12
+
+    def test_phase_count_mismatch_rejected(self):
+        trace_set = TraceSet(
+            benchmark="demo",
+            threads=[
+                ThreadTrace(0, _phase(0) + _phase(1)),
+                ThreadTrace(1, _phase(0)),
+            ],
+        )
+        with pytest.raises(TraceError, match="disagree"):
+            validate_trace_set(trace_set)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(TraceError, match="no threads"):
+            validate_trace_set(TraceSet(benchmark="demo", threads=[]))

@@ -1,0 +1,146 @@
+"""Unit tests for repro.utils helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils import (
+    RunningStats,
+    align_down,
+    align_up,
+    geometric_mean,
+    harmonic_mean,
+    is_power_of_two,
+    log2_int,
+    mask,
+    require,
+    require_positive,
+    require_power_of_two,
+    require_range,
+)
+
+
+class TestBits:
+    def test_is_power_of_two_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_is_power_of_two_rejects_non_powers(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(64) == 6
+        assert log2_int(32 * 1024) == 15
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_int(48)
+
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(6) == 63
+        assert mask(16) == 0xFFFF
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            mask(-1)
+
+    def test_align_down(self):
+        assert align_down(0x12345, 64) == 0x12340
+        assert align_down(64, 64) == 64
+
+    def test_align_up(self):
+        assert align_up(0x12341, 64) == 0x12380
+        assert align_up(128, 64) == 128
+
+    def test_align_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            align_down(10, 3)
+        with pytest.raises(ConfigurationError):
+            align_up(10, 3)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=20))
+    def test_align_down_up_bracket(self, address, shift):
+        alignment = 1 << shift
+        down = align_down(address, alignment)
+        up = align_up(address, alignment)
+        assert down <= address <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.total == pytest.approx(12.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.variance == pytest.approx(8.0 / 3.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_matches_batch_mean(self, samples):
+        stats = RunningStats()
+        stats.extend(samples)
+        assert stats.mean == pytest.approx(sum(samples) / len(samples), abs=1e-6)
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6, 6]) == pytest.approx(3 / (0.5 + 1 / 6 + 1 / 6))
+        assert harmonic_mean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1, max_size=50))
+    def test_mean_ordering(self, values):
+        # harmonic <= geometric <= arithmetic for positive values
+        arithmetic = sum(values) / len(values)
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+        assert geometric_mean(values) <= arithmetic + 1e-9
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(0, "x")
+
+    def test_require_power_of_two(self):
+        require_power_of_two(16, "x")
+        with pytest.raises(ConfigurationError):
+            require_power_of_two(18, "x")
+
+    def test_require_range(self):
+        require_range(0.5, 0.0, 1.0, "x")
+        with pytest.raises(ConfigurationError):
+            require_range(1.5, 0.0, 1.0, "x")
+
+    def test_stats_nan_free(self):
+        assert not math.isnan(RunningStats().mean)

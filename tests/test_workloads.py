@@ -1,0 +1,194 @@
+"""Unit tests for workload models, suites and code generation."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.records import INSTRUCTION_BYTES
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    EXMATEX_SUITE,
+    NPB_SUITE,
+    SPECOMP_SUITE,
+    benchmark_names,
+    build_region,
+    get_benchmark,
+    stable_seed,
+    suite_of,
+)
+from repro.workloads.model import WorkloadModel
+
+
+class TestSuites:
+    def test_paper_benchmark_counts(self):
+        # Section V-C: 10 NPB + 10 SPEC OMP + 4 ExMatEx = 24 workloads.
+        assert len(NPB_SUITE) == 10
+        assert len(SPECOMP_SUITE) == 10
+        assert len(EXMATEX_SUITE) == 4
+        assert len(ALL_BENCHMARKS) == 24
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(set(names)) == 24
+
+    def test_lookup(self):
+        assert get_benchmark("BT").suite == "NPB"
+        assert suite_of("LULESH") == "ExMatEx"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            get_benchmark("nonexistent")
+
+    def test_parallel_blocks_longer_on_average(self):
+        # Fig. 2: parallel basic blocks are ~3x serial ones on (arithmetic) mean.
+        serial = sum(m.bb_bytes_serial for m in ALL_BENCHMARKS) / 24
+        parallel = sum(m.bb_bytes_parallel for m in ALL_BENCHMARKS) / 24
+        assert parallel / serial > 2.5
+
+    def test_nab_and_coevp_inverted(self):
+        # Fig. 2 exceptions: nab and CoEVP have longer serial basic blocks.
+        for name in ("nab", "CoEVP"):
+            model = get_benchmark(name)
+            assert model.bb_bytes_serial > model.bb_bytes_parallel
+
+    def test_parallel_mpki_negligible_except_coevp(self):
+        # Fig. 3: parallel MPKI far below 1 everywhere but CoEVP (1.27).
+        for model in ALL_BENCHMARKS:
+            if model.name == "CoEVP":
+                assert model.cold_mpki_parallel == pytest.approx(1.27)
+            else:
+                assert model.cold_mpki_parallel < 0.1
+
+    def test_serial_branch_mpki_higher(self):
+        # Section VI-A: serial branch MPKI ~3.8x the parallel value.
+        ratios = [
+            m.branch_mpki_serial / m.branch_mpki_parallel for m in ALL_BENCHMARKS
+        ]
+        assert sum(ratios) / len(ratios) > 3.0
+
+    def test_sharing_high(self):
+        # Fig. 4: ~99 % dynamic instruction sharing.
+        mean_sharing = sum(m.sharing_dynamic for m in ALL_BENCHMARKS) / 24
+        assert mean_sharing > 0.98
+
+    def test_capacity_benchmarks_exceed_16kb(self):
+        # Fig. 11: botsalgn and smithwa show capacity pressure at 16 KB.
+        for name in ("botsalgn", "smithwa"):
+            model = get_benchmark(name)
+            assert 16 * 1024 < model.footprint_parallel_bytes <= 32 * 1024
+
+    def test_comd_has_largest_serial_fraction(self):
+        # Fig. 13: CoMD sits furthest right on the serial-fraction axis.
+        comd = get_benchmark("CoMD")
+        assert comd.serial_fraction == max(m.serial_fraction for m in ALL_BENCHMARKS)
+
+
+class TestModelValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="X",
+            suite="NPB",
+            serial_fraction=0.02,
+            bb_bytes_serial=32,
+            bb_bytes_parallel=96,
+            loop_body_bytes_serial=128,
+            loop_body_bytes_parallel=512,
+            inner_trips_serial=10,
+            inner_trips_parallel=10,
+            footprint_serial_bytes=4096,
+            footprint_parallel_bytes=8192,
+            cold_mpki_serial=10.0,
+            cold_mpki_parallel=0.0,
+            branch_mpki_serial=4.0,
+            branch_mpki_parallel=1.0,
+            sharing_dynamic=0.99,
+            sharing_static=0.97,
+            ipc_master_serial=1.8,
+            ipc_master_parallel=2.2,
+            ipc_worker_parallel=0.8,
+            parallel_phases=2,
+            uses_critical_sections=False,
+            imbalance=0.05,
+            parallel_instructions=10_000,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_model(self):
+        model = WorkloadModel(**self._kwargs())
+        assert model.bb_instructions_parallel == 24
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("suite", "BOGUS"),
+            ("serial_fraction", 1.0),
+            ("bb_bytes_serial", 1),
+            ("loop_body_bytes_parallel", 8),
+            ("inner_trips_parallel", 0),
+            ("footprint_parallel_bytes", 16),
+            ("cold_mpki_serial", -1.0),
+            ("sharing_dynamic", 0.0),
+            ("ipc_worker_parallel", 0.0),
+            ("parallel_phases", 0),
+            ("imbalance", 0.9),
+            ("parallel_instructions", 10),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value):
+        with pytest.raises(WorkloadError):
+            WorkloadModel(**self._kwargs(**{field: value}))
+
+    def test_serial_instructions_fraction(self):
+        model = WorkloadModel(**self._kwargs(serial_fraction=0.1))
+        serial = model.serial_instructions(thread_count=9)
+        parallel_total = model.parallel_instructions * 9
+        fraction = serial / (serial + parallel_total)
+        assert fraction == pytest.approx(0.1, rel=0.01)
+
+
+class TestCodegen:
+    def test_stable_seed_deterministic(self):
+        assert stable_seed("BT", "layout") == stable_seed("BT", "layout")
+        assert stable_seed("BT", "layout") != stable_seed("CG", "layout")
+
+    def test_region_covers_footprint(self):
+        rng = Random(1)
+        region = build_region(0x1000, 8192, 512, 64, 10, rng)
+        assert region.footprint_bytes >= 8192
+        assert region.base_address == 0x1000
+
+    def test_blocks_contiguous(self):
+        rng = Random(2)
+        region = build_region(0x1000, 4096, 256, 32, 5, rng)
+        cursor = 0x1000
+        for loop in region.loops:
+            for block in loop.blocks:
+                assert block.address == cursor
+                cursor = block.end_address
+
+    def test_block_sizes_near_mean(self):
+        rng = Random(3)
+        region = build_region(0x1000, 64 * 1024, 512, 64, 10, rng)
+        sizes = [
+            block.size_bytes for loop in region.loops for block in loop.blocks
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert 0.7 * 64 < mean < 1.3 * 64
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(WorkloadError):
+            build_region(0, 100, 512, 64, 10, Random(0))
+
+    def test_rejects_subinstruction_block(self):
+        with pytest.raises(WorkloadError):
+            build_region(0, 4096, 512, INSTRUCTION_BYTES - 1, 10, Random(0))
+
+    def test_line_addresses_cover_code(self):
+        rng = Random(4)
+        region = build_region(0x1000, 2048, 256, 64, 5, rng)
+        lines = region.line_addresses(64)
+        assert all(address % 64 == 0 for address in lines)
+        expected_span = region.end_address - region.base_address
+        assert len(lines) >= expected_span // 64
