@@ -2,10 +2,12 @@
 """Multi-seed campaign with persisted results.
 
 Trace synthesis is randomised; any reported ratio should be robust across
-trace realisations. This example runs the headline comparison (baseline vs
-the 16 KB shared / double-bus proposal) over several seeds, persists every
-run as JSON, reloads the campaign, and reports mean and spread of the
-execution-time ratio — the reproducibility hygiene a real evaluation needs.
+trace realisations. This example declares the headline comparison
+(baseline vs the 16 KB shared / double-bus proposal) over several seeds
+as a :class:`repro.Campaign`, executes it through the campaign runner
+with a persistent result store, re-runs it to show the store serving
+every run from cache, and reports mean and spread of the execution-time
+ratio — the reproducibility hygiene a real evaluation needs.
 
 Run:
     python examples/campaign_with_seeds.py
@@ -13,11 +15,8 @@ Run:
 
 import statistics
 import tempfile
-from pathlib import Path
 
-from repro import baseline_config, simulate, worker_shared_config
-from repro.acmp import load_results, save_results
-from repro.trace.synthesis import synthesize_benchmark
+from repro import Campaign, ResultStore, baseline_config, run_campaign, worker_shared_config
 
 BENCHMARK = "FT"
 SEEDS = (0, 1, 2, 3)
@@ -27,26 +26,38 @@ SCALE = 0.25
 def main() -> None:
     base_config = baseline_config()
     shared_config = worker_shared_config()
-    runs = []
-    ratios = []
-    for seed in SEEDS:
-        traces = synthesize_benchmark(
-            BENCHMARK, thread_count=9, scale=SCALE, seed=seed
-        )
-        base = simulate(base_config, traces)
-        shared = simulate(shared_config, traces)
-        runs += [base, shared]
-        ratios.append(shared.cycles / base.cycles)
-        print(
-            f"seed {seed}: baseline {base.cycles:>7,} cycles, "
-            f"shared {shared.cycles:>7,} cycles, ratio {ratios[-1]:.4f}"
-        )
+    campaign = Campaign(
+        name="headline-vs-seeds",
+        benchmarks=(BENCHMARK,),
+        design_points=(base_config, shared_config),
+        seeds=SEEDS,
+        scale=SCALE,
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "campaign.json"
-        save_results(runs, path)
-        reloaded = load_results(path)
-        print(f"\npersisted and reloaded {len(reloaded)} runs from {path.name}")
+        store = ResultStore(tmp)
+        report = run_campaign(campaign, store=store)
+        print(report.summary())
+
+        ratios = []
+        for seed in SEEDS:
+            base = report.results[(BENCHMARK, base_config.label(), seed, SCALE)]
+            shared = report.results[
+                (BENCHMARK, shared_config.label(), seed, SCALE)
+            ]
+            ratios.append(shared.cycles / base.cycles)
+            print(
+                f"seed {seed}: baseline {base.cycles:>7,} cycles, "
+                f"shared {shared.cycles:>7,} cycles, ratio {ratios[-1]:.4f}"
+            )
+
+        # A second invocation never simulates: every run is served from
+        # the persistent store.
+        rerun = run_campaign(campaign, store=store)
+        print(
+            f"\nrerun: {rerun.cached}/{rerun.total} runs served from the "
+            f"store in {rerun.wall_seconds:.2f}s"
+        )
 
     mean = statistics.mean(ratios)
     spread = statistics.stdev(ratios) if len(ratios) > 1 else 0.0

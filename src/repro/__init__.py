@@ -34,6 +34,14 @@ from repro.acmp import (
     simulate,
     worker_shared_config,
 )
+from repro.campaign import (
+    Campaign,
+    CampaignReport,
+    ResultStore,
+    RunSpec,
+    run_campaign,
+)
+from repro.engine import Clock, EventQueue, SimulationKernel
 from repro.errors import (
     ConfigurationError,
     DeadlockError,
@@ -64,6 +72,14 @@ __all__ = [
     "baseline_config",
     "simulate",
     "worker_shared_config",
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "RunSpec",
+    "run_campaign",
+    "Clock",
+    "EventQueue",
+    "SimulationKernel",
     "ConfigurationError",
     "DeadlockError",
     "ReproError",

@@ -1,0 +1,120 @@
+"""Kernel components for the ACMP machine.
+
+The seed engine's per-cycle order of operations (front-ends, shared
+interconnects, back-ends) becomes three :class:`~repro.engine.kernel.
+KernelComponent` implementations registered with the
+:class:`~repro.engine.SimulationKernel` in the same order. Each phase
+also implements the cycle-skipping contract: ``skip_horizon`` certifies
+when stepping would be a no-op, and ``on_skip`` charges skipped cycles
+to the same accounting a stepped run would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import NEVER
+from repro.runtime.threads import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.acmp.system import Core
+    from repro.frontend.ports import SharedIcacheGroup
+
+
+class FrontendPhase:
+    """Steps every runnable core's front-end (FTQ fill, issue, extract)."""
+
+    def __init__(self, cores: list[Core]) -> None:
+        self.cores = cores
+
+    def step(self, now: int) -> int:
+        for core in self.cores:
+            if core.context.state is ThreadState.RUNNING:
+                core.frontend.step(now)
+        return 0
+
+    def skip_horizon(self, now: int) -> int | None:
+        horizon = NEVER
+        for core in self.cores:
+            if core.context.state is not ThreadState.RUNNING:
+                continue
+            if core.backend.iq_count:
+                # A non-empty IQ commits (or paces towards a commit) in
+                # upcoming cycles; the stall pattern is not static.
+                return None
+            core_horizon = core.frontend.skip_horizon(now)
+            if core_horizon is None:
+                return None
+            if core_horizon < horizon:
+                horizon = core_horizon
+        return horizon
+
+    def on_skip(self, start: int, cycles: int) -> None:
+        pass  # quiescent front-ends accrue nothing per cycle
+
+
+class InterconnectPhase:
+    """Steps the shared I-interconnects (arbitration and grants)."""
+
+    def __init__(self, groups: list[SharedIcacheGroup]) -> None:
+        self.groups = groups
+
+    def step(self, now: int) -> int:
+        for group in self.groups:
+            group.step(now)
+        return 0
+
+    def skip_horizon(self, now: int) -> int | None:
+        for group in self.groups:
+            if not group.idle_at(now):
+                return None
+        return NEVER
+
+    def on_skip(self, start: int, cycles: int) -> None:
+        pass  # idle buses accrue no busy/wait statistics
+
+
+class CommitPhase:
+    """Steps every unfinished core's back-end; reports committed count."""
+
+    def __init__(self, cores: list[Core]) -> None:
+        self.cores = cores
+
+    def step(self, now: int) -> int:
+        committed = 0
+        for core in self.cores:
+            state = core.context.state
+            if state is ThreadState.FINISHED:
+                continue
+            if state is ThreadState.BLOCKED:
+                core.backend.step(now, "sync")
+                continue
+            # Pass the attribution lazily: it is only evaluated on a
+            # stall, so committing cycles skip the FTQ walk.
+            committed += core.backend.step(now, core.frontend.stall_cause)
+        return committed
+
+    def skip_horizon(self, now: int) -> int | None:
+        for core in self.cores:
+            if (
+                core.context.state is not ThreadState.FINISHED
+                and core.backend.iq_count
+            ):
+                return None
+        return NEVER
+
+    def on_skip(self, start: int, cycles: int) -> None:
+        # The front-end phase only certifies a skip when each running
+        # core's stall cause is pinned for the whole window, so charging
+        # every skipped cycle to the cause observed at its start equals
+        # the per-cycle accounting of a stepped run.
+        for core in self.cores:
+            state = core.context.state
+            if state is ThreadState.FINISHED:
+                continue
+            cause = (
+                "sync"
+                if state is ThreadState.BLOCKED
+                else core.frontend.stall_cause(start)
+            )
+            core.backend.idle_steps(cycles, cause)

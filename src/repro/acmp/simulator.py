@@ -1,6 +1,7 @@
 """The cycle-level ACMP simulation engine.
 
-Per-cycle order of operations:
+Per-cycle order of operations (now encoded as kernel phases, see
+:mod:`repro.acmp.phases`):
 
 1. scheduled completions land (line-buffer fills, cache refills);
 2. every runnable core's front-end steps (FTQ fill, issue, extract);
@@ -12,6 +13,14 @@ Per-cycle order of operations:
 The run terminates when every thread has consumed its trace and drained
 its pipeline; the cycle count at that point is the benchmark's execution
 time for the configured design point.
+
+The main loop lives in :class:`repro.engine.SimulationKernel`, which
+adds a cycle-skipping fast path: when every unfinished core is blocked
+on synchronisation or stalled waiting on a scheduled completion, the
+clock jumps directly to the next event instead of iterating idle cycles,
+charging the skipped cycles to the same stall buckets a stepped run
+would have. Results are bit-identical either way; pass
+``cycle_skip=False`` to force the cycle-by-cycle reference path.
 """
 
 from __future__ import annotations
@@ -19,8 +28,7 @@ from __future__ import annotations
 from repro.acmp.config import AcmpConfig
 from repro.acmp.results import SimulationResult
 from repro.acmp.system import AcmpSystem
-from repro.errors import DeadlockError, SimulationError
-from repro.runtime.threads import ThreadState
+from repro.engine import SimulationKernel
 from repro.trace.stream import TraceSet
 
 #: Cycles without any committed instruction before declaring a deadlock.
@@ -28,11 +36,25 @@ _STALL_LIMIT = 200_000
 
 
 class AcmpSimulator:
-    """Runs one :class:`AcmpSystem` to completion."""
+    """Runs one :class:`AcmpSystem` to completion on a simulation kernel."""
 
-    def __init__(self, system: AcmpSystem) -> None:
+    def __init__(self, system: AcmpSystem, *, cycle_skip: bool = True) -> None:
         self.system = system
-        self.cycle = 0
+        self.kernel = SimulationKernel(
+            events=system.events,
+            stall_limit=_STALL_LIMIT,
+            cycle_skip=cycle_skip,
+        )
+        for phase in system.kernel_phases():
+            self.kernel.register(phase)
+        self.kernel.set_finish_condition(system.all_finished)
+        self.kernel.set_describe(self._describe)
+        self.kernel.set_deadlock_detail(self._deadlock_detail)
+
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle (the kernel clock's reading)."""
+        return self.kernel.clock.now
 
     def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
         """Simulate until all threads finish; return collected results.
@@ -41,63 +63,25 @@ class AcmpSimulator:
             DeadlockError: when no thread commits for a long window while
                 unfinished threads remain (protocol violation or bug).
         """
+        cycles = self.kernel.run(max_cycles=max_cycles)
+        return self.system.collect_results(cycles)
+
+    # -- error context -----------------------------------------------------
+
+    def _describe(self) -> str:
         system = self.system
-        cores = system.cores
-        runnable_cores = cores  # stable list; state checked per cycle
-        shared_groups = [
-            hw.shared for hw in system.group_hardware if hw.shared is not None
-        ]
-        events = system.events
-        last_progress_cycle = 0
-        total_committed_at_progress = 0
-
-        while self.cycle < max_cycles:
-            now = self.cycle
-            if all(c.context.state is ThreadState.FINISHED for c in cores):
-                return system.collect_results(now)
-
-            events.run_due(now)
-
-            for core in runnable_cores:
-                if core.context.state is ThreadState.RUNNING:
-                    core.frontend.step(now)
-
-            for group in shared_groups:
-                group.step(now)
-
-            committed_this_cycle = 0
-            for core in cores:
-                state = core.context.state
-                if state is ThreadState.FINISHED:
-                    continue
-                if state is ThreadState.BLOCKED:
-                    core.backend.step(now, "sync")
-                    continue
-                cause = core.frontend.stall_cause(now)
-                committed_this_cycle += core.backend.step(now, cause)
-
-            if committed_this_cycle:
-                last_progress_cycle = now
-                total_committed_at_progress += committed_this_cycle
-            elif now - last_progress_cycle > _STALL_LIMIT:
-                self._raise_deadlock(now)
-
-            self.cycle += 1
-
-        raise SimulationError(
-            f"simulation exceeded max_cycles={max_cycles} for "
-            f"benchmark {system.traces.benchmark!r}"
+        return (
+            f"benchmark {system.traces.benchmark!r}, config "
+            f"{system.config.label()}"
         )
 
-    def _raise_deadlock(self, now: int) -> None:
+    def _deadlock_detail(self, now: int) -> str:
         system = self.system
         states = {
             core.core_id: core.context.state.value for core in system.cores
         }
-        raise DeadlockError(
-            f"no instruction committed for {_STALL_LIMIT} cycles at cycle "
-            f"{now} (benchmark {system.traces.benchmark!r}, config "
-            f"{system.config.label()}): core states {states}; runtime: "
+        return (
+            f"core states {states}; runtime: "
             f"{system.runtime.describe_blockage()}"
         )
 
@@ -107,6 +91,7 @@ def simulate(
     traces: TraceSet,
     max_cycles: int = 500_000_000,
     warm_l2: bool = True,
+    cycle_skip: bool = True,
 ) -> SimulationResult:
     """Build and run one design point over one trace set.
 
@@ -115,8 +100,12 @@ def simulate(
             (see :meth:`AcmpSystem.warm_instruction_l2s`); on by default
             because the paper's full-length runs operate with code-resident
             L2s.
+        cycle_skip: enable the kernel's cycle-skipping fast path
+            (bit-identical results; off only for engine cross-checks).
     """
     system = AcmpSystem(config, traces)
     if warm_l2:
         system.warm_instruction_l2s()
-    return AcmpSimulator(system).run(max_cycles=max_cycles)
+    return AcmpSimulator(system, cycle_skip=cycle_skip).run(
+        max_cycles=max_cycles
+    )

@@ -7,14 +7,14 @@ the shared-I-cache proposal — ready to be run by the cycle engine.
 
 from __future__ import annotations
 
-import heapq
-from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.acmp.config import AcmpConfig
+from repro.acmp.phases import CommitPhase, FrontendPhase, InterconnectPhase
 from repro.acmp.results import CacheGroupResult, CoreResult, SimulationResult
 from repro.acmp.topology import CacheGroup, Topology, build_topology
 from repro.backend.backend import CommitEngine
+from repro.engine import EventQueue
 from repro.branch.fetch_predictor import FetchPredictor
 from repro.branch.gshare import GsharePredictor
 from repro.branch.loop import LoopPredictor
@@ -31,37 +31,11 @@ from repro.memory.controller import FcfsBus, MemoryController
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import InstructionHierarchy
 from repro.runtime.coordinator import RuntimeCoordinator
-from repro.runtime.threads import ThreadContext
+from repro.runtime.threads import ThreadContext, ThreadState
 from repro.trace.stream import TraceSet, TraceStream
 
 
-class EventQueue:
-    """Min-heap of (cycle, seq, callback) used for scheduled completions."""
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Callable[[], None]]] = []
-        self._seq = 0
-
-    def schedule(self, cycle: int, callback: Callable[[], None]) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (cycle, self._seq, callback))
-
-    def run_due(self, now: int) -> int:
-        """Run every callback scheduled at or before ``now``."""
-        ran = 0
-        heap = self._heap
-        while heap and heap[0][0] <= now:
-            _, _, callback = heapq.heappop(heap)
-            callback()
-            ran += 1
-        return ran
-
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    @property
-    def next_cycle(self) -> int | None:
-        return self._heap[0][0] if self._heap else None
+__all__ = ["AcmpSystem", "Core", "EventQueue"]
 
 
 @dataclass
@@ -170,10 +144,7 @@ class AcmpSystem:
             line_bytes=config.icache_line_bytes,
             itlb=itlb,
         )
-        frontend.iq_space = backend.iq_space
-        frontend.iq_push = backend.iq_push
-        frontend.on_ipc = backend.set_ipc
-        frontend._iq_capacity_hint = config.iq_capacity
+        frontend.attach_backend(backend, iq_capacity=config.iq_capacity)
         return Core(
             core_id=core_id,
             context=context,
@@ -277,6 +248,29 @@ class AcmpSystem:
             return -float(slot_cores[slot].backend.iq_count)
 
         return lambda n: WeightedArbiter(n, urgency)
+
+    # -- kernel wiring ---------------------------------------------------
+
+    def kernel_phases(self) -> list[object]:
+        """The machine's per-cycle phases, in the engine's step order.
+
+        Register these with a :class:`repro.engine.SimulationKernel`
+        (sharing :attr:`events`) to run the machine.
+        """
+        shared_groups = [
+            hw.shared for hw in self.group_hardware if hw.shared is not None
+        ]
+        return [
+            FrontendPhase(self.cores),
+            InterconnectPhase(shared_groups),
+            CommitPhase(self.cores),
+        ]
+
+    def all_finished(self) -> bool:
+        """True when every thread consumed its trace and drained."""
+        return all(
+            core.context.state is ThreadState.FINISHED for core in self.cores
+        )
 
     # -- warm-up ---------------------------------------------------------
 

@@ -98,12 +98,15 @@ class CommitEngine:
 
     # -- per-cycle step -------------------------------------------------------
 
-    def step(self, now: int, stall_cause: str) -> int:
+    def step(self, now: int, stall_cause) -> int:
         """Attempt one commit cycle; return instructions committed.
 
         Args:
             stall_cause: the front-end's attribution, charged when the
-                queue cannot cover an earned commit credit.
+                queue cannot cover an earned commit credit. Either the
+                cause string itself, or a ``callable(now) -> str`` that
+                is only invoked on a stall — committing cycles (the
+                common case) then skip the attribution walk entirely.
         """
         self._credit += self._ipc
         commit = min(int(self._credit), self._iq_count)
@@ -118,6 +121,8 @@ class CommitEngine:
             return commit
         if self._credit >= 1.0:
             # Earned a commit slot but had nothing to commit: a stall.
+            if callable(stall_cause):
+                stall_cause = stall_cause(now)
             if stall_cause == "finished":
                 self.stats.base_cycles += 1
             else:
@@ -128,3 +133,48 @@ class CommitEngine:
         # Sub-unit IPC pacing: not a stall, the back-end is simply narrow.
         self.stats.base_cycles += 1
         return 0
+
+    def idle_steps(self, cycles: int, stall_cause: str) -> None:
+        """Account ``cycles`` consecutive :meth:`step` calls at once.
+
+        The kernel's cycle-skipping fast path uses this instead of
+        stepping an empty back-end cycle by cycle. The contract is exact
+        equivalence with calling ``step(_, stall_cause)`` ``cycles``
+        times while the instruction queue is empty: the same stall/base
+        cycle counts and the same final commit-credit value (including
+        float behaviour), so a skipped run is bit-identical to a stepped
+        one.
+        """
+        if cycles <= 0:
+            return
+        if self._iq_count:
+            raise SimulationError(
+                "idle_steps requires an empty instruction queue "
+                f"(have {self._iq_count})"
+            )
+        remaining = cycles
+        # Warm-up: sub-unit pacing cycles until one commit credit is
+        # earned. Replays step()'s repeated addition so the float credit
+        # trajectory is identical.
+        while remaining and self._credit + self._ipc < 1.0:
+            self._credit += self._ipc
+            self.stats.base_cycles += 1
+            remaining -= 1
+        if not remaining:
+            return
+        # Every remaining cycle earns a credit it cannot spend: step()
+        # charges one stall cycle and clamps the credit. After the first
+        # such cycle the credit is pinned at the clamp value exactly.
+        cap = max(1.0, self._ipc)
+        self._credit = min(self._credit + self._ipc, cap)
+        if remaining > 1:
+            self._credit = cap
+        if stall_cause == "finished":
+            self.stats.base_cycles += remaining
+        else:
+            cause = (
+                stall_cause
+                if stall_cause in self.stats.stall_cycles
+                else "other"
+            )
+            self.stats.stall_cycles[cause] += remaining

@@ -1,0 +1,29 @@
+"""Simulation campaigns: declarative sweeps, parallel execution, caching.
+
+The layer between the single-run engine (:mod:`repro.acmp` on
+:mod:`repro.engine`) and the figure/table drivers: declare *what* to run
+(:class:`Campaign` / :class:`RunSpec`), execute it serially or across
+worker processes (:func:`run_campaign` / :func:`run_specs`), and never
+run the same design point twice (:class:`ResultStore`).
+"""
+
+from repro.campaign.runner import (
+    execute_run,
+    print_progress,
+    run_campaign,
+    run_specs,
+)
+from repro.campaign.spec import Campaign, CampaignReport, RunKey, RunSpec
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "RunKey",
+    "RunSpec",
+    "execute_run",
+    "print_progress",
+    "run_campaign",
+    "run_specs",
+]

@@ -1,0 +1,179 @@
+"""Campaign execution: serial or process-parallel, cache-aware.
+
+The runner takes :class:`~repro.campaign.spec.RunSpec` work units,
+skips anything already present in the :class:`~repro.campaign.store.
+ResultStore` (or an in-memory reuse map), and executes the rest — with a
+``ProcessPoolExecutor`` when ``jobs > 1``. Each worker process
+synthesises its own traces (memoised per process, so a benchmark's
+trace set is built once per worker regardless of how many design points
+it serves) and runs the cycle-skipping kernel.
+
+Trace synthesis is seeded per run, so campaigns over several seeds give
+independent trace realisations while staying fully reproducible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from functools import lru_cache
+
+from repro.acmp.results import SimulationResult
+from repro.acmp.simulator import simulate
+from repro.campaign.spec import Campaign, CampaignReport, RunKey, RunSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigurationError
+
+#: Progress hook: (completed, total, spec, elapsed_seconds).
+ProgressHook = Callable[[int, int, RunSpec, float], None]
+
+
+#: Per-process memo capacity for synthesised trace sets.
+_TRACES_CACHE_SIZE = 32
+
+
+@lru_cache(maxsize=_TRACES_CACHE_SIZE)
+def _traces_cached(benchmark: str, thread_count: int, scale: float, seed: int):
+    # Imported lazily so worker processes pay the import cost once.
+    from repro.trace.synthesis import synthesize_benchmark
+
+    return synthesize_benchmark(
+        benchmark, thread_count=thread_count, scale=scale, seed=seed
+    )
+
+
+def execute_run(spec: RunSpec) -> SimulationResult:
+    """Synthesise traces and simulate one run (worker entry point)."""
+    traces = _traces_cached(
+        spec.benchmark, spec.config.core_count, spec.scale, spec.seed
+    )
+    return simulate(
+        spec.config,
+        traces,
+        warm_l2=spec.warm_l2,
+        cycle_skip=spec.cycle_skip,
+    )
+
+
+def print_progress(completed: int, total: int, spec: RunSpec, elapsed: float) -> None:
+    """Default progress reporter for CLI campaigns (stderr, one line/run)."""
+    print(
+        f"[{completed}/{total}] {spec.describe()} ({elapsed:.1f}s)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressHook | None = None,
+    name: str = "ad-hoc",
+) -> CampaignReport:
+    """Execute every spec, reusing cached results; return all results.
+
+    Args:
+        jobs: worker processes; 1 runs in-process (no fork overhead).
+        store: persistent result cache, consulted before executing and
+            updated after each run.
+        progress: per-completed-run callback.
+
+    Returns:
+        A :class:`CampaignReport` whose ``results`` maps every spec's
+        key to its :class:`SimulationResult`.
+    """
+    started = time.perf_counter()
+    unique: dict[RunKey, RunSpec] = {}
+    for spec in specs:
+        known = unique.setdefault(spec.key, spec)
+        if known is not spec and known.config_digest() != spec.config_digest():
+            raise ConfigurationError(
+                f"two specs in one batch share the key {spec.key} but "
+                f"differ in configuration: the design-point label does "
+                f"not distinguish them"
+            )
+    results: dict[RunKey, SimulationResult] = {}
+    pending: list[RunSpec] = []
+    for key, spec in unique.items():
+        if store is not None and (stored := store.get(spec)) is not None:
+            results[key] = stored
+        else:
+            pending.append(spec)
+    cached = len(unique) - len(pending)
+    total = len(unique)
+    completed = cached
+
+    def record(spec: RunSpec, result: SimulationResult) -> None:
+        nonlocal completed
+        results[spec.key] = result
+        if store is not None:
+            store.put(spec, result)
+        completed += 1
+        if progress is not None:
+            progress(completed, total, spec, time.perf_counter() - started)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for spec in pending:
+            record(spec, execute_run(spec))
+    else:
+        # Synthesise every needed trace set once, in the parent, before
+        # the pool forks: on fork-based platforms the children inherit
+        # the warm memo, so no worker re-synthesises a benchmark's
+        # traces for every design point it draws. Skipped when the
+        # children cannot inherit it (spawn) or the memo cannot hold
+        # every set (eviction would waste the serial synthesis time).
+        trace_keys = {
+            (spec.benchmark, spec.config.core_count, spec.scale, spec.seed)
+            for spec in pending
+        }
+        if (
+            multiprocessing.get_start_method() == "fork"
+            and len(trace_keys) <= _TRACES_CACHE_SIZE
+        ):
+            for trace_key in sorted(trace_keys):
+                _traces_cached(*trace_key)
+        # Oversubscribing a small host only adds fork/scheduling cost:
+        # cap the pool at the CPU count like any parallel build tool.
+        workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_run, spec): spec for spec in pending}
+            try:
+                for future in as_completed(futures):
+                    record(futures[future], future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    return CampaignReport(
+        name=name,
+        total=total,
+        executed=len(pending),
+        cached=cached,
+        wall_seconds=time.perf_counter() - started,
+        jobs=jobs,
+        results=results,
+    )
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressHook | None = None,
+) -> CampaignReport:
+    """Execute a whole declarative campaign (see :class:`Campaign`)."""
+    return run_specs(
+        campaign.runs(),
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        name=campaign.name,
+    )

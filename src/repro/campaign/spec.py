@@ -1,0 +1,141 @@
+"""Declarative simulation campaigns: benchmarks × design points × seeds.
+
+A :class:`Campaign` names *what* to run; :mod:`repro.campaign.runner`
+decides *how* (serial or process-parallel) and
+:mod:`repro.campaign.store` remembers what already ran. The unit of work
+is a :class:`RunSpec` — one benchmark on one design point with one trace
+seed — whose :meth:`RunSpec.key` is the persistent identity results are
+cached under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.acmp.config import AcmpConfig
+from repro.errors import ConfigurationError
+
+#: The persistent identity of one run: (benchmark, config label, seed,
+#: scale). Everything the synthesis and simulation depend on, modulo the
+#: full config (the label is the design point's reporting identity).
+RunKey = tuple[str, str, int, float]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One benchmark × design point × seed simulation."""
+
+    benchmark: str
+    config: AcmpConfig
+    seed: int = 0
+    scale: float = 1.0
+    warm_l2: bool = True
+    cycle_skip: bool = True
+
+    @property
+    def key(self) -> RunKey:
+        return (self.benchmark, self.config.label(), self.seed, self.scale)
+
+    def config_digest(self) -> str:
+        """Fingerprint of every run-affecting input the key omits.
+
+        ``config.label()`` is a reporting identity, not a full one —
+        fields like ``worker_count`` or ``arbitration`` do not appear
+        in it, and ``warm_l2`` is outside the config entirely. The
+        digest covers all of them so a store can refuse to serve a
+        cached result produced by a different machine than the one
+        requested. ``cycle_skip`` is deliberately excluded: the two
+        engine paths are bit-identical by contract.
+        """
+        payload = json.dumps(
+            {"config": asdict(self.config), "warm_l2": self.warm_l2},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark} @ {self.config.label()} "
+            f"(seed={self.seed}, scale={self.scale})"
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative sweep: every benchmark on every design point.
+
+    Attributes:
+        name: campaign identifier used in reports.
+        benchmarks: benchmark names to evaluate.
+        design_points: the :class:`AcmpConfig` instances to sweep.
+        seeds: trace-synthesis seeds; each (benchmark, design point)
+            pair runs once per seed.
+        scale: per-thread instruction budget multiplier.
+    """
+
+    name: str
+    benchmarks: tuple[str, ...]
+    design_points: tuple[AcmpConfig, ...]
+    seeds: tuple[int, ...] = (0,)
+    scale: float = 1.0
+    warm_l2: bool = True
+    cycle_skip: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ConfigurationError("campaign needs at least one benchmark")
+        if not self.design_points:
+            raise ConfigurationError(
+                "campaign needs at least one design point"
+            )
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        labels = [config.label() for config in self.design_points]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"campaign design points have colliding labels: {labels}"
+            )
+
+    def runs(self) -> list[RunSpec]:
+        """The full cross product, in deterministic order."""
+        return [
+            RunSpec(
+                benchmark=benchmark,
+                config=config,
+                seed=seed,
+                scale=self.scale,
+                warm_l2=self.warm_l2,
+                cycle_skip=self.cycle_skip,
+            )
+            for benchmark in self.benchmarks
+            for config in self.design_points
+            for seed in self.seeds
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self.benchmarks) * len(self.design_points) * len(self.seeds)
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign invocation."""
+
+    name: str
+    total: int
+    executed: int
+    cached: int
+    wall_seconds: float
+    jobs: int
+    results: dict[RunKey, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        rate = self.executed / self.wall_seconds if self.wall_seconds else 0.0
+        return (
+            f"campaign {self.name!r}: {self.total} runs "
+            f"({self.executed} executed, {self.cached} cached) in "
+            f"{self.wall_seconds:.1f}s with {self.jobs} job(s) "
+            f"[{rate:.2f} runs/s]"
+        )

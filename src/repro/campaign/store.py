@@ -1,0 +1,135 @@
+"""Persistent JSON result store for simulation campaigns.
+
+One file per run under a root directory, keyed by
+``(benchmark, config.label(), seed, scale)``. The store survives across
+invocations, so re-running a figure driver or campaign only simulates
+design points it has never seen — the caching layer that makes repeated
+regenerations cheap.
+
+Layout::
+
+    <root>/
+      <benchmark>/
+        <config-label>__seed<seed>__scale<scale>.json
+
+Labels are sanitised for the filesystem (``::`` and other separators
+become ``-``); the authoritative key is stored inside the JSON payload
+and verified on load, so a sanitisation collision cannot silently serve
+the wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.acmp.results import SimulationResult
+from repro.acmp.serialization import result_from_dict, result_to_dict
+from repro.campaign.spec import RunKey, RunSpec
+from repro.errors import ConfigurationError, SimulationError
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._=-]+")
+
+
+def _sanitize(part: str) -> str:
+    return _UNSAFE.sub("-", part)
+
+
+def _format_scale(scale: float) -> str:
+    # Stable, filesystem-safe rendering: 1.0 -> "1", 0.15 -> "0.15".
+    text = f"{scale:g}"
+    return text.replace("/", "-")
+
+
+class ResultStore:
+    """Directory-backed store of :class:`SimulationResult` keyed by run."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ConfigurationError(
+                f"result store root {self.root} is not a usable directory: "
+                f"{exc}"
+            ) from exc
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, spec: RunSpec) -> Path:
+        benchmark, label, seed, scale = spec.key
+        filename = (
+            f"{_sanitize(label)}__seed{seed}__scale{_format_scale(scale)}.json"
+        )
+        return self.root / _sanitize(benchmark) / filename
+
+    # -- access ------------------------------------------------------------
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def get(self, spec: RunSpec) -> SimulationResult | None:
+        """Load the stored result for ``spec``, or None when absent."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SimulationError(
+                f"corrupt result cache entry {path}: {exc}"
+            ) from exc
+        stored_key = payload.get("key")
+        if stored_key is not None and tuple(stored_key) != (
+            spec.key[0],
+            spec.key[1],
+            spec.key[2],
+            spec.key[3],
+        ):
+            raise SimulationError(
+                f"result cache entry {path} holds key {stored_key}, "
+                f"expected {spec.key} (label sanitisation collision?)"
+            )
+        stored_digest = payload.get("config_digest")
+        if stored_digest is not None and stored_digest != spec.config_digest():
+            raise SimulationError(
+                f"result cache entry {path} was produced by a different "
+                f"machine configuration than requested: the design-point "
+                f"label {spec.key[1]!r} does not distinguish them. Use "
+                f"distinct labels or a separate cache directory."
+            )
+        return result_from_dict(payload["result"])
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Persist one result; returns the written path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        benchmark, label, seed, scale = spec.key
+        payload = {
+            "key": [benchmark, label, seed, scale],
+            "config_digest": spec.config_digest(),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        tmp.replace(path)  # atomic within one filesystem
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def keys(self) -> list[RunKey]:
+        """Every key currently stored (reads each payload's header)."""
+        found: list[RunKey] = []
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                continue
+            key = payload.get("key")
+            if isinstance(key, list) and len(key) == 4:
+                found.append((key[0], key[1], int(key[2]), float(key[3])))
+        return found
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

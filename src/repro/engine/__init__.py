@@ -1,0 +1,32 @@
+"""Reusable simulation kernel: clock, event queue and main loop.
+
+This package is the hardware-agnostic core of the simulator. It knows
+nothing about caches, buses or cores — only about *components* that are
+stepped once per cycle, *events* scheduled for future cycles, and a
+*clock* that normally advances one cycle at a time but may jump forward
+when every registered component certifies that the skipped cycles would
+have been no-ops (the cycle-skipping fast path).
+
+The ACMP machine (:mod:`repro.acmp`) builds on this kernel; campaign
+drivers (:mod:`repro.campaign`) run many kernels in parallel processes.
+"""
+
+from repro.engine.clock import Clock
+from repro.engine.events import EventQueue
+from repro.engine.kernel import (
+    NEVER,
+    KernelComponent,
+    KernelStats,
+    SimulationKernel,
+    Steppable,
+)
+
+__all__ = [
+    "Clock",
+    "EventQueue",
+    "KernelComponent",
+    "KernelStats",
+    "NEVER",
+    "SimulationKernel",
+    "Steppable",
+]

@@ -1,0 +1,42 @@
+"""The simulation clock: a monotonic cycle counter that can jump forward."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic cycle counter owned by the kernel.
+
+    Components read :attr:`now`; only the kernel advances it — one cycle
+    at a time on the normal path, or directly to a future cycle on the
+    cycle-skipping fast path.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance(self) -> int:
+        """Move one cycle forward; return the new cycle."""
+        self._now += 1
+        return self._now
+
+    def jump(self, target: int) -> int:
+        """Jump directly to ``target`` (the cycle-skip fast path)."""
+        if target < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {self._now} -> {target}"
+            )
+        self._now = target
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

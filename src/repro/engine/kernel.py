@@ -1,0 +1,199 @@
+"""The simulation main loop with a cycle-skipping fast path.
+
+:class:`SimulationKernel` owns the :class:`~repro.engine.clock.Clock`,
+the :class:`~repro.engine.events.EventQueue` and an ordered list of
+components. Per simulated cycle it:
+
+1. checks the registered finish condition;
+2. delivers every event due at the current cycle;
+3. steps each component in registration order, summing the progress
+   units (committed instructions) they report;
+4. arms the deadlock watchdog when no progress was made.
+
+**Cycle skipping.** After a cycle with zero progress the kernel asks
+every component for a *skip horizon*: the earliest future cycle at which
+stepping it could do anything, assuming no event fires first. ``None``
+means "I could act right now" and vetoes the skip; :data:`NEVER` means
+"only an event can wake me". When no component vetoes, the clock jumps
+straight to the earliest of the horizons, the next scheduled event and
+the deadlock watchdog's firing cycle, and each component's ``on_skip``
+charges the skipped cycles to its idle accounting (stall buckets). The
+contract is exact equivalence: a run with skipping enabled must produce
+bit-identical results to the same run stepped cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.engine.clock import Clock
+from repro.engine.events import EventQueue
+from repro.errors import DeadlockError, SimulationError
+
+#: Skip-horizon sentinel: "nothing but an event can wake this component".
+NEVER = 1 << 62
+
+#: Cycles without any progress before declaring a deadlock (the same
+#: window the seed engine used).
+DEFAULT_STALL_LIMIT = 200_000
+
+
+@runtime_checkable
+class Steppable(Protocol):
+    """Anything the kernel can step once per simulated cycle."""
+
+    def step(self, now: int) -> int | None:
+        """Advance one cycle; return progress units made (or None)."""
+
+
+class KernelComponent(Steppable, Protocol):
+    """A steppable that also supports the cycle-skipping fast path."""
+
+    def skip_horizon(self, now: int) -> int | None:
+        """Earliest cycle >= ``now`` at which :meth:`step` could act.
+
+        Return ``None`` to veto skipping (the component could act at
+        ``now``), :data:`NEVER` when only a scheduled event can wake it,
+        or a concrete cycle for time-based wake-ups (redirect penalties,
+        TLB walks).
+        """
+
+    def on_skip(self, start: int, cycles: int) -> None:
+        """Account ``cycles`` skipped idle cycles starting at ``start``."""
+
+
+@dataclass
+class KernelStats:
+    """Main-loop accounting, exposed for benchmarks and tests."""
+
+    cycles_executed: int = 0
+    cycles_skipped: int = 0
+    skips: int = 0
+    events_run: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles_executed + self.cycles_skipped
+
+
+class SimulationKernel:
+    """Runs registered components to completion over a shared clock."""
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        events: EventQueue | None = None,
+        stall_limit: int = DEFAULT_STALL_LIMIT,
+        cycle_skip: bool = True,
+    ) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.events = events if events is not None else EventQueue()
+        self.stall_limit = stall_limit
+        self.cycle_skip = cycle_skip
+        self.stats = KernelStats()
+        self._components: list[Steppable] = []
+        self._finished: Callable[[], bool] = lambda: False
+        self._describe: Callable[[], str] | None = None
+        self._deadlock_detail: Callable[[int], str] | None = None
+        self._last_progress = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(self, component: Steppable) -> None:
+        """Add a component; step order is registration order."""
+        self._components.append(component)
+
+    def set_finish_condition(self, finished: Callable[[], bool]) -> None:
+        """Install the predicate that ends the run (checked per cycle)."""
+        self._finished = finished
+
+    def set_describe(self, describe: Callable[[], str]) -> None:
+        """Install a context string factory used in error messages."""
+        self._describe = describe
+
+    def set_deadlock_detail(self, detail: Callable[[int], str]) -> None:
+        """Install extra diagnostic text for deadlock errors."""
+        self._deadlock_detail = detail
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, max_cycles: int = 500_000_000) -> int:
+        """Simulate until the finish condition holds; return that cycle.
+
+        Raises:
+            DeadlockError: when no component reports progress for
+                ``stall_limit`` cycles while the run is unfinished.
+            SimulationError: when ``max_cycles`` elapse first.
+        """
+        clock = self.clock
+        events = self.events
+        components = self._components
+        stats = self.stats
+        while clock.now < max_cycles:
+            now = clock.now
+            if self._finished():
+                return now
+            stats.events_run += events.run_due(now)
+            progress = 0
+            for component in components:
+                progress += component.step(now) or 0
+            stats.cycles_executed += 1
+            if progress:
+                self._last_progress = now
+            elif now - self._last_progress > self.stall_limit:
+                self._raise_deadlock(now)
+            clock.advance()
+            if self.cycle_skip and not progress:
+                self._try_skip()
+        suffix = f" for {self._describe()}" if self._describe else ""
+        raise SimulationError(
+            f"simulation exceeded max_cycles={max_cycles}{suffix}"
+        )
+
+    # -- cycle skipping ----------------------------------------------------
+
+    def _try_skip(self) -> None:
+        """Jump the clock over provably idle cycles, charging them."""
+        if self._finished():
+            return
+        now = self.clock.now
+        next_event = self.events.next_cycle
+        horizon = NEVER if next_event is None else next_event
+        for component in self._components:
+            probe = getattr(component, "skip_horizon", None)
+            if probe is None:
+                return
+            component_horizon = probe(now)
+            if component_horizon is None:
+                return
+            if component_horizon < horizon:
+                horizon = component_horizon
+        # Never jump past the cycle at which the watchdog would fire: a
+        # genuinely dead machine must raise at the same cycle it would
+        # have when stepped cycle by cycle.
+        watchdog_cycle = self._last_progress + self.stall_limit + 1
+        if watchdog_cycle < horizon:
+            horizon = watchdog_cycle
+        if horizon <= now:
+            return
+        cycles = horizon - now
+        for component in self._components:
+            component.on_skip(now, cycles)
+        self.clock.jump(horizon)
+        self.stats.skips += 1
+        self.stats.cycles_skipped += cycles
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _raise_deadlock(self, now: int) -> None:
+        context = f" ({self._describe()})" if self._describe else ""
+        detail = (
+            f": {self._deadlock_detail(now)}" if self._deadlock_detail else ""
+        )
+        raise DeadlockError(
+            f"no instruction committed for {self.stall_limit} cycles at "
+            f"cycle {now}{context}{detail}"
+        )

@@ -5,6 +5,13 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments fig07
     python -m repro.experiments all --scale 0.5 --benchmarks BT,CG,UA
+    python -m repro.experiments all --jobs 4 --cache-dir .results
+
+``--jobs N`` fans the simulations of each figure out over N worker
+processes through the campaign runner; ``--cache-dir`` persists every
+simulation result as JSON keyed by (benchmark, design point, seed,
+scale), so a second invocation only simulates design points it has
+never seen.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import argparse
 import sys
 import time
 
+from repro.campaign.runner import print_progress
 from repro.experiments.common import ExperimentContext
 from repro.experiments.registry import (
     TITLES,
@@ -48,6 +56,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="trace synthesis seed (default 0)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation campaign (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        help="persist simulation results as JSON under this directory "
+        "and reuse them across invocations",
+    )
+    parser.add_argument(
+        "--no-cycle-skip",
+        action="store_true",
+        help="disable the kernel's cycle-skipping fast path (engine "
+        "cross-checks; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run campaign progress on stderr",
+    )
+    parser.add_argument(
         "--export",
         type=str,
         default="",
@@ -66,7 +98,16 @@ def main(argv: list[str] | None = None) -> int:
         [name.strip() for name in args.benchmarks.split(",") if name.strip()]
         or benchmark_names()
     )
-    ctx = ExperimentContext(scale=args.scale, benchmarks=benchmarks, seed=args.seed)
+    show_progress = (args.jobs > 1 or args.cache_dir) and not args.quiet
+    ctx = ExperimentContext(
+        scale=args.scale,
+        benchmarks=benchmarks,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+        cycle_skip=not args.no_cycle_skip,
+        progress=print_progress if show_progress else None,
+    )
     started = time.time()
     if args.experiment == "all":
         results = run_all(ctx)

@@ -4,15 +4,28 @@ Every figure/table of the paper has a driver in this package. Drivers
 share an :class:`ExperimentContext` that memoises synthesised traces and
 simulation runs, because several figures reuse the same design points
 (e.g. the cpc=8 naive-sharing run feeds Figs. 7, 8 and 11).
+
+The context executes through the campaign layer
+(:mod:`repro.campaign`): drivers declare their full design-point set up
+front via :meth:`ExperimentContext.ensure`, which batches the missing
+runs — across worker processes when ``jobs > 1`` — and consults the
+persistent result store when ``cache_dir`` is set, so repeated
+regenerations only simulate what they have never seen.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.acmp.config import AcmpConfig
 from repro.acmp.results import SimulationResult
 from repro.acmp.simulator import simulate
+from repro.campaign.runner import ProgressHook, run_specs
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigurationError
 from repro.trace.stream import TraceSet
 from repro.trace.synthesis import synthesize
 from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
@@ -28,6 +41,12 @@ class ExperimentContext:
             speed in tests and benchmarks).
         benchmarks: the benchmark names to evaluate (defaults to all 24).
         seed: trace-synthesis seed.
+        jobs: worker processes for batched simulation (1 = in-process).
+        cache_dir: directory of the persistent result store; None keeps
+            results in memory only.
+        cycle_skip: kernel fast path (bit-identical results; off only
+            for engine cross-checks).
+        progress: optional per-completed-run callback for batched runs.
     """
 
     scale: float = 1.0
@@ -36,28 +55,110 @@ class ExperimentContext:
     )
     seed: int = 0
     warm_l2: bool = True
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    cycle_skip: bool = True
+    progress: ProgressHook | None = None
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
     _results: dict[tuple[str, str], SimulationResult] = field(
         default_factory=dict, repr=False
     )
+    _digests: dict[tuple[str, str], str] = field(
+        default_factory=dict, repr=False
+    )
+    _store: ResultStore | None = field(default=None, repr=False)
 
-    def traces_for(self, name: str) -> TraceSet:
-        """Synthesise (and memoise) the 9-thread trace set for a benchmark."""
-        if name not in self._traces:
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self._store = ResultStore(self.cache_dir)
+
+    def traces_for(self, name: str, thread_count: int = 9) -> TraceSet:
+        """Synthesise (and memoise) a benchmark's trace set.
+
+        Defaults to the paper's 9 threads (1 master + 8 workers); runs
+        for other core counts synthesise their own matching set, the
+        same rule the campaign workers apply.
+        """
+        key = name if thread_count == 9 else f"{name}@{thread_count}"
+        if key not in self._traces:
             model = get_benchmark(name)
-            self._traces[name] = synthesize(
-                model, thread_count=9, scale=self.scale, seed=self.seed
+            self._traces[key] = synthesize(
+                model, thread_count=thread_count, scale=self.scale, seed=self.seed
             )
-        return self._traces[name]
+        return self._traces[key]
+
+    def spec_for(self, name: str, config: AcmpConfig) -> RunSpec:
+        """The campaign work unit for one benchmark on one design point."""
+        return RunSpec(
+            benchmark=name,
+            config=config,
+            seed=self.seed,
+            scale=self.scale,
+            warm_l2=self.warm_l2,
+            cycle_skip=self.cycle_skip,
+        )
+
+    def ensure(self, pairs: Iterable[tuple[str, AcmpConfig]]) -> None:
+        """Simulate every missing (benchmark, design point) pair.
+
+        Drivers call this with their full design-point set before
+        reading individual results, so the campaign runner can batch
+        the outstanding work across ``jobs`` processes and the result
+        store instead of simulating lazily one run at a time.
+        """
+        specs: list[RunSpec] = []
+        seen: set[tuple[str, str]] = set()
+        for name, config in pairs:
+            key = (name, config.label())
+            spec = self.spec_for(name, config)
+            # Results are memoised by label: refuse two different
+            # machines behind one label rather than serving whichever
+            # was simulated first.
+            digest = spec.config_digest()
+            known = self._digests.setdefault(key, digest)
+            if known != digest:
+                raise ConfigurationError(
+                    f"two design points for benchmark {name!r} share the "
+                    f"label {config.label()!r} but differ in "
+                    f"configuration; give them distinguishable labels"
+                )
+            if key in self._results or key in seen:
+                continue
+            seen.add(key)
+            specs.append(spec)
+        if not specs:
+            return
+        if self.jobs <= 1 and self._store is None:
+            # In-process path: reuse the memoised trace sets directly.
+            # Trace shape follows the design point's core count, exactly
+            # as campaign workers synthesise theirs, so results cannot
+            # depend on the execution mode.
+            for spec in specs:
+                self._results[(spec.benchmark, spec.config.label())] = simulate(
+                    spec.config,
+                    self.traces_for(
+                        spec.benchmark, thread_count=spec.config.core_count
+                    ),
+                    warm_l2=self.warm_l2,
+                    cycle_skip=self.cycle_skip,
+                )
+            return
+        report = run_specs(
+            specs,
+            jobs=self.jobs,
+            store=self._store,
+            progress=self.progress,
+            name="experiments",
+        )
+        for (benchmark, label, _seed, _scale), result in report.results.items():
+            self._results[(benchmark, label)] = result
 
     def run(self, name: str, config: AcmpConfig) -> SimulationResult:
         """Simulate (and memoise) one benchmark on one design point."""
-        key = (name, config.label())
-        if key not in self._results:
-            self._results[key] = simulate(
-                config, self.traces_for(name), warm_l2=self.warm_l2
-            )
-        return self._results[key]
+        # Always route through ensure: on a memo hit it only performs
+        # the label/digest consistency check.
+        self.ensure([(name, config)])
+        return self._results[(name, config.label())]
 
 
 @dataclass

@@ -18,8 +18,20 @@ TITLE = "Naive sharing: normalized execution time (32KB shared, 4 LB, single bus
 CPC_LEVELS = (2, 4, 8)
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [baseline_config()] + [
+        worker_shared_config(
+            cores_per_cache=cpc, icache_kb=32, bus_count=1, line_buffers=4
+        )
+        for cpc in CPC_LEVELS
+    ]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = ["benchmark"] + [f"cpc={cpc}" for cpc in CPC_LEVELS]
     rows: list[list[object]] = []
     worst: tuple[str, float] = ("", 0.0)

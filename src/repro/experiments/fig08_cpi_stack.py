@@ -37,8 +37,20 @@ SYMBOLS = {
 }
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [
+        baseline_config(),
+        worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
+        ),
+    ]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = ["benchmark"] + list(COMPONENTS)
     rows: list[list[object]] = []
     stacks: dict[str, dict[str, float]] = {}

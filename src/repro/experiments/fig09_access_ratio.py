@@ -22,8 +22,18 @@ LOW_RATIO_CODES = ("CG", "IS", "botsalgn", "botsspar", "CoSP")
 HIGH_RATIO_CODES = ("BT", "LU", "ilbdc", "LULESH")
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    return [
+        (name, baseline_config(line_buffers=count))
+        for name in ctx.benchmarks
+        for count in LINE_BUFFER_COUNTS
+    ]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = ["benchmark"] + [f"{n} LB" for n in LINE_BUFFER_COUNTS]
     rows: list[list[object]] = []
     ratios_at_4: dict[str, float] = {}

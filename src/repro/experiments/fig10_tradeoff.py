@@ -23,8 +23,18 @@ VARIANTS = (
 )
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [baseline_config()] + [
+        worker_shared_config(cores_per_cache=8, icache_kb=16, **overrides)
+        for _, overrides in VARIANTS
+    ]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = ["benchmark"] + [label for label, _ in VARIANTS]
     rows: list[list[object]] = []
     means = {label: [] for label, _ in VARIANTS}

@@ -18,8 +18,23 @@ EXPERIMENT_ID = "fig11"
 TITLE = "Worker I-cache MPKI, shared vs private (cpc=8)"
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [
+        baseline_config(),
+        worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
+        ),
+        worker_shared_config(
+            cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=4
+        ),
+    ]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = [
         "benchmark",
         "private MPKI",

@@ -38,8 +38,15 @@ DESIGN_POINTS: tuple[tuple[str, AcmpConfig], ...] = (
 )
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [baseline_config()] + [config for _, config in DESIGN_POINTS]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = ["design point", "exec time", "energy", "area"]
     rows: list[list[object]] = []
     summary: dict[str, float] = {}

@@ -23,8 +23,24 @@ TITLE = "All-shared vs worker-shared execution time ratio vs serial fraction"
 GROUP3_CODES = ("EP", "FT", "UA")
 
 
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair this figure needs."""
+    configs = [
+        worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
+        ),
+        all_shared_config(icache_kb=32, bus_count=2),
+        all_shared_config(icache_kb=32, bus_count=1),
+        worker_shared_config(
+            cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
+        ),
+    ]
+    return [(name, config) for name in ctx.benchmarks for config in configs]
+
+
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ctx = ctx or ExperimentContext()
+    ctx.ensure(design_points(ctx))
     headers = [
         "benchmark",
         "serial %",

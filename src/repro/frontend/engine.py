@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.branch.fetch_predictor import FetchPredictor
 from repro.cache.line_buffer import LineBufferSet, LookupState
+from repro.engine import NEVER
 from repro.errors import SimulationError
 from repro.frontend.itlb import InstructionTlb
 from repro.frontend.request import LineRequest
@@ -124,12 +125,36 @@ class FetchEngine:
         #: drains (branch resolution), then pays the redirect penalty.
         self._redirect_drain = False
         self.stats = FetchStats()
-        #: set by the system: callable returning free IQ capacity
+        #: set by attach_backend: callable returning free IQ capacity
         self.iq_space = lambda: 1 << 30
-        #: set by the system: callable(instructions) adds to the IQ
+        #: set by attach_backend: callable(instructions) adds to the IQ
         self.iq_push = lambda count: None
-        #: set by the system: callable(ipc) retargets the back-end
+        #: set by attach_backend: callable(ipc) retargets the back-end
         self.on_ipc = lambda ipc: None
+
+    # -- back-end wiring ---------------------------------------------------
+
+    def attach_backend(self, backend, iq_capacity: int | None = None) -> None:
+        """Wire a back-end's instruction queue into this front-end.
+
+        The front-end needs three capabilities from the back-end — free
+        IQ space (extraction gate), pushing extracted instructions, and
+        retargeting the commit rate on IPC records — plus the IQ capacity
+        so :meth:`_drained` can recognise an empty pipeline.
+
+        Args:
+            backend: an object with ``iq_space()``, ``iq_push(count)``,
+                ``set_ipc(ipc)`` and an ``iq_capacity`` attribute (the
+                :class:`~repro.backend.backend.CommitEngine` interface).
+            iq_capacity: override for the drained-IQ threshold; defaults
+                to ``backend.iq_capacity``.
+        """
+        self.iq_space = backend.iq_space
+        self.iq_push = backend.iq_push
+        self.on_ipc = backend.set_ipc
+        self._iq_capacity_hint = (
+            backend.iq_capacity if iq_capacity is None else iq_capacity
+        )
 
     # -- per-cycle step ----------------------------------------------------
 
@@ -174,6 +199,7 @@ class FetchEngine:
                 return  # sync waits for the pipeline to drain
             if isinstance(record, EndRecord):
                 self.context.finish(now)
+                self.runtime.thread_finished(self.core_id, now)
                 return
             self.stream.next()
             self.stats.sync_events += 1
@@ -287,6 +313,57 @@ class FetchEngine:
                     PieceStatus.WAITING,
                 ):
                     piece.status = PieceStatus.READY
+
+    # -- cycle-skip support -----------------------------------------------------
+
+    def skip_horizon(self, now: int) -> int | None:
+        """Earliest cycle at which :meth:`step` could do anything.
+
+        Part of the kernel's cycle-skipping contract
+        (:class:`repro.engine.kernel.KernelComponent`): the caller
+        guarantees that the instruction queue stays empty and no event
+        fires before the returned cycle; this method guarantees that
+        under those conditions every stepped cycle before the returned
+        one is a no-op with an unchanged :meth:`stall_cause`.
+
+        Returns ``None`` when the front-end could act at ``now`` (which
+        vetoes skipping), :data:`~repro.engine.NEVER` when only a line
+        fill can wake it, or a concrete wake-up cycle for time-based
+        stalls (redirect penalty, iTLB walk).
+        """
+        if self.context.state is not ThreadState.RUNNING:
+            return NEVER  # step() is a no-op for blocked/finished threads
+        horizon = NEVER
+        # Extract: a ready head piece with IQ room would be consumed.
+        if self._ftq:
+            entry = self._ftq[0]
+            if not entry.pieces:
+                return None  # the empty entry would be popped
+            piece = entry.pieces[0]
+            if (
+                piece.status is PieceStatus.READY
+                and self.iq_space() >= piece.instructions
+            ):
+                return None
+        # Issue: an armed scan runs (and may mutate counters) unless an
+        # iTLB walk holds it back until a known cycle.
+        if self._issue_pending:
+            if now >= self._tlb_stall_until:
+                return None
+            horizon = min(horizon, self._tlb_stall_until)
+        # FTQ fill: mirror _fill_ftq's gating exactly.
+        if self._redirect_drain:
+            if self._drained():
+                return None  # the redirect penalty would start now
+        elif now < self._redirect_until:
+            horizon = min(horizon, self._redirect_until)
+        elif len(self._ftq) < self.ftq_capacity:
+            record = self.stream.peek()
+            if isinstance(record, (SyncRecord, EndRecord)) and not self._drained():
+                pass  # waiting on the pipeline drain: event-driven
+            else:
+                return None  # a record would be consumed this cycle
+        return horizon
 
     # -- stall attribution ------------------------------------------------------
 

@@ -26,6 +26,19 @@ class _Lock:
 
 @dataclass
 class _JoinBarrier:
+    """One barrier/join instance with membership fixed at creation.
+
+    ``expected`` snapshots the number of unfinished threads when the
+    first participant arrives; it must not be re-derived from thread
+    states at later arrivals, or a thread finishing between two
+    arrivals would silently shrink the threshold a later arrival is
+    compared against, making the release decision depend on the
+    finish/arrival interleaving. Departures are handled explicitly
+    instead: :meth:`RuntimeCoordinator.thread_finished` decrements the
+    expectation for counted participants that can no longer arrive.
+    """
+
+    expected: int = 0
     arrived: set[int] = field(default_factory=set)
     released: bool = False
 
@@ -104,17 +117,20 @@ class RuntimeCoordinator:
         object_id: int,
         now: int,
     ) -> bool:
-        barrier = table.setdefault(object_id, _JoinBarrier())
+        barrier = table.get(object_id)
+        if barrier is None:
+            participants = sum(
+                1 for c in self.contexts if c.state is not ThreadState.FINISHED
+            )
+            barrier = _JoinBarrier(expected=participants)
+            table[object_id] = barrier
         if barrier.released:
             raise SimulationError(
                 f"thread {thread_id} arrives at already-released barrier "
                 f"{object_id}"
             )
         barrier.arrived.add(thread_id)
-        participants = sum(
-            1 for c in self.contexts if c.state is not ThreadState.FINISHED
-        )
-        if len(barrier.arrived) >= participants:
+        if len(barrier.arrived) >= barrier.expected:
             barrier.released = True
             for arrived_id in barrier.arrived:
                 if arrived_id != thread_id:
@@ -122,6 +138,23 @@ class RuntimeCoordinator:
             return True
         self.contexts[thread_id].block(now)
         return False
+
+    def thread_finished(self, thread_id: int, now: int) -> None:
+        """Note a thread's trace ended: it will never arrive anywhere.
+
+        Open barriers drop the finished thread from their creation-time
+        expectation (it was counted as a participant but can no longer
+        arrive), so the remaining participants' final arrival still
+        releases them. The release decision itself stays arrival-driven:
+        a barrier whose *last* awaited participant finishes instead of
+        arriving is a protocol violation (the traces promised an arrival
+        that never comes) and is surfaced by the deadlock watchdog
+        rather than papered over here.
+        """
+        for table in (self._joins, self._barriers):
+            for barrier in table.values():
+                if not barrier.released and thread_id not in barrier.arrived:
+                    barrier.expected -= 1
 
     # -- critical sections -------------------------------------------------
 

@@ -1,0 +1,215 @@
+"""Tests for the campaign layer: specs, the JSON store, and the runner."""
+
+import pytest
+
+from repro.acmp import baseline_config, result_to_dict, worker_shared_config
+from repro.campaign import (
+    Campaign,
+    ResultStore,
+    RunSpec,
+    execute_run,
+    run_campaign,
+    run_specs,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.common import ExperimentContext
+
+
+def _tiny_spec(benchmark="CG", seed=0, **config_overrides):
+    return RunSpec(
+        benchmark=benchmark,
+        config=baseline_config(**config_overrides),
+        seed=seed,
+        scale=0.02,
+    )
+
+
+class TestSpec:
+    def test_key_identity(self):
+        spec = _tiny_spec()
+        assert spec.key == ("CG", "baseline::32KB::4lb", 0, 0.02)
+
+    def test_campaign_cross_product(self):
+        campaign = Campaign(
+            name="sweep",
+            benchmarks=("CG", "UA"),
+            design_points=(baseline_config(), worker_shared_config()),
+            seeds=(0, 1, 2),
+            scale=0.02,
+        )
+        runs = campaign.runs()
+        assert len(runs) == campaign.size == 2 * 2 * 3
+        assert len({spec.key for spec in runs}) == len(runs)
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Campaign(name="x", benchmarks=(), design_points=(baseline_config(),))
+
+    def test_colliding_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="colliding"):
+            Campaign(
+                name="x",
+                benchmarks=("CG",),
+                # Same label, different configs: silent collisions in the
+                # store would serve wrong results.
+                design_points=(
+                    baseline_config(),
+                    baseline_config(arbitration="icount"),
+                ),
+            )
+
+
+class TestResultStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        spec = _tiny_spec()
+        result = execute_run(spec)
+        store = ResultStore(tmp_path / "cache")
+        assert spec not in store
+        store.put(spec, result)
+        reopened = ResultStore(tmp_path / "cache")
+        assert spec in reopened
+        loaded = reopened.get(spec)
+        assert result_to_dict(loaded) == result_to_dict(result)
+        assert reopened.keys() == [spec.key]
+
+    def test_distinct_keys_distinct_paths(self, tmp_path):
+        store = ResultStore(tmp_path)
+        paths = {
+            store.path_for(_tiny_spec()),
+            store.path_for(_tiny_spec(seed=1)),
+            store.path_for(_tiny_spec(benchmark="UA")),
+            store.path_for(_tiny_spec(line_buffers=8)),
+        }
+        assert len(paths) == 4
+
+    def test_label_collision_detected_on_load(self, tmp_path):
+        # worker_count is not part of the label, so these two specs
+        # share a key; the store must refuse to serve one for the other
+        # instead of silently returning a different machine's result.
+        spec_9core = _tiny_spec()
+        spec_5core = _tiny_spec(worker_count=4)
+        assert spec_9core.key == spec_5core.key
+        store = ResultStore(tmp_path)
+        store.put(spec_9core, execute_run(spec_9core))
+        with pytest.raises(SimulationError, match="different"):
+            store.get(spec_5core)
+
+    def test_warm_l2_mismatch_detected_on_load(self, tmp_path):
+        spec_warm = _tiny_spec()
+        spec_cold = RunSpec(
+            benchmark="CG", config=baseline_config(), seed=0, scale=0.02,
+            warm_l2=False,
+        )
+        store = ResultStore(tmp_path)
+        store.put(spec_warm, execute_run(spec_warm))
+        with pytest.raises(SimulationError, match="different"):
+            store.get(spec_cold)
+
+
+class TestRunner:
+    def test_serial_and_parallel_agree(self, tmp_path):
+        campaign = Campaign(
+            name="agree",
+            benchmarks=("CG", "UA"),
+            design_points=(baseline_config(),),
+            scale=0.02,
+        )
+        serial = run_campaign(campaign)
+        parallel = run_campaign(campaign, jobs=2)
+        assert serial.results.keys() == parallel.results.keys()
+        for key, result in serial.results.items():
+            assert result_to_dict(result) == result_to_dict(
+                parallel.results[key]
+            )
+        assert serial.executed == parallel.executed == 2
+
+    def test_store_caching_across_invocations(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        campaign = Campaign(
+            name="cached",
+            benchmarks=("CG",),
+            design_points=(baseline_config(),),
+            seeds=(0, 1),
+            scale=0.02,
+        )
+        first = run_campaign(campaign, store=store)
+        assert (first.executed, first.cached) == (2, 0)
+        second = run_campaign(campaign, store=store)
+        assert (second.executed, second.cached) == (0, 2)
+        for key, result in first.results.items():
+            assert result_to_dict(result) == result_to_dict(
+                second.results[key]
+            )
+
+    def test_per_seed_traces_differ(self):
+        # Different seeds synthesise different trace realisations, so the
+        # runs are genuinely independent samples.
+        base = execute_run(_tiny_spec(seed=0))
+        other = execute_run(_tiny_spec(seed=7))
+        assert base.cycles != other.cycles
+
+    def test_progress_hook_called(self):
+        calls = []
+        run_specs(
+            [_tiny_spec(), _tiny_spec(benchmark="UA")],
+            progress=lambda done, total, spec, elapsed: calls.append(
+                (done, total)
+            ),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_duplicate_specs_run_once(self):
+        report = run_specs([_tiny_spec(), _tiny_spec()])
+        assert report.total == 1
+        assert report.executed == 1
+
+    def test_colliding_specs_in_one_batch_rejected(self):
+        with pytest.raises(ConfigurationError, match="share the key"):
+            run_specs([_tiny_spec(), _tiny_spec(worker_count=4)])
+
+
+class TestExperimentContextIntegration:
+    def test_context_uses_store(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = ExperimentContext(
+            scale=0.02, benchmarks=["CG"], cache_dir=cache
+        )
+        result = first.run("CG", baseline_config())
+        # A fresh context with the same cache must not re-simulate: the
+        # stored result round-trips identically.
+        second = ExperimentContext(
+            scale=0.02, benchmarks=["CG"], cache_dir=cache
+        )
+        cached = second.run("CG", baseline_config())
+        assert result_to_dict(cached) == result_to_dict(result)
+        assert len(ResultStore(cache)) == 1
+
+    def test_context_rejects_label_collision(self):
+        ctx = ExperimentContext(scale=0.02, benchmarks=["CG"])
+        ctx.run("CG", baseline_config())
+        with pytest.raises(ConfigurationError, match="share the label"):
+            ctx.run("CG", baseline_config(worker_count=4))
+
+    def test_context_handles_non_default_core_count(self):
+        # The in-process path must synthesise traces matching the design
+        # point's core count, exactly as the campaign workers do.
+        ctx = ExperimentContext(scale=0.02, benchmarks=["CG"])
+        result = ctx.run("CG", baseline_config(worker_count=4))
+        assert len(result.cores) == 5
+
+    def test_context_parallel_matches_serial(self):
+        pairs = [
+            ("CG", baseline_config()),
+            ("CG", worker_shared_config()),
+            ("UA", baseline_config()),
+            ("UA", worker_shared_config()),
+        ]
+        serial = ExperimentContext(scale=0.02, benchmarks=["CG", "UA"])
+        parallel = ExperimentContext(
+            scale=0.02, benchmarks=["CG", "UA"], jobs=2
+        )
+        parallel.ensure(pairs)
+        for name, config in pairs:
+            assert result_to_dict(
+                parallel.run(name, config)
+            ) == result_to_dict(serial.run(name, config))

@@ -52,10 +52,7 @@ def _build_private_core(records, line_buffers=4, iq_capacity=64):
         on_fill=engine.on_fill,
     )
     engine.port = port
-    engine.iq_space = backend.iq_space
-    engine.iq_push = backend.iq_push
-    engine.on_ipc = backend.set_ipc
-    engine._iq_capacity_hint = iq_capacity
+    engine.attach_backend(backend, iq_capacity=iq_capacity)
     hierarchy.l2.fill(0x0)  # warm line 0 in L2 so misses cost L2 latency
     return engine, backend, events, contexts[0], cache
 
@@ -183,9 +180,7 @@ class TestSharedFetchPath:
                 runtime=runtime,
                 mispredict_penalty=8,
             )
-            engine.iq_space = backend.iq_space
-            engine.iq_push = backend.iq_push
-            engine.on_ipc = backend.set_ipc
+            engine.attach_backend(backend)
             cores.append((engine, backend))
         interconnect = MultiBus(requester_count=2, bus_count=bus_count)
         group = SharedIcacheGroup(

@@ -74,6 +74,66 @@ class TestJoin:
         assert contexts[0].state is ThreadState.RUNNING
 
 
+class TestBarrierParticipantRace:
+    """Regression tests: barrier membership is fixed when the barrier is
+    created, not re-counted at every arrival.
+
+    With per-arrival counting, a thread finishing between two arrivals
+    changed the threshold later arrivals were compared against, so the
+    release decision depended on the finish/arrival interleaving.
+    """
+
+    def test_finish_between_arrivals_still_releases_at_last_arrival(self):
+        # 4 threads; barrier created at thread 0's arrival (4 expected).
+        # Thread 3 finishes mid-flight without arriving: the remaining
+        # three participants must still release the barrier.
+        runtime, contexts = _runtime(4)
+        barrier = SyncRecord(SyncKind.BARRIER, 1)
+        assert not runtime.deliver(0, barrier, now=0)
+        assert not runtime.deliver(1, barrier, now=1)
+        contexts[3].finish(2)
+        runtime.thread_finished(3, now=2)
+        assert runtime.deliver(2, barrier, now=3)
+        assert contexts[0].state is ThreadState.RUNNING
+        assert contexts[1].state is ThreadState.RUNNING
+
+    def test_finish_before_creation_not_counted(self):
+        runtime, contexts = _runtime(3)
+        contexts[2].finish(0)
+        runtime.thread_finished(2, now=0)
+        barrier = SyncRecord(SyncKind.BARRIER, 1)
+        assert not runtime.deliver(0, barrier, now=1)
+        assert runtime.deliver(1, barrier, now=2)
+
+    def test_arrived_thread_not_discounted_on_other_finish(self):
+        # An arrived (blocked) participant stays counted: only the
+        # finishing thread itself leaves the expectation.
+        runtime, contexts = _runtime(4)
+        barrier = SyncRecord(SyncKind.BARRIER, 1)
+        assert not runtime.deliver(0, barrier, now=0)
+        contexts[3].finish(1)
+        runtime.thread_finished(3, now=1)
+        # Two of the three remaining participants have not arrived yet:
+        # the barrier must not release before both do.
+        assert not runtime.deliver(1, barrier, now=2)
+        assert contexts[1].state is ThreadState.BLOCKED
+        assert runtime.deliver(2, barrier, now=3)
+        assert contexts[0].state is ThreadState.RUNNING
+
+    def test_release_stays_arrival_driven(self):
+        # When the *last* awaited participant finishes instead of
+        # arriving, the barrier stays closed (the deadlock watchdog
+        # surfaces the protocol violation); nothing wakes spuriously.
+        runtime, contexts = _runtime(3)
+        barrier = SyncRecord(SyncKind.BARRIER, 1)
+        assert not runtime.deliver(0, barrier, now=0)
+        assert not runtime.deliver(1, barrier, now=1)
+        contexts[2].finish(2)
+        runtime.thread_finished(2, now=2)
+        assert contexts[0].state is ThreadState.BLOCKED
+        assert contexts[1].state is ThreadState.BLOCKED
+
+
 class TestLocks:
     def test_uncontended_acquire(self):
         runtime, contexts = _runtime()
