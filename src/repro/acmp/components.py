@@ -1,0 +1,285 @@
+"""Per-core kernel components for the ACMP machine (ready/wake model).
+
+The seed engine's per-cycle order of operations (front-ends, shared
+interconnects, back-ends) becomes one
+:class:`~repro.engine.kernel.ScheduledComponent` per core front-end,
+per shared interconnect group and per core back-end, registered with
+the :class:`~repro.engine.SimulationKernel` in that order. Unlike the
+earlier core-aggregating phases, each component sleeps and wakes on its
+own, so one stalled core no longer vetoes eliding work for the whole
+machine.
+
+The two components of one core share a :class:`CoreScheduleState`,
+which derives both sleep plans from one decision per cycle:
+
+* **front-end-only sleep** — the back-end is committing (or about to),
+  so it stays live and keeps exact per-cycle credit/stall accounting,
+  while the stalled front-end leaves the run list. If the front-end's
+  only enabler is instruction-queue room (``space_gated``), every live
+  commit wakes it; otherwise a fill event or cycle timer does.
+* **unit idle sleep** — the queue is empty and the front-end certified
+  a quiescent window: both components sleep, and the elided back-end
+  cycles are batch-charged to the stall cause observed at the window
+  start (:meth:`~repro.backend.backend.CommitEngine.idle_steps`). When
+  an in-flight line request changes lifecycle state mid-window (bus
+  grant, cache access), the port's ``stall_listener`` settles the old
+  cause up to the transition cycle and re-pins — the piecewise charge
+  matches a stepped run's per-cycle attribution exactly. A blocked core
+  sleeps this way with the cause pinned to ``"sync"`` until the runtime
+  coordinator's barrier/lock hand-off listener wakes it.
+* **unit pacing sleep** — the queue is non-empty but the commit credit
+  stays below 1.0 until a known cycle
+  (:meth:`~repro.backend.backend.CommitEngine.cycles_to_next_commit`);
+  the elided cycles are pure sub-unit pacing
+  (:meth:`~repro.backend.backend.CommitEngine.pacing_steps`) and the
+  core wakes on the commit cycle. The queue count is constant inside
+  the window, so cross-core observers (the ICOUNT arbiter's urgency
+  callback) always read current state.
+
+A finished core sleeps without a window — a stepped run does nothing
+for it either. Every mode is conservative: a component that cannot
+prove quiescence simply stays on the run list, which is always
+equivalent (its steps are no-ops, exactly as in the reference engine).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine import NEVER
+from repro.engine.kernel import MIN_TIMER_NAP
+from repro.runtime.threads import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
+    from repro.acmp.system import Core
+    from repro.frontend.ports import SharedIcacheGroup
+
+#: CoreScheduleState back-end window kinds.
+_NO_WINDOW = "none"
+_IDLE = "idle"
+_PACING = "pacing"
+
+
+class CoreScheduleState:
+    """Shared sleep/wake bookkeeping for one core's two components."""
+
+    __slots__ = (
+        "core",
+        "window",
+        "settled_to",
+        "cause",
+        "front_space_needed",
+        "wake_front",
+        "_plan_cycle",
+        "_plans",
+        "_pending_window",
+        "_pending_cause",
+        "_pending_space",
+    )
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        #: Back-end accounting window; not _NO_WINDOW implies the
+        #: commit component is deregistered and owes batched cycles.
+        self.window = _NO_WINDOW
+        self.settled_to = 0
+        self.cause = "other"
+        #: IQ room that lets a lone-sleeping front-end act again; the
+        #: live back-end wakes it at the first commit reaching it.
+        self.front_space_needed = 0
+        #: Injected by the system wiring: wakes the front-end component.
+        self.wake_front: Callable[[], None] | None = None
+        self._plan_cycle = -1
+        self._plans: tuple[int | None, int | None] = (None, None)
+        self._pending_window = _NO_WINDOW
+        self._pending_cause = "other"
+        self._pending_space = 0
+
+    # -- sleep decision (once per core per cycle) --------------------------
+    # The two plan accessors inline the per-cycle memo: the kernel
+    # probes both of a core's components each cycle, and this pair of
+    # methods is bound directly as their ``sleep_plan`` attributes, so
+    # the hot probe path is a single call deep.
+
+    def front_plan(self, now: int) -> int | None:
+        if self._plan_cycle != now:
+            self._plan_cycle = now
+            self._plans = self._decide(now)
+        return self._plans[0]
+
+    def commit_plan(self, now: int) -> int | None:
+        if self._plan_cycle != now:
+            self._plan_cycle = now
+            self._plans = self._decide(now)
+        return self._plans[1]
+
+    def _decide(self, now: int) -> tuple[int | None, int | None]:
+        core = self.core
+        state = core.context.state
+        if state is ThreadState.RUNNING:
+            frontend = core.frontend
+            backend = core.backend
+            if not frontend.idle_step and backend.iq_count:
+                # The front-end just did work and the back-end is
+                # draining: nothing here sleeps long enough to pay for
+                # the full probe. (Empty-queue cores are always probed:
+                # their idle windows are what empties the ready set and
+                # lets the clock jump, and a one-cycle-late onset there
+                # would cost a skipped cycle per window.)
+                return (None, None)
+            wake_at, space_needed = frontend.sleep_state(now + 1)
+            if wake_at is None:
+                return (None, None)  # the front-end acts next cycle
+            if backend.iq_count:
+                ahead = backend.cycles_to_next_commit()
+                if ahead is not None and ahead >= MIN_TIMER_NAP:
+                    # Unit pacing nap until the commit cycle. Commits
+                    # are the only source of the queue room the space
+                    # gates wait for, and none happens before the wake.
+                    self._pending_window = _PACING
+                    self._pending_space = 0
+                    wake_at = min(wake_at, now + ahead)
+                    return (wake_at, wake_at)
+                # The back-end commits imminently: keep it live (exact
+                # per-cycle credit and stall attribution); it wakes a
+                # space-gated front-end at the commit whose freed room
+                # first reaches the needed threshold.
+                self._pending_window = _NO_WINDOW
+                self._pending_space = space_needed
+                return (wake_at, None)
+            self._pending_window = _IDLE
+            self._pending_cause = frontend.stall_cause(now + 1)
+            self._pending_space = 0
+            return (wake_at, wake_at)
+        if state is ThreadState.BLOCKED:
+            # Blocked implies a drained pipeline (empty FTQ and IQ);
+            # every elided back-end cycle charges "sync", and the
+            # runtime coordinator wakes us on the hand-off.
+            self._pending_window = _IDLE
+            self._pending_cause = "sync"
+            self._pending_space = 0
+            return (NEVER, NEVER)
+        # A stepped run does nothing for a finished core either.
+        self._pending_window = _NO_WINDOW
+        self._pending_space = 0
+        return (NEVER, NEVER)
+
+    # -- back-end window lifecycle (driven by the commit component) --------
+
+    def commit_slept(self, now: int) -> None:
+        self.window = self._pending_window
+        self.cause = self._pending_cause
+        self.settled_to = now + 1
+
+    def commit_woke(self, now: int) -> None:
+        self.settle(now)
+        self.window = _NO_WINDOW
+
+    def settle(self, now: int) -> None:
+        """Batch-account the elided back-end cycles ``[settled_to, now)``."""
+        if self.window is _NO_WINDOW or now <= self.settled_to:
+            return
+        cycles = now - self.settled_to
+        if self.window is _IDLE:
+            self.core.backend.idle_steps(cycles, self.cause)
+        else:
+            self.core.backend.pacing_steps(cycles)
+        self.settled_to = now
+
+    def stall_transition(self, now: int) -> None:
+        """An in-flight request changed lifecycle state at ``now``.
+
+        Settles an idle window's old cause up to the transition and
+        re-pins to the cause a stepped back-end would charge from
+        ``now`` on. (Pacing windows charge no stalls, and a live
+        back-end attributes per cycle anyway.)
+        """
+        if self.window is not _IDLE:
+            return
+        self.settle(now)
+        if self.core.context.state is ThreadState.RUNNING:
+            self.cause = self.core.frontend.stall_cause(now)
+
+
+class CoreFrontendComponent:
+    """One core's front-end (FTQ fill, issue, extract)."""
+
+    __slots__ = ("core", "sched", "sleep_plan")
+
+    def __init__(self, core: Core, sched: CoreScheduleState) -> None:
+        self.core = core
+        self.sched = sched
+        #: Probed by the kernel every executed cycle: bound straight to
+        #: the controller to keep the hot path one call deep.
+        self.sleep_plan = sched.front_plan
+
+    def step(self, now: int) -> int:
+        self.core.frontend.step(now)  # no-op unless RUNNING
+        return 0
+
+    def on_sleep(self, now: int) -> None:
+        self.sched.front_space_needed = self.sched._pending_space
+
+    def on_wake(self, now: int) -> None:
+        self.sched.front_space_needed = 0
+
+
+class GroupInterconnectComponent:
+    """One shared group's I-interconnect (arbitration and grants)."""
+
+    __slots__ = ("group", "sleep_plan")
+
+    def __init__(self, group: SharedIcacheGroup) -> None:
+        self.group = group
+        # An idle interconnect (no queued requests, no in-flight
+        # transfer occupying a bus) grants nothing and accrues no
+        # busy/wait statistics; a new request fires the group's
+        # activity listener, which wakes this component for same-cycle
+        # arbitration.
+        idle_at = group.idle_at
+        self.sleep_plan = lambda now: NEVER if idle_at(now + 1) else None
+
+    def step(self, now: int) -> int:
+        self.group.step(now)
+        return 0
+
+
+class CoreCommitComponent:
+    """One core's back-end; its step reports committed instructions."""
+
+    __slots__ = ("core", "sched", "sleep_plan")
+
+    def __init__(self, core: Core, sched: CoreScheduleState) -> None:
+        self.core = core
+        self.sched = sched
+        self.sleep_plan = sched.commit_plan
+
+    def step(self, now: int) -> int:
+        core = self.core
+        state = core.context.state
+        if state is ThreadState.FINISHED:
+            return 0
+        if state is ThreadState.BLOCKED:
+            core.backend.step(now, "sync")
+            return 0
+        # Pass the attribution lazily: it is only evaluated on a stall,
+        # so committing cycles skip the FTQ walk.
+        backend = core.backend
+        committed = backend.step(now, core.frontend.stall_cause)
+        if committed:
+            sched = self.sched
+            needed = sched.front_space_needed
+            if needed and backend.iq_space() >= needed:
+                # The commit freed the room the sleeping front-end
+                # waits for; it re-enters the run list and acts next
+                # cycle, exactly when a stepped run's would.
+                sched.wake_front()
+        return committed
+
+    def on_sleep(self, now: int) -> None:
+        self.sched.commit_slept(now)
+
+    def on_wake(self, now: int) -> None:
+        self.sched.commit_woke(now)

@@ -23,6 +23,10 @@ class CoreResult:
     branch_lookups: int
     branch_mispredictions: int
     sync_block_cycles: int
+    #: iTLB counters; group-shared iTLBs report once, on the first
+    #: member core (the same dedupe rule as shared fetch predictors).
+    itlb_lookups: int = 0
+    itlb_misses: int = 0
 
     @property
     def access_ratio(self) -> float:

@@ -40,6 +40,8 @@ def result_to_dict(result: SimulationResult) -> dict:
                 "branch_lookups": core.branch_lookups,
                 "branch_mispredictions": core.branch_mispredictions,
                 "sync_block_cycles": core.sync_block_cycles,
+                "itlb_lookups": core.itlb_lookups,
+                "itlb_misses": core.itlb_misses,
             }
             for core in result.cores
         ],
@@ -81,6 +83,10 @@ def result_from_dict(data: dict) -> SimulationResult:
             lock_hand_offs=data.get("lock_hand_offs", 0),
         )
         for core_data in data["cores"]:
+            core_data = dict(core_data)
+            # Fields added after format v1 payloads were first written.
+            core_data.setdefault("itlb_lookups", 0)
+            core_data.setdefault("itlb_misses", 0)
             result.cores.append(CoreResult(**core_data))
         for group_data in data["cache_groups"]:
             group_data = dict(group_data)

@@ -1,7 +1,7 @@
 """The cycle-level ACMP simulation engine.
 
-Per-cycle order of operations (now encoded as kernel phases, see
-:mod:`repro.acmp.phases`):
+Per-cycle order of operations (encoded as per-core kernel components,
+see :mod:`repro.acmp.components`):
 
 1. scheduled completions land (line-buffer fills, cache refills);
 2. every runnable core's front-end steps (FTQ fill, issue, extract);
@@ -14,13 +14,16 @@ The run terminates when every thread has consumed its trace and drained
 its pipeline; the cycle count at that point is the benchmark's execution
 time for the configured design point.
 
-The main loop lives in :class:`repro.engine.SimulationKernel`, which
-adds a cycle-skipping fast path: when every unfinished core is blocked
-on synchronisation or stalled waiting on a scheduled completion, the
-clock jumps directly to the next event instead of iterating idle cycles,
-charging the skipped cycles to the same stall buckets a stepped run
-would have. Results are bit-identical either way; pass
-``cycle_skip=False`` to force the cycle-by-cycle reference path.
+The main loop lives in :class:`repro.engine.SimulationKernel`, an
+event-driven ready/wake scheduler: components that block (a front-end
+waiting on a fill, a back-end with an empty queue, a core blocked on
+synchronisation, an idle interconnect) leave the run list and arm a
+wake — an event or a cycle horizon — so each cycle only steps the
+components with work, and when nothing is ready at all the clock jumps
+straight to the next wake-up. Elided cycles are batch-accounted into
+the same stall buckets a stepped run would produce. Results are
+bit-identical either way; pass ``cycle_skip=False`` to force the
+cycle-by-cycle reference path that steps every component every cycle.
 """
 
 from __future__ import annotations
@@ -45,8 +48,7 @@ class AcmpSimulator:
             stall_limit=_STALL_LIMIT,
             cycle_skip=cycle_skip,
         )
-        for phase in system.kernel_phases():
-            self.kernel.register(phase)
+        system.register_components(self.kernel)
         self.kernel.set_finish_condition(system.all_finished)
         self.kernel.set_describe(self._describe)
         self.kernel.set_deadlock_detail(self._deadlock_detail)

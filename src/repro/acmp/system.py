@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.acmp.components import (
+    CoreCommitComponent,
+    CoreFrontendComponent,
+    CoreScheduleState,
+    GroupInterconnectComponent,
+)
 from repro.acmp.config import AcmpConfig
-from repro.acmp.phases import CommitPhase, FrontendPhase, InterconnectPhase
 from repro.acmp.results import CacheGroupResult, CoreResult, SimulationResult
 from repro.acmp.topology import CacheGroup, Topology, build_topology
 from repro.backend.backend import CommitEngine
@@ -251,20 +256,64 @@ class AcmpSystem:
 
     # -- kernel wiring ---------------------------------------------------
 
-    def kernel_phases(self) -> list[object]:
-        """The machine's per-cycle phases, in the engine's step order.
+    def register_components(self, kernel) -> None:
+        """Build and register the machine's scheduler components.
 
-        Register these with a :class:`repro.engine.SimulationKernel`
-        (sharing :attr:`events`) to run the machine.
+        The kernel must share :attr:`events`. Registration order — all
+        front-ends in core order, then the shared interconnects in
+        group order, then all back-ends in core order — reproduces the
+        stepped engine's per-cycle order of operations exactly, which
+        keeps scheduled runs deterministic and bit-identical to
+        ``cycle_skip=False`` reference runs.
+
+        Also wires the wake plumbing: fill completions and barrier/lock
+        hand-offs return sleeping cores to the run list, new bus
+        requests wake idle interconnects, and in-flight request
+        lifecycle transitions settle sleeping cores' batched stall
+        attribution.
         """
-        shared_groups = [
-            hw.shared for hw in self.group_hardware if hw.shared is not None
+        states = [CoreScheduleState(core) for core in self.cores]
+        fronts = [
+            CoreFrontendComponent(core, state)
+            for core, state in zip(self.cores, states)
         ]
-        return [
-            FrontendPhase(self.cores),
-            InterconnectPhase(shared_groups),
-            CommitPhase(self.cores),
+        commits = [
+            CoreCommitComponent(core, state)
+            for core, state in zip(self.cores, states)
         ]
+        for front in fronts:
+            kernel.register(front)
+        for hardware in self.group_hardware:
+            if hardware.shared is None:
+                continue
+            component = GroupInterconnectComponent(hardware.shared)
+            kernel.register(component)
+            hardware.shared.activity_listener = (
+                lambda c=component: kernel.wake(c)
+            )
+        for commit in commits:
+            kernel.register(commit)
+
+        for state, front in zip(states, fronts):
+            state.wake_front = lambda f=front: kernel.wake(f)
+
+        def wake_core(core_id: int) -> None:
+            kernel.wake(fronts[core_id])
+            kernel.wake(commits[core_id])
+
+        def settle_core(core_id: int, now: int) -> None:
+            states[core_id].stall_transition(now)
+
+        self.runtime.wake_listener = lambda thread_id, _now: wake_core(
+            thread_id
+        )
+        for hardware in self.group_hardware:
+            if hardware.shared is not None:
+                hardware.shared.wake_listener = wake_core
+                hardware.shared.stall_listener = settle_core
+            else:
+                for port in hardware.private_ports.values():
+                    port.wake_listener = wake_core
 
     def all_finished(self) -> bool:
         """True when every thread consumed its trace and drained."""
@@ -307,6 +356,7 @@ class AcmpSystem:
             cycles=cycles,
         )
         seen_predictors: set[int] = set()
+        seen_itlbs: set[int] = set()
         for core in self.cores:
             lb_stats = core.frontend.line_buffers.stats
             predictor = core.frontend.predictor
@@ -320,6 +370,16 @@ class AcmpSystem:
                 seen_predictors.add(id(predictor))
                 predictor_lookups = predictor.stats.overall_lookups
                 predictor_mispredictions = predictor.stats.overall_mispredictions
+            # Shared iTLBs follow the same rule: group-level counters are
+            # attributed to the first member core, never multiplied.
+            itlb = core.frontend.itlb
+            if itlb is None or id(itlb) in seen_itlbs:
+                itlb_lookups = 0
+                itlb_misses = 0
+            else:
+                seen_itlbs.add(id(itlb))
+                itlb_lookups = itlb.stats.lookups
+                itlb_misses = itlb.stats.misses
             result.cores.append(
                 CoreResult(
                     core_id=core.core_id,
@@ -334,6 +394,8 @@ class AcmpSystem:
                     branch_lookups=predictor_lookups,
                     branch_mispredictions=predictor_mispredictions,
                     sync_block_cycles=core.context.block_cycles,
+                    itlb_lookups=itlb_lookups,
+                    itlb_misses=itlb_misses,
                 )
             )
         for hardware in self.group_hardware:

@@ -134,6 +134,52 @@ class CommitEngine:
         self.stats.base_cycles += 1
         return 0
 
+    def cycles_to_next_commit(self, cap: int = 4096) -> int | None:
+        """Cycles until :meth:`step` would next commit, absent pushes.
+
+        The scheduler's commit-pacing horizon: with a non-empty queue
+        and a sub-unit IPC, the back-end only acts on the cycle its
+        accumulated credit crosses 1.0; every cycle before that is pure
+        pacing (see :meth:`pacing_steps`). The crossing is found by
+        replaying the same float additions ``step`` performs, because
+        ``credit + k * ipc`` and ``k`` repeated additions round
+        differently.
+
+        Returns ``None`` when the queue is empty, or when no commit
+        occurs within ``cap`` cycles (the caller then simply keeps the
+        back-end on the run list).
+        """
+        if self._iq_count == 0:
+            return None
+        credit = self._credit
+        ipc = self._ipc
+        for ahead in range(1, cap + 1):
+            credit += ipc
+            if credit >= 1.0:
+                return ahead
+        return None
+
+    def pacing_steps(self, cycles: int) -> None:
+        """Replay ``cycles`` sub-unit pacing steps at once.
+
+        Equivalent to calling :meth:`step` ``cycles`` times while the
+        queue is non-empty and the commit credit stays below 1.0: each
+        such cycle accrues one base cycle and one IPC's worth of
+        credit, nothing else. The caller (the scheduler's commit-pacing
+        window) guarantees the window ends strictly before the next
+        commit; crossing the boundary here means the window was
+        mis-sized and the run would diverge from a stepped one.
+        """
+        if self._iq_count == 0:
+            raise SimulationError("pacing_steps requires a non-empty queue")
+        for _ in range(cycles):
+            self._credit += self._ipc
+            if self._credit >= 1.0:
+                raise SimulationError(
+                    "pacing window crossed a commit boundary"
+                )
+            self.stats.base_cycles += 1
+
     def idle_steps(self, cycles: int, stall_cause: str) -> None:
         """Account ``cycles`` consecutive :meth:`step` calls at once.
 

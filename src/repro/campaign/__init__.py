@@ -13,13 +13,20 @@ from repro.campaign.runner import (
     run_campaign,
     run_specs,
 )
-from repro.campaign.spec import Campaign, CampaignReport, RunKey, RunSpec
+from repro.campaign.spec import (
+    Campaign,
+    CampaignReport,
+    RunFailure,
+    RunKey,
+    RunSpec,
+)
 from repro.campaign.store import ResultStore
 
 __all__ = [
     "Campaign",
     "CampaignReport",
     "ResultStore",
+    "RunFailure",
     "RunKey",
     "RunSpec",
     "execute_run",

@@ -1,4 +1,4 @@
-"""Campaign execution: serial or process-parallel, cache-aware.
+"""Campaign execution: serial or process-parallel, cache-aware, fault-tolerant.
 
 The runner takes :class:`~repro.campaign.spec.RunSpec` work units,
 skips anything already present in the :class:`~repro.campaign.store.
@@ -6,27 +6,47 @@ ResultStore` (or an in-memory reuse map), and executes the rest — with a
 ``ProcessPoolExecutor`` when ``jobs > 1``. Each worker process
 synthesises its own traces (memoised per process, so a benchmark's
 trace set is built once per worker regardless of how many design points
-it serves) and runs the cycle-skipping kernel.
+it serves) and runs the scheduled kernel.
 
 Trace synthesis is seeded per run, so campaigns over several seeds give
 independent trace realisations while staying fully reproducible.
+
+A failed run does not abort the sweep: it is retried once, and a run
+that fails twice is journalled (spec plus exception) to a
+``failures.jsonl`` file next to the result store, so long sweeps finish
+everything they can and remain resumable. With ``strict=True`` (the
+default for figure drivers) the runner raises after the sweep completes,
+summarising what failed; ``strict=False`` returns the partial report
+with :attr:`CampaignReport.failures` populated.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import sys
 import time
+import traceback
 from collections.abc import Callable, Iterable
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import asdict
 from functools import lru_cache
 
 from repro.acmp.results import SimulationResult
 from repro.acmp.simulator import simulate
-from repro.campaign.spec import Campaign, CampaignReport, RunKey, RunSpec
+from repro.campaign.spec import (
+    Campaign,
+    CampaignReport,
+    RunFailure,
+    RunKey,
+    RunSpec,
+)
 from repro.campaign.store import ResultStore
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
+
+#: Executions attempted per spec before journalling it as failed.
+MAX_ATTEMPTS = 2
 
 #: Progress hook: (completed, total, spec, elapsed_seconds).
 ProgressHook = Callable[[int, int, RunSpec, float], None]
@@ -68,6 +88,36 @@ def print_progress(completed: int, total: int, spec: RunSpec, elapsed: float) ->
     )
 
 
+def _journal_failure(
+    store: ResultStore | None, failure: RunFailure
+) -> None:
+    """Append one permanently-failed run to ``failures.jsonl``.
+
+    The journal lives next to the result store (no store, no journal —
+    there is nowhere durable to resume from anyway). One JSON object
+    per line: the full spec (config included) plus the exception, so a
+    later sweep can re-derive exactly what is missing and why.
+    """
+    if store is None:
+        return
+    spec = failure.spec
+    entry = {
+        "benchmark": spec.benchmark,
+        "label": spec.config.label(),
+        "seed": spec.seed,
+        "scale": spec.scale,
+        "warm_l2": spec.warm_l2,
+        "cycle_skip": spec.cycle_skip,
+        "config_digest": spec.config_digest(),
+        "config": asdict(spec.config),
+        "error": failure.error,
+        "attempts": failure.attempts,
+    }
+    path = store.root / "failures.jsonl"
+    with path.open("a") as journal:
+        journal.write(json.dumps(entry) + "\n")
+
+
 def run_specs(
     specs: Iterable[RunSpec],
     *,
@@ -75,18 +125,23 @@ def run_specs(
     store: ResultStore | None = None,
     progress: ProgressHook | None = None,
     name: str = "ad-hoc",
+    strict: bool = True,
 ) -> CampaignReport:
     """Execute every spec, reusing cached results; return all results.
 
     Args:
         jobs: worker processes; 1 runs in-process (no fork overhead).
         store: persistent result cache, consulted before executing and
-            updated after each run.
+            updated after each run. Also hosts the failure journal.
         progress: per-completed-run callback.
+        strict: when True (default), raise a :class:`SimulationError`
+            summarising permanently-failed runs *after* the rest of the
+            sweep completed (and was journalled); when False, return
+            the partial report with :attr:`CampaignReport.failures`.
 
     Returns:
-        A :class:`CampaignReport` whose ``results`` maps every spec's
-        key to its :class:`SimulationResult`.
+        A :class:`CampaignReport` whose ``results`` maps every
+        successful spec's key to its :class:`SimulationResult`.
     """
     started = time.perf_counter()
     unique: dict[RunKey, RunSpec] = {}
@@ -118,9 +173,28 @@ def run_specs(
         if progress is not None:
             progress(completed, total, spec, time.perf_counter() - started)
 
+    failures: list[RunFailure] = []
+
+    def record_failure(spec: RunSpec, exc: Exception, attempts: int) -> None:
+        failure = RunFailure(
+            spec=spec,
+            error="".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+            attempts=attempts,
+        )
+        failures.append(failure)
+        _journal_failure(store, failure)
+
     if jobs <= 1 or len(pending) <= 1:
         for spec in pending:
-            record(spec, execute_run(spec))
+            for attempt in range(1, MAX_ATTEMPTS + 1):
+                try:
+                    record(spec, execute_run(spec))
+                    break
+                except Exception as exc:
+                    if attempt == MAX_ATTEMPTS:
+                        record_failure(spec, exc, attempt)
     else:
         # Synthesise every needed trace set once, in the parent, before
         # the pool forks: on fork-based platforms the children inherit
@@ -137,29 +211,61 @@ def run_specs(
             and len(trace_keys) <= _TRACES_CACHE_SIZE
         ):
             for trace_key in sorted(trace_keys):
-                _traces_cached(*trace_key)
+                try:
+                    _traces_cached(*trace_key)
+                except Exception:
+                    # Best-effort warm-up only: a bad spec fails (and is
+                    # retried/journalled) in its worker, not here.
+                    pass
         # Oversubscribing a small host only adds fork/scheduling cost:
         # cap the pool at the CPU count like any parallel build tool.
         workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(execute_run, spec): spec for spec in pending}
+            attempts = dict.fromkeys((spec.key for spec in pending), 1)
             try:
-                for future in as_completed(futures):
-                    record(futures[future], future.result())
+                while futures:
+                    for future in as_completed(list(futures)):
+                        spec = futures.pop(future)
+                        try:
+                            record(spec, future.result())
+                        except BrokenExecutor:
+                            raise  # the pool itself died, not the run
+                        except Exception as exc:
+                            attempt = attempts[spec.key]
+                            if attempt < MAX_ATTEMPTS:
+                                attempts[spec.key] = attempt + 1
+                                futures[pool.submit(execute_run, spec)] = spec
+                            else:
+                                record_failure(spec, exc, attempt)
             except BaseException:
                 for future in futures:
                     future.cancel()
                 raise
 
-    return CampaignReport(
+    report = CampaignReport(
         name=name,
         total=total,
-        executed=len(pending),
+        executed=len(pending) - len(failures),
         cached=cached,
         wall_seconds=time.perf_counter() - started,
         jobs=jobs,
         results=results,
+        failures=failures,
     )
+    if failures and strict:
+        sample = "; ".join(
+            f"{failure.spec.describe()}: {failure.error}"
+            for failure in failures[:3]
+        )
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        raise SimulationError(
+            f"campaign {name!r}: {len(failures)} run(s) still failing "
+            f"after {MAX_ATTEMPTS} attempts — {sample}{more}. Every "
+            f"other run completed; see failures.jsonl next to the "
+            f"result store."
+        )
+    return report
 
 
 def run_campaign(
@@ -168,6 +274,7 @@ def run_campaign(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: ProgressHook | None = None,
+    strict: bool = True,
 ) -> CampaignReport:
     """Execute a whole declarative campaign (see :class:`Campaign`)."""
     return run_specs(
@@ -176,4 +283,5 @@ def run_campaign(
         store=store,
         progress=progress,
         name=campaign.name,
+        strict=strict,
     )

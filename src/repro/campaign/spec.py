@@ -119,6 +119,15 @@ class Campaign:
         return len(self.benchmarks) * len(self.design_points) * len(self.seeds)
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One spec that still failed after the runner's retry."""
+
+    spec: RunSpec
+    error: str
+    attempts: int
+
+
 @dataclass
 class CampaignReport:
     """Outcome of one campaign invocation."""
@@ -130,12 +139,16 @@ class CampaignReport:
     wall_seconds: float
     jobs: int
     results: dict[RunKey, object] = field(default_factory=dict)
+    #: Runs that failed even after the retry (journalled when a result
+    #: store is attached; see ``failures.jsonl`` next to it).
+    failures: list[RunFailure] = field(default_factory=list)
 
     def summary(self) -> str:
         rate = self.executed / self.wall_seconds if self.wall_seconds else 0.0
+        failed = f", {len(self.failures)} FAILED" if self.failures else ""
         return (
             f"campaign {self.name!r}: {self.total} runs "
-            f"({self.executed} executed, {self.cached} cached) in "
+            f"({self.executed} executed, {self.cached} cached{failed}) in "
             f"{self.wall_seconds:.1f}s with {self.jobs} job(s) "
             f"[{rate:.2f} runs/s]"
         )

@@ -1,11 +1,13 @@
-"""Reusable simulation kernel: clock, event queue and main loop.
+"""Reusable simulation kernel: clock, event queue and ready/wake loop.
 
 This package is the hardware-agnostic core of the simulator. It knows
-nothing about caches, buses or cores — only about *components* that are
-stepped once per cycle, *events* scheduled for future cycles, and a
-*clock* that normally advances one cycle at a time but may jump forward
-when every registered component certifies that the skipped cycles would
-have been no-ops (the cycle-skipping fast path).
+nothing about caches, buses or cores — only about *components* kept in
+a ready set and stepped once per cycle while they have work, *events*
+scheduled for future cycles, and a *clock* that advances one cycle at a
+time while any component is ready but jumps straight to the next
+wake-up when the ready set drains. Components that block deregister
+themselves through :meth:`ScheduledComponent.sleep_plan` and are roused
+by a cycle timer or an explicit :meth:`SimulationKernel.wake`.
 
 The ACMP machine (:mod:`repro.acmp`) builds on this kernel; campaign
 drivers (:mod:`repro.campaign`) run many kernels in parallel processes.
@@ -15,8 +17,8 @@ from repro.engine.clock import Clock
 from repro.engine.events import EventQueue
 from repro.engine.kernel import (
     NEVER,
-    KernelComponent,
     KernelStats,
+    ScheduledComponent,
     SimulationKernel,
     Steppable,
 )
@@ -24,9 +26,9 @@ from repro.engine.kernel import (
 __all__ = [
     "Clock",
     "EventQueue",
-    "KernelComponent",
     "KernelStats",
     "NEVER",
+    "ScheduledComponent",
     "SimulationKernel",
     "Steppable",
 ]

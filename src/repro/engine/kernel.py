@@ -1,29 +1,49 @@
-"""The simulation main loop with a cycle-skipping fast path.
+"""The simulation main loop: an event-driven ready/wake scheduler.
 
 :class:`SimulationKernel` owns the :class:`~repro.engine.clock.Clock`,
 the :class:`~repro.engine.events.EventQueue` and an ordered list of
-components. Per simulated cycle it:
+components. Components are held in a *ready set*; per simulated cycle
+the kernel:
 
-1. checks the registered finish condition;
-2. delivers every event due at the current cycle;
-3. steps each component in registration order, summing the progress
-   units (committed instructions) they report;
-4. arms the deadlock watchdog when no progress was made.
+1. wakes every component whose armed cycle timer is due;
+2. checks the registered finish condition;
+3. delivers every event due at the current cycle (event callbacks may
+   wake sleeping components);
+4. steps each **ready** component in registration order, summing the
+   progress units (committed instructions) they report;
+5. asks each ready component for a *sleep plan* and deregisters the
+   ones that certify quiescence;
+6. arms the deadlock watchdog when no progress was made.
 
-**Cycle skipping.** After a cycle with zero progress the kernel asks
-every component for a *skip horizon*: the earliest future cycle at which
-stepping it could do anything, assuming no event fires first. ``None``
-means "I could act right now" and vetoes the skip; :data:`NEVER` means
-"only an event can wake me". When no component vetoes, the clock jumps
-straight to the earliest of the horizons, the next scheduled event and
-the deadlock watchdog's firing cycle, and each component's ``on_skip``
-charges the skipped cycles to its idle accounting (stall buckets). The
-contract is exact equivalence: a run with skipping enabled must produce
-bit-identical results to the same run stepped cycle by cycle.
+**Sleeping and waking.** A component that cannot act — a front-end
+waiting on a line fill, a back-end with an empty instruction queue, an
+idle interconnect, a core blocked on synchronisation — returns a plan
+from :meth:`ScheduledComponent.sleep_plan`: a concrete wake-up cycle
+(redirect penalty, iTLB walk, commit pacing) arms a cycle timer;
+:data:`NEVER` means only an explicit :meth:`SimulationKernel.wake` (a
+fill completion, a barrier release) can rouse it. While asleep, a
+component is simply not on the run list; ``on_sleep``/``on_wake``
+bracket the nap so the component can batch-account the cycles it was
+never stepped for.
+
+**Clock jumping.** When the ready set is empty, nothing can change
+until the next wake-up: the clock jumps straight to the earliest of the
+next scheduled event, the earliest armed timer and the deadlock
+watchdog's firing cycle. This is the degenerate case of the scheduler —
+the old "every component idle" global gate — and no longer requires the
+whole machine to quiesce at once for per-component work to be elided.
+
+The contract is exact equivalence: a scheduled run must produce
+bit-identical results to the same run stepped cycle by cycle with
+``cycle_skip=False``, including :class:`DeadlockError` firing at the
+same cycle. A component not in the ready set must therefore be a
+provable no-op for every elided cycle (modulo the batched accounting it
+performs in ``on_wake``).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
@@ -32,12 +52,20 @@ from repro.engine.clock import Clock
 from repro.engine.events import EventQueue
 from repro.errors import DeadlockError, SimulationError
 
-#: Skip-horizon sentinel: "nothing but an event can wake this component".
+#: Sleep-plan sentinel: "nothing but an explicit wake can rouse me".
 NEVER = 1 << 62
 
 #: Cycles without any progress before declaring a deadlock (the same
 #: window the seed engine used).
 DEFAULT_STALL_LIMIT = 200_000
+
+#: Shortest timer nap worth deregistering for. Below this, the
+#: bookkeeping (heap entries, wake transitions, re-planning) costs more
+#: than the steps it elides, so the component simply stays on the run
+#: list — always equivalent, since a ready component that cannot act
+#: steps as a no-op exactly like the reference engine. Event-only
+#: (:data:`NEVER`) sleeps are exempt: their naps are unbounded.
+MIN_TIMER_NAP = 4
 
 
 @runtime_checkable
@@ -48,20 +76,37 @@ class Steppable(Protocol):
         """Advance one cycle; return progress units made (or None)."""
 
 
-class KernelComponent(Steppable, Protocol):
-    """A steppable that also supports the cycle-skipping fast path."""
+class ScheduledComponent(Steppable, Protocol):
+    """A steppable that participates in the ready/wake scheduler.
 
-    def skip_horizon(self, now: int) -> int | None:
-        """Earliest cycle >= ``now`` at which :meth:`step` could act.
+    The contract, checked end to end by the equivalence suite:
 
-        Return ``None`` to veto skipping (the component could act at
-        ``now``), :data:`NEVER` when only a scheduled event can wake it,
-        or a concrete cycle for time-based wake-ups (redirect penalties,
-        TLB walks).
-        """
+    * ``sleep_plan(now)`` is asked after the component stepped at
+      ``now``. Returning ``None`` keeps it on the run list. Returning a
+      cycle ``w > now + 1`` promises that stepping it anywhere in
+      ``[now + 1, w)`` would be a no-op provided no wake arrives first;
+      the kernel arms a timer at ``w``. Returning :data:`NEVER` promises
+      the same for every future cycle until an explicit wake.
+    * ``on_sleep(now)`` is called when the kernel deregisters the
+      component (its nap covers cycles from ``now + 1``).
+    * ``on_wake(now)`` is called when the component re-enters the ready
+      set — by timer or by :meth:`SimulationKernel.wake` — before any
+      component steps at ``now``. This is where elided cycles are
+      batch-accounted so results match a stepped run bit for bit.
 
-    def on_skip(self, start: int, cycles: int) -> None:
-        """Account ``cycles`` skipped idle cycles starting at ``start``."""
+    A component may also be registered with only :meth:`step`; it then
+    stays on the run list forever (and vetoes clock jumps), which is
+    always correct, just slower.
+    """
+
+    def sleep_plan(self, now: int) -> int | None:
+        """Earliest cycle at which :meth:`step` could act again."""
+
+    def on_sleep(self, now: int) -> None:
+        """The kernel deregistered this component at the end of ``now``."""
+
+    def on_wake(self, now: int) -> None:
+        """The component re-enters the ready set at ``now``."""
 
 
 @dataclass
@@ -72,10 +117,23 @@ class KernelStats:
     cycles_skipped: int = 0
     skips: int = 0
     events_run: int = 0
+    #: Component step() calls actually made.
+    component_steps: int = 0
+    #: Step() calls elided on executed cycles because the component was
+    #: asleep (cycles jumped over are counted in ``cycles_skipped``).
+    component_steps_avoided: int = 0
+    #: Transitions from asleep back into the ready set.
+    wakes: int = 0
 
     @property
     def total_cycles(self) -> int:
         return self.cycles_executed + self.cycles_skipped
+
+    @property
+    def skipped_fraction(self) -> float:
+        """Share of simulated cycles covered by clock jumps."""
+        total = self.total_cycles
+        return self.cycles_skipped / total if total else 0.0
 
 
 class SimulationKernel:
@@ -92,9 +150,19 @@ class SimulationKernel:
         self.clock = clock if clock is not None else Clock()
         self.events = events if events is not None else EventQueue()
         self.stall_limit = stall_limit
+        #: True runs the ready/wake scheduler; False steps every
+        #: component every cycle (the bit-identical reference engine).
         self.cycle_skip = cycle_skip
         self.stats = KernelStats()
         self._components: list[Steppable] = []
+        self._ready: list[bool] = []
+        self._gen: list[int] = []
+        self._plans: list[Callable[[int], int | None] | None] = []
+        self._on_sleep: list[Callable[[int], None] | None] = []
+        self._on_wake: list[Callable[[int], None] | None] = []
+        self._index_of: dict[int, int] = {}
+        self._timers: list[tuple[int, int, int]] = []  # (cycle, index, gen)
+        self._ready_count = 0
         self._finished: Callable[[], bool] = lambda: False
         self._describe: Callable[[], str] | None = None
         self._deadlock_detail: Callable[[int], str] | None = None
@@ -104,7 +172,15 @@ class SimulationKernel:
 
     def register(self, component: Steppable) -> None:
         """Add a component; step order is registration order."""
+        index = len(self._components)
         self._components.append(component)
+        self._ready.append(True)
+        self._gen.append(0)
+        self._plans.append(getattr(component, "sleep_plan", None))
+        self._on_sleep.append(getattr(component, "on_sleep", None))
+        self._on_wake.append(getattr(component, "on_wake", None))
+        self._index_of[id(component)] = index
+        self._ready_count += 1
 
     def set_finish_condition(self, finished: Callable[[], bool]) -> None:
         """Install the predicate that ends the run (checked per cycle)."""
@@ -117,6 +193,36 @@ class SimulationKernel:
     def set_deadlock_detail(self, detail: Callable[[int], str]) -> None:
         """Install extra diagnostic text for deadlock errors."""
         self._deadlock_detail = detail
+
+    # -- wake API ----------------------------------------------------------
+
+    def wake(self, component: Steppable) -> None:
+        """Return a sleeping component to the ready set.
+
+        Safe to call for a component that is already ready (no-op). The
+        component's ``on_wake`` runs before it is next stepped, so it
+        can settle any batched accounting for the cycles it slept.
+        Waking is always allowed — a spurious wake merely costs a no-op
+        step — so callers should wake whenever in doubt.
+        """
+        try:
+            index = self._index_of[id(component)]
+        except KeyError:
+            raise SimulationError(
+                f"wake() for unregistered component {component!r}"
+            ) from None
+        if self._ready[index]:
+            return
+        self._wake_index(index, self.clock.now)
+
+    def _wake_index(self, index: int, now: int) -> None:
+        on_wake = self._on_wake[index]
+        if on_wake is not None:
+            on_wake(now)
+        self._ready[index] = True
+        self._gen[index] += 1  # invalidate any armed timer
+        self._ready_count += 1
+        self.stats.wakes += 1
 
     # -- main loop ---------------------------------------------------------
 
@@ -131,60 +237,102 @@ class SimulationKernel:
         clock = self.clock
         events = self.events
         components = self._components
+        ready = self._ready
         stats = self.stats
-        while clock.now < max_cycles:
-            now = clock.now
-            if self._finished():
-                return now
-            stats.events_run += events.run_due(now)
-            progress = 0
-            for component in components:
-                progress += component.step(now) or 0
-            stats.cycles_executed += 1
-            if progress:
-                self._last_progress = now
-            elif now - self._last_progress > self.stall_limit:
-                self._raise_deadlock(now)
-            clock.advance()
-            if self.cycle_skip and not progress:
-                self._try_skip()
+        count = len(components)
+        indices = range(count)
+        scheduled = self.cycle_skip
+        executed = 0
+        steps = 0
+        events_run = 0
+        try:
+            while clock.now < max_cycles:
+                now = clock.now
+                timers = self._timers
+                while timers and timers[0][0] <= now:
+                    _, index, gen = heapq.heappop(timers)
+                    if gen == self._gen[index] and not ready[index]:
+                        self._wake_index(index, now)
+                if self._finished():
+                    return now
+                events_run += events.run_due(now)
+                progress = 0
+                for index in indices:
+                    if ready[index]:
+                        progress += components[index].step(now) or 0
+                        steps += 1
+                executed += 1
+                if progress:
+                    self._last_progress = now
+                elif now - self._last_progress > self.stall_limit:
+                    self._raise_deadlock(now)
+                if scheduled:
+                    self._sleep_pass(now)
+                clock.advance()
+                if scheduled and self._ready_count == 0:
+                    self._try_jump()
+        finally:
+            stats.cycles_executed += executed
+            stats.component_steps += steps
+            stats.component_steps_avoided += executed * count - steps
+            stats.events_run += events_run
         suffix = f" for {self._describe()}" if self._describe else ""
         raise SimulationError(
             f"simulation exceeded max_cycles={max_cycles}{suffix}"
         )
 
-    # -- cycle skipping ----------------------------------------------------
+    # -- scheduling --------------------------------------------------------
 
-    def _try_skip(self) -> None:
-        """Jump the clock over provably idle cycles, charging them."""
+    def _sleep_pass(self, now: int) -> None:
+        """Deregister every ready component that certifies quiescence."""
+        ready = self._ready
+        nap_floor = now + MIN_TIMER_NAP
+        for index, plan in enumerate(self._plans):
+            if plan is None or not ready[index]:
+                continue
+            wake_at = plan(now)
+            if wake_at is None:
+                continue  # could act next cycle: stay on the run list
+            if wake_at < NEVER:
+                if wake_at < nap_floor:
+                    continue  # nap too short to be worth the bookkeeping
+                heapq.heappush(
+                    self._timers, (wake_at, index, self._gen[index])
+                )
+            on_sleep = self._on_sleep[index]
+            if on_sleep is not None:
+                on_sleep(now)
+            ready[index] = False
+            self._ready_count -= 1
+
+    def _try_jump(self) -> None:
+        """Ready set empty: jump the clock to the earliest wake-up.
+
+        Never jumps past the cycle at which the watchdog would fire: a
+        genuinely dead machine must raise at the same cycle it would
+        have when stepped cycle by cycle.
+        """
         if self._finished():
             return
         now = self.clock.now
+        target = self._last_progress + self.stall_limit + 1
         next_event = self.events.next_cycle
-        horizon = NEVER if next_event is None else next_event
-        for component in self._components:
-            probe = getattr(component, "skip_horizon", None)
-            if probe is None:
-                return
-            component_horizon = probe(now)
-            if component_horizon is None:
-                return
-            if component_horizon < horizon:
-                horizon = component_horizon
-        # Never jump past the cycle at which the watchdog would fire: a
-        # genuinely dead machine must raise at the same cycle it would
-        # have when stepped cycle by cycle.
-        watchdog_cycle = self._last_progress + self.stall_limit + 1
-        if watchdog_cycle < horizon:
-            horizon = watchdog_cycle
-        if horizon <= now:
+        if next_event is not None and next_event < target:
+            target = next_event
+        timers = self._timers
+        while timers:
+            cycle, index, gen = timers[0]
+            if gen != self._gen[index] or self._ready[index]:
+                heapq.heappop(timers)  # stale: the component woke early
+                continue
+            if cycle < target:
+                target = cycle
+            break
+        if target <= now:
             return
-        cycles = horizon - now
-        for component in self._components:
-            component.on_skip(now, cycles)
-        self.clock.jump(horizon)
         self.stats.skips += 1
-        self.stats.cycles_skipped += cycles
+        self.stats.cycles_skipped += target - now
+        self.clock.jump(target)
 
     # -- diagnostics -------------------------------------------------------
 

@@ -53,7 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated benchmark subset (default: all 24)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="trace synthesis seed (default 0)"
+        "--seed",
+        type=int,
+        default=None,
+        help="trace synthesis seed (default 0); combined with --seeds "
+        "it names the sweep's primary seed",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default="",
+        help="comma-separated seed sweep (e.g. 0,1,2): figures report "
+        "per-design-point mean ± 95%% CI across independent trace "
+        "realisations; the first seed drives the primary tables",
     )
     parser.add_argument(
         "--jobs",
@@ -98,11 +110,23 @@ def main(argv: list[str] | None = None) -> int:
         [name.strip() for name in args.benchmarks.split(",") if name.strip()]
         or benchmark_names()
     )
+    sweep = tuple(
+        int(part) for part in args.seeds.split(",") if part.strip() != ""
+    )
+    if args.seed is not None:
+        # An explicit --seed always drives the primary tables; with
+        # --seeds it joins (and leads) the sweep instead of being
+        # silently discarded.
+        seed = args.seed
+        sweep = (seed, *(s for s in sweep if s != seed))
+    else:
+        seed = sweep[0] if sweep else 0
     show_progress = (args.jobs > 1 or args.cache_dir) and not args.quiet
     ctx = ExperimentContext(
         scale=args.scale,
         benchmarks=benchmarks,
-        seed=args.seed,
+        seed=seed,
+        seeds=sweep[1:],
         jobs=args.jobs,
         cache_dir=args.cache_dir or None,
         cycle_skip=not args.no_cycle_skip,

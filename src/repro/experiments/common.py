@@ -15,7 +15,8 @@ regenerations only simulate what they have never seen.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import math
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -29,6 +30,56 @@ from repro.errors import ConfigurationError
 from repro.trace.stream import TraceSet
 from repro.trace.synthesis import synthesize
 from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
+
+#: Two-sided 95 % Student-t critical values by degrees of freedom; the
+#: normal value is used beyond the table (seed sweeps are small).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+_Z95 = 1.960
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with its two-sided 95 % confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n < 2:
+            return f"{self.mean:.3f}"
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def mean_ci(values: Sequence[float]) -> MeanCI:
+    """Mean ± 95 % CI (Student t) of independent samples.
+
+    With one sample the half-width is 0 (no spread information) — the
+    caller should treat it as a point estimate, not certainty.
+    """
+    samples = [float(value) for value in values]
+    if not samples:
+        raise ConfigurationError("mean_ci needs at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n < 2:
+        return MeanCI(mean=mean, half_width=0.0, n=n)
+    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
+    df = n - 1
+    critical = _T95.get(df)
+    if critical is None:
+        # Between table rows use the nearest smaller df (conservative);
+        # far beyond it, the normal approximation.
+        lower = [d for d in _T95 if d <= df]
+        critical = _T95[max(lower)] if max(lower) < 30 else _Z95
+    return MeanCI(
+        mean=mean, half_width=critical * math.sqrt(variance / n), n=n
+    )
 
 
 @dataclass
@@ -44,9 +95,12 @@ class ExperimentContext:
         jobs: worker processes for batched simulation (1 = in-process).
         cache_dir: directory of the persistent result store; None keeps
             results in memory only.
-        cycle_skip: kernel fast path (bit-identical results; off only
+        cycle_skip: scheduled kernel (bit-identical results; off only
             for engine cross-checks).
         progress: optional per-completed-run callback for batched runs.
+        seeds: additional trace-synthesis seeds forming a seed sweep
+            with ``seed``; figure drivers then report per-design-point
+            mean ± 95 % CI alongside the primary seed's tables.
     """
 
     scale: float = 1.0
@@ -59,6 +113,7 @@ class ExperimentContext:
     cache_dir: str | Path | None = None
     cycle_skip: bool = True
     progress: ProgressHook | None = None
+    seeds: tuple[int, ...] = ()
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
     _results: dict[tuple[str, str], SimulationResult] = field(
         default_factory=dict, repr=False
@@ -67,10 +122,74 @@ class ExperimentContext:
         default_factory=dict, repr=False
     )
     _store: ResultStore | None = field(default=None, repr=False)
+    _seed_contexts: dict[int, "ExperimentContext"] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.cache_dir is not None:
             self._store = ResultStore(self.cache_dir)
+
+    # -- seed sweeps ---------------------------------------------------------
+
+    @property
+    def seed_sweep(self) -> tuple[int, ...]:
+        """Every seed of the sweep, primary first, duplicates dropped."""
+        ordered: list[int] = []
+        for seed in (self.seed, *self.seeds):
+            if seed not in ordered:
+                ordered.append(seed)
+        return tuple(ordered)
+
+    def for_seed(self, seed: int) -> ExperimentContext:
+        """A context pinned to one seed (memoised; shares the store).
+
+        The clone has no extra seeds, so drivers running under it do
+        not recurse into another sweep.
+        """
+        pinned = self._seed_contexts.get(seed)
+        if pinned is None:
+            pinned = ExperimentContext(
+                scale=self.scale,
+                benchmarks=list(self.benchmarks),
+                seed=seed,
+                warm_l2=self.warm_l2,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+                cycle_skip=self.cycle_skip,
+                progress=self.progress,
+            )
+            self._seed_contexts[seed] = pinned
+        return pinned
+
+    def seed_intervals(
+        self,
+        driver: Callable[[ExperimentContext], "ExperimentResult"],
+        keys: Sequence[str],
+        primary_summary: dict[str, float] | None = None,
+    ) -> dict[str, MeanCI] | None:
+        """Per-design-point statistics of a driver across the seed sweep.
+
+        Runs ``driver`` once per non-primary seed (each under a pinned
+        single-seed context, so results batch and cache exactly like
+        primary runs) and aggregates the requested ``summary`` scalars
+        into mean ± 95 % CI. The primary seed's sample comes from
+        ``primary_summary`` when given — the caller already computed it
+        — instead of re-simulating the whole figure for that seed.
+        Returns None for single-seed contexts.
+        """
+        sweep = self.seed_sweep
+        if len(sweep) < 2:
+            return None
+        samples: dict[str, list[float]] = {key: [] for key in keys}
+        for seed in sweep:
+            if seed == self.seed and primary_summary is not None:
+                summary = primary_summary
+            else:
+                summary = driver(self.for_seed(seed)).summary
+            for key in keys:
+                samples[key].append(float(summary[key]))
+        return {key: mean_ci(values) for key, values in samples.items()}
 
     def traces_for(self, name: str, thread_count: int = 9) -> TraceSet:
         """Synthesise (and memoise) a benchmark's trace set.
@@ -175,3 +294,34 @@ class ExperimentResult:
 
     def __str__(self) -> str:
         return f"== {self.experiment_id}: {self.title} ==\n{self.rendered}"
+
+
+def attach_seed_intervals(
+    ctx: ExperimentContext,
+    driver: Callable[[ExperimentContext], ExperimentResult],
+    result: ExperimentResult,
+    keys: Sequence[str],
+) -> ExperimentResult:
+    """Surface seed-sweep mean ± 95 % CI in a driver's table output.
+
+    When the context sweeps several seeds, re-evaluates the driver's
+    headline ``summary`` scalars per seed and appends the aggregate
+    interval to the rendered table; ``summary`` gains ``<key>_ci95``
+    (the half-width) and ``seed_count``, which EXPERIMENTS.md renders
+    next to the shape checks. No-op for single-seed contexts, so tests
+    and default CLI runs are unchanged.
+    """
+    intervals = ctx.seed_intervals(driver, keys, primary_summary=result.summary)
+    if not intervals:
+        return result
+    lines = [
+        f"seed sweep, n={len(ctx.seed_sweep)} "
+        f"(seeds {', '.join(str(s) for s in ctx.seed_sweep)}; mean ± 95% CI):"
+    ]
+    for key, interval in intervals.items():
+        result.summary[f"{key}_ci95"] = interval.half_width
+        result.summary[key] = interval.mean
+        lines.append(f"  {key} = {interval}")
+    result.summary["seed_count"] = float(len(ctx.seed_sweep))
+    result.rendered += "\n" + "\n".join(lines)
+    return result

@@ -31,7 +31,15 @@ class ShapeCheck:
         if value is None:
             return "(missing)", False
         ok = self.low <= value <= self.high
-        return self.fmt.format(value), ok
+        text = self.fmt.format(value)
+        # Seed sweeps attach a 95 % confidence half-width per summary
+        # key (see repro.experiments.common.attach_seed_intervals);
+        # surface it so the report shows seed-to-seed spread.
+        half_width = result.summary.get(f"{self.summary_key}_ci95")
+        if half_width is not None:
+            seeds = int(result.summary.get("seed_count", 0))
+            text += f" ± {half_width:.3f} (95% CI, {seeds} seeds)"
+        return text, ok
 
 
 #: The paper's headline claims, keyed by experiment id.

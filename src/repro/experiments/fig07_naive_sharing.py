@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 
 EXPERIMENT_ID = "fig07"
 TITLE = "Naive sharing: normalized execution time (32KB shared, 4 LB, single bus)"
@@ -58,7 +62,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nworst cpc=8 slowdown: {worst[0]} at {worst[1]:.3f} "
         f"(paper: UA at ~1.18)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -70,3 +74,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "mean_cpc2_ratio": sum(means[2]) / len(means[2]),
         },
     )
+    return attach_seed_intervals(ctx, run, result, ('mean_cpc8_ratio', 'mean_cpc2_ratio', 'worst_cpc8_ratio'))

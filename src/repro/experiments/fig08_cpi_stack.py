@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_stacked_bars, format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 
 EXPERIMENT_ID = "fig08"
 TITLE = "Normalized worker CPI stack at cpc=8 (single bus)"
@@ -93,7 +97,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nbenchmarks where added stalls are I-bus dominated: "
         f"{bus_dominated}/{len(ctx.benchmarks)} (paper: most)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -101,3 +105,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         rendered=rendered,
         summary={"bus_dominated_count": float(bus_dominated)},
     )
+    return attach_seed_intervals(ctx, run, result, ('bus_dominated_count',))

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from repro.acmp.config import baseline_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 
 EXPERIMENT_ID = "fig09"
 TITLE = "I-cache access ratio [%] for 2/4/8 line buffers"
@@ -55,7 +59,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             f"vs large-body codes {sum(high) / len(high):.1f}% "
             f"(paper: low vs ~100%)"
         )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -66,3 +70,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "mean_high_ratio_at_4lb": sum(high) / len(high) if high else 0.0,
         },
     )
+    return attach_seed_intervals(ctx, run, result, ('mean_low_ratio_at_4lb', 'mean_high_ratio_at_4lb'))

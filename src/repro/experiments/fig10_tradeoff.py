@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 
 EXPERIMENT_ID = "fig10"
 TITLE = "Line buffers vs bus bandwidth at cpc=8, 16KB shared I-cache"
@@ -61,7 +65,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nmean with double bus: {mean_double:.3f} (paper: ~1.00); "
         f"CoEVP with double bus: {coevp_double:.3f} (paper: ~0.98)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -76,3 +80,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "coevp_double_bus": coevp_double,
         },
     )
+    return attach_seed_intervals(ctx, run, result, ('mean_naive', 'mean_more_lb', 'mean_double_bus'))

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Worker I-cache MPKI, shared vs private (cpc=8)"
@@ -74,7 +78,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nmean shared/private miss ratio: 32KB {mean_32:.0f}%, "
         f"16KB {mean_16:.0f}% (paper: ~50% mean, down to ~10%)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -88,3 +92,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             else 0.0,
         },
     )
+    return attach_seed_intervals(ctx, run, result, ('mean_ratio_32kb_percent', 'mean_ratio_16kb_percent'))

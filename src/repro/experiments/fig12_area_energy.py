@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from repro.acmp.config import AcmpConfig, baseline_config, worker_shared_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 from repro.power.energy import evaluate_power
 
 EXPERIMENT_ID = "fig12"
@@ -77,7 +81,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"energy {best[2]:.3f} (paper: ~0.95), area {best[3]:.3f} "
         f"(paper: ~0.89)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -85,3 +89,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         rendered=rendered,
         summary=summary,
     )
+    return attach_seed_intervals(ctx, run, result, ('time_4_LB_double_bus', 'energy_4_LB_double_bus'))

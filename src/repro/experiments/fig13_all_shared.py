@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from repro.acmp.config import all_shared_config, worker_shared_config
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    attach_seed_intervals,
+)
 from repro.workloads.suites import get_benchmark
 
 EXPERIMENT_ID = "fig13"
@@ -90,7 +94,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nGroup 3 (EP/FT/UA) mean ratio with single bus: {mean_group3:.3f} "
         f"(paper: > 1 due to bus congestion in parallel code)"
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         headers=headers,
@@ -103,3 +107,4 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "group3_single_bus_mean_ratio": mean_group3,
         },
     )
+    return attach_seed_intervals(ctx, run, result, ('trend_delta', 'group3_single_bus_mean_ratio'))

@@ -124,6 +124,12 @@ class FetchEngine:
         #: A mispredict was detected; fetch stalls until the pipeline
         #: drains (branch resolution), then pays the redirect penalty.
         self._redirect_drain = False
+        #: True when the last step's three stages all did nothing — a
+        #: cheap hint that a sleep probe is worth running. Purely a
+        #: performance gate: :meth:`sleep_state` is the correctness
+        #: check, and an un-probed front-end simply stays on the run
+        #: list stepping no-ops, exactly like the reference engine.
+        self.idle_step = False
         self.stats = FetchStats()
         #: set by attach_backend: callable returning free IQ capacity
         self.iq_space = lambda: 1 << 30
@@ -162,24 +168,29 @@ class FetchEngine:
         """Run fill, issue and extract for this cycle."""
         if self.context.state is not ThreadState.RUNNING:
             return
-        self._fill_ftq(now)
-        self._issue(now)
-        self._extract(now)
+        acted = self._fill_ftq(now)
+        if self._issue(now):
+            acted = True
+        if self._extract(now):
+            acted = True
+        self.idle_step = not acted
 
     # -- stage 1: FTQ fill ---------------------------------------------------
 
-    def _fill_ftq(self, now: int) -> None:
+    def _fill_ftq(self, now: int) -> bool:
+        """One fill-stage cycle; returns whether anything happened."""
         if self._redirect_drain:
             # A mispredicted branch is in flight: it resolves roughly when
             # the pre-branch backlog commits, so fetch of the correct path
             # cannot overlap the backlog. Wait for a full drain, then pay
             # the redirect (flush + refill) penalty.
             if not self._drained():
-                return
+                return False
             self._redirect_drain = False
             self._redirect_until = now + self.mispredict_penalty
+            return True
         if now < self._redirect_until or len(self._ftq) >= self.ftq_capacity:
-            return
+            return False
         # Metadata records are free; process them until a basic block, a
         # sync point or the end of the trace.
         while True:
@@ -193,18 +204,18 @@ class FetchEngine:
         if isinstance(record, BasicBlockRecord):
             self.stream.next()
             self._push_block(record, now)
-            return
+            return True
         if isinstance(record, (SyncRecord, EndRecord)):
             if not self._drained():
-                return  # sync waits for the pipeline to drain
+                return False  # sync waits for the pipeline to drain
             if isinstance(record, EndRecord):
                 self.context.finish(now)
                 self.runtime.thread_finished(self.core_id, now)
-                return
+                return True
             self.stream.next()
             self.stats.sync_events += 1
             self.runtime.deliver(self.core_id, record, now)
-            return
+            return True
         raise SimulationError(
             f"core {self.core_id}: unhandled trace record {record!r}"
         )
@@ -237,9 +248,10 @@ class FetchEngine:
 
     # -- stage 2: issue ------------------------------------------------------
 
-    def _issue(self, now: int) -> None:
+    def _issue(self, now: int) -> bool:
+        """One issue-stage cycle; returns whether the scan ran at all."""
         if not self._issue_pending or now < self._tlb_stall_until:
-            return
+            return False
         examined = 0
         issued_request = False
         for entry in self._ftq:
@@ -247,7 +259,7 @@ class FetchEngine:
                 if examined >= self.ISSUE_WINDOW:
                     # Unissued pieces may remain beyond the window; they
                     # enter it as earlier pieces extract.
-                    return
+                    return True
                 examined += 1
                 if piece.status is not PieceStatus.UNISSUED:
                     continue
@@ -260,45 +272,48 @@ class FetchEngine:
                     piece.status = PieceStatus.WAITING
                     continue
                 if issued_request:
-                    return  # one new request per cycle; rescan next cycle
+                    return True  # one new request per cycle; rescan next cycle
                 if self.itlb is not None:
                     walk_penalty = self.itlb.translate(piece.line)
                     if walk_penalty:
                         # Page walk before the fetch can go out; the piece
                         # stays unissued and the scan re-arms afterwards.
                         self._tlb_stall_until = now + walk_penalty
-                        return
+                        return True
                 if not self.line_buffers.allocate(piece.line):
                     # No free outstanding-request slot: only a fill can
                     # unblock us, so stop rescanning until one arrives.
                     self._issue_pending = False
-                    return
+                    return True
                 piece.request = self.port.request(piece.line, now)
                 piece.status = PieceStatus.REQUESTED
                 issued_request = True
         # Every piece currently in the FTQ has been dispositioned; a new
         # push or a fill re-arms the scan.
         self._issue_pending = False
+        return True
 
     # -- stage 3: extract ----------------------------------------------------
 
-    def _extract(self, now: int) -> None:
+    def _extract(self, now: int) -> bool:
+        """One extract-stage cycle; returns whether anything moved."""
         if not self._ftq:
-            return
+            return False
         entry = self._ftq[0]
         if not entry.pieces:
             self._ftq.popleft()
-            return
+            return True
         piece = entry.pieces[0]
         if piece.status is not PieceStatus.READY:
-            return
+            return False
         if self.iq_space() < piece.instructions:
-            return
+            return False
         self.iq_push(piece.instructions)
         self._extracted_instructions += piece.instructions
         entry.pieces.popleft()
         if not entry.pieces:
             self._ftq.popleft()
+        return True
 
     # -- completion callback --------------------------------------------------
 
@@ -314,56 +329,77 @@ class FetchEngine:
                 ):
                     piece.status = PieceStatus.READY
 
-    # -- cycle-skip support -----------------------------------------------------
+    # -- ready/wake support -----------------------------------------------------
 
-    def skip_horizon(self, now: int) -> int | None:
-        """Earliest cycle at which :meth:`step` could do anything.
+    def sleep_state(self, now: int) -> tuple[int | None, int]:
+        """Whether (and until when) this front-end may leave the run list.
 
-        Part of the kernel's cycle-skipping contract
-        (:class:`repro.engine.kernel.KernelComponent`): the caller
-        guarantees that the instruction queue stays empty and no event
-        fires before the returned cycle; this method guarantees that
-        under those conditions every stepped cycle before the returned
-        one is a no-op with an unchanged :meth:`stall_cause`.
+        Part of the scheduler's ready/wake contract
+        (:class:`repro.engine.kernel.ScheduledComponent`, applied per
+        core by :class:`repro.acmp.components.CoreScheduleState`).
+        Returns ``(wake, space_needed)``:
 
-        Returns ``None`` when the front-end could act at ``now`` (which
-        vetoes skipping), :data:`~repro.engine.NEVER` when only a line
-        fill can wake it, or a concrete wake-up cycle for time-based
-        stalls (redirect penalty, iTLB walk).
+        * ``wake is None`` — the front-end could act at ``now``; it must
+          stay on the run list.
+        * otherwise every step in ``[now, wake)`` is a no-op provided no
+          line fill arrives and the instruction queue's free space stays
+          below ``space_needed``; :data:`~repro.engine.NEVER` means only
+          a fill (or runtime wake) can rouse it, a concrete cycle covers
+          time-based stalls (redirect penalty, iTLB walk).
+        * ``space_needed`` — the exact IQ room that would enable action
+          before ``wake``: a ready head piece awaiting extraction space,
+          or a sync/end record awaiting the queue's drain (space equal
+          to the full capacity). 0 when no amount of room helps. The
+          caller must wake the front-end at the first commit that grows
+          :meth:`iq_space` to this threshold — the cycle a stepped run's
+          front-end would first act on.
+
+        While the queue is empty and the core sleeps as a unit, the
+        certified window additionally pins :meth:`stall_cause` — it can
+        only change when an in-flight request changes lifecycle state,
+        which the ports report through their ``stall_listener``.
         """
         if self.context.state is not ThreadState.RUNNING:
-            return NEVER  # step() is a no-op for blocked/finished threads
+            return (NEVER, 0)  # step() is a no-op until woken
         horizon = NEVER
+        space_needed = 0
         # Extract: a ready head piece with IQ room would be consumed.
         if self._ftq:
             entry = self._ftq[0]
             if not entry.pieces:
-                return None  # the empty entry would be popped
+                return (None, 0)  # the empty entry would be popped
             piece = entry.pieces[0]
-            if (
-                piece.status is PieceStatus.READY
-                and self.iq_space() >= piece.instructions
-            ):
-                return None
+            if piece.status is PieceStatus.READY:
+                if self.iq_space() >= piece.instructions:
+                    return (None, 0)
+                space_needed = piece.instructions
         # Issue: an armed scan runs (and may mutate counters) unless an
         # iTLB walk holds it back until a known cycle.
         if self._issue_pending:
             if now >= self._tlb_stall_until:
-                return None
-            horizon = min(horizon, self._tlb_stall_until)
+                return (None, 0)
+            if self._tlb_stall_until < horizon:
+                horizon = self._tlb_stall_until
         # FTQ fill: mirror _fill_ftq's gating exactly.
         if self._redirect_drain:
             if self._drained():
-                return None  # the redirect penalty would start now
+                return (None, 0)  # the redirect penalty would start now
+            if not self._ftq:
+                # The drain completes once the IQ is empty again.
+                space_needed = self._iq_capacity_hint
         elif now < self._redirect_until:
-            horizon = min(horizon, self._redirect_until)
+            if self._redirect_until < horizon:
+                horizon = self._redirect_until
         elif len(self._ftq) < self.ftq_capacity:
             record = self.stream.peek()
-            if isinstance(record, (SyncRecord, EndRecord)) and not self._drained():
-                pass  # waiting on the pipeline drain: event-driven
+            if isinstance(record, (SyncRecord, EndRecord)):
+                if self._drained():
+                    return (None, 0)  # the record would be consumed
+                if not self._ftq:
+                    space_needed = self._iq_capacity_hint
             else:
-                return None  # a record would be consumed this cycle
-        return horizon
+                return (None, 0)  # a record would be consumed this cycle
+        return (horizon, space_needed)
 
     # -- stall attribution ------------------------------------------------------
 

@@ -26,6 +26,13 @@ from repro.memory.hierarchy import InstructionHierarchy
 FillCallback = Callable[[LineRequest], None]
 #: Scheduler hook: schedule(cycle, callback) runs the callback at `cycle`.
 Scheduler = Callable[[int, Callable[[], None]], None]
+#: Ready/wake hook: wake_listener(core_id) returns a sleeping core's
+#: components to the kernel's run list (fill completions).
+WakeListener = Callable[[int], None]
+#: Accounting hook: stall_listener(core_id, cycle) tells a sleeping
+#: core that its in-flight request changed lifecycle state at `cycle`,
+#: so batched stall attribution must settle the old cause up to there.
+StallListener = Callable[[int, int], None]
 
 
 class PrivateIcachePort:
@@ -46,6 +53,8 @@ class PrivateIcachePort:
         self._schedule = scheduler
         self._on_fill = on_fill
         self.latency = latency
+        #: Set by the system assembly when running under the scheduler.
+        self.wake_listener: WakeListener | None = None
 
     def request(self, line_address: int, now: int) -> LineRequest:
         """Issue a fetch; the fill callback fires at the completion cycle."""
@@ -70,6 +79,8 @@ class PrivateIcachePort:
     def _complete(self, request: LineRequest) -> None:
         request.state = RequestState.DONE
         self._on_fill(request)
+        if self.wake_listener is not None:
+            self.wake_listener(self.core_id)
 
 
 class SharedIcacheGroup:
@@ -105,13 +116,27 @@ class SharedIcacheGroup:
         self._fill_callbacks = fill_callbacks
         self.icache_latency = icache_latency
         self.mshrs = MshrFile(mshr_capacity)
+        #: Ready/wake hooks, set by the system assembly when running
+        #: under the scheduler (all optional; None = polled operation).
+        self.wake_listener: WakeListener | None = None
+        self.stall_listener: StallListener | None = None
+        #: Fired whenever a new request enters the interconnect, so the
+        #: kernel can return an idle (deregistered) interconnect
+        #: component to the run list for same-cycle arbitration.
+        self.activity_listener: Callable[[], None] | None = None
 
     def request(self, line_address: int, now: int, core_id: int) -> LineRequest:
         """Queue a fetch on the I-interconnect for arbitration."""
         request = LineRequest(core_id, line_address, issued_at=now)
-        slot = self._slot_of[core_id]
-        self.interconnect.request(slot, line_address, now, meta=request)
+        self._enqueue(self._slot_of[core_id], line_address, now, request)
         return request
+
+    def _enqueue(
+        self, slot: int, line_address: int, now: int, request: LineRequest
+    ) -> None:
+        self.interconnect.request(slot, line_address, now, meta=request)
+        if self.activity_listener is not None:
+            self.activity_listener()
 
     def port_for(self, core_id: int) -> "SharedPortView":
         """A per-core facade matching the private port's request signature."""
@@ -128,45 +153,55 @@ class SharedIcacheGroup:
             arrival = now + self.interconnect.latency
             request.arrival_at = arrival
             self._schedule(arrival, lambda r=request: self._access_cache(r))
+            if self.stall_listener is not None:
+                # The wait cause flips from bus congestion to bus
+                # latency: settle a sleeping core's attribution.
+                self.stall_listener(request.core_id, now)
 
     def _access_cache(self, request: LineRequest) -> None:
         now = request.arrival_at
         assert now is not None
         line = request.line_address
-        if self.mshrs.outstanding(line):
-            # A miss for this line is already in flight (another core's
-            # fetch): merge — mutual prefetching in action. The secondary
-            # request is a hit-under-miss: it does not re-read L2, and it
-            # is not counted as an additional I-cache miss.
+        try:
+            if self.mshrs.outstanding(line):
+                # A miss for this line is already in flight (another core's
+                # fetch): merge — mutual prefetching in action. The secondary
+                # request is a hit-under-miss: it does not re-read L2, and it
+                # is not counted as an additional I-cache miss.
+                request.state = RequestState.MISS
+                request.icache_hit = False
+                self.cache.stats.record_hit()
+                self.mshrs.request(line, request)
+                return
+            hit = self.cache.lookup(line)
+            request.icache_hit = hit
+            if hit:
+                request.state = RequestState.CACHE
+                request.completion_at = now + self.icache_latency
+                self._schedule(
+                    request.completion_at, lambda: self._complete(request)
+                )
+                return
             request.state = RequestState.MISS
-            request.icache_hit = False
-            self.cache.stats.record_hit()
-            self.mshrs.request(line, request)
-            return
-        hit = self.cache.lookup(line)
-        request.icache_hit = hit
-        if hit:
-            request.state = RequestState.CACHE
-            request.completion_at = now + self.icache_latency
-            self._schedule(request.completion_at, lambda: self._complete(request))
-            return
-        request.state = RequestState.MISS
-        outcome = self.mshrs.request(line, request)
-        if outcome == "full":
-            # No MSHR free: the request must re-arbitrate later. Model the
-            # retry as a fixed back-off before re-queuing on the bus.
-            slot = self._slot_of[request.core_id]
-            self._schedule(
-                now + 2,
-                lambda: self.interconnect.request(
-                    slot, line, now + 2, meta=request
-                ),
-            )
-            request.state = RequestState.QUEUED
-            return
-        miss = self.hierarchy.fetch_line(line, now + self.icache_latency)
-        done = miss.completion_cycle
-        self._schedule(done, lambda: self._fill_line(line, done))
+            outcome = self.mshrs.request(line, request)
+            if outcome == "full":
+                # No MSHR free: the request must re-arbitrate later. Model
+                # the retry as a fixed back-off before re-queuing on the bus.
+                slot = self._slot_of[request.core_id]
+                self._schedule(
+                    now + 2,
+                    lambda: self._enqueue(slot, line, now + 2, request),
+                )
+                request.state = RequestState.QUEUED
+                return
+            miss = self.hierarchy.fetch_line(line, now + self.icache_latency)
+            done = miss.completion_cycle
+            self._schedule(done, lambda: self._fill_line(line, done))
+        finally:
+            # Whatever lifecycle state the access resolved to, a sleeping
+            # core's stall attribution must settle at this boundary.
+            if self.stall_listener is not None:
+                self.stall_listener(request.core_id, now)
 
     def _fill_line(self, line: int, now: int) -> None:
         self.cache.fill(line)
@@ -179,6 +214,8 @@ class SharedIcacheGroup:
         request.state = RequestState.DONE
         callback = self._fill_callbacks[request.core_id]
         callback(request)
+        if self.wake_listener is not None:
+            self.wake_listener(request.core_id)
 
     def flush_core(self, core_id: int) -> int:
         """Drop a core's not-yet-granted bus requests (redirect flush)."""

@@ -68,6 +68,16 @@ class RuntimeCoordinator:
         self._barriers: dict[int, _JoinBarrier] = {}
         self._locks: dict[int, _Lock] = {}
         self.lock_hand_offs = 0
+        #: Ready/wake hook: wake_listener(thread_id, cycle) returns a
+        #: sleeping core's components to the kernel's run list whenever
+        #: a barrier release, phase start or lock hand-off unblocks its
+        #: thread. None (the default) keeps the coordinator pollable.
+        self.wake_listener = None
+
+    def _wake(self, thread_id: int, now: int) -> None:
+        self.contexts[thread_id].wake(now)
+        if self.wake_listener is not None:
+            self.wake_listener(thread_id, now)
 
     @property
     def thread_count(self) -> int:
@@ -102,7 +112,7 @@ class RuntimeCoordinator:
                 raise SimulationError(f"master re-starts phase {phase}")
             self._started_phases.add(phase)
             for waiter in self._start_waiters.pop(phase, []):
-                self.contexts[waiter].wake(now)
+                self._wake(waiter, now)
             return True
         if phase in self._started_phases:
             return True
@@ -134,7 +144,7 @@ class RuntimeCoordinator:
             barrier.released = True
             for arrived_id in barrier.arrived:
                 if arrived_id != thread_id:
-                    self.contexts[arrived_id].wake(now)
+                    self._wake(arrived_id, now)
             return True
         self.contexts[thread_id].block(now)
         return False
@@ -180,7 +190,7 @@ class RuntimeCoordinator:
         if lock.waiters:
             next_holder = lock.waiters.popleft()
             lock.holder = next_holder
-            self.contexts[next_holder].wake(now)
+            self._wake(next_holder, now)
             self.lock_hand_offs += 1
         else:
             lock.holder = None

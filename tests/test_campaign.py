@@ -1,5 +1,7 @@
 """Tests for the campaign layer: specs, the JSON store, and the runner."""
 
+import json
+
 import pytest
 
 from repro.acmp import baseline_config, result_to_dict, worker_shared_config
@@ -11,6 +13,7 @@ from repro.campaign import (
     run_campaign,
     run_specs,
 )
+from repro.campaign import runner as campaign_runner
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.common import ExperimentContext
 
@@ -213,3 +216,76 @@ class TestExperimentContextIntegration:
             assert result_to_dict(
                 parallel.run(name, config)
             ) == result_to_dict(serial.run(name, config))
+
+
+class TestFaultTolerance:
+    """A failing run is retried once, journalled, and never aborts a sweep."""
+
+    def _bad_spec(self):
+        return RunSpec(
+            benchmark="NO_SUCH_BENCH", config=baseline_config(), scale=0.02
+        )
+
+    def test_failure_journalled_and_sweep_completes(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        good = _tiny_spec()
+        report = run_specs(
+            [good, self._bad_spec()], store=store, strict=False
+        )
+        assert good.key in report.results
+        assert store.get(good) is not None  # the good run still landed
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.attempts == campaign_runner.MAX_ATTEMPTS
+        assert "NO_SUCH_BENCH" in failure.spec.benchmark
+        assert "FAILED" in report.summary()
+        lines = (
+            (tmp_path / "cache" / "failures.jsonl").read_text().splitlines()
+        )
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["benchmark"] == "NO_SUCH_BENCH"
+        assert entry["attempts"] == campaign_runner.MAX_ATTEMPTS
+        assert entry["config"]["worker_count"] == 8
+        assert entry["error"]
+
+    def test_strict_raises_after_finishing_everything_else(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        good = _tiny_spec()
+        with pytest.raises(SimulationError, match="still failing"):
+            run_specs([good, self._bad_spec()], store=store)
+        # The sweep was not aborted: the good run is cached and the
+        # failure journalled before the raise.
+        assert store.get(good) is not None
+        assert (tmp_path / "cache" / "failures.jsonl").exists()
+
+    def test_retry_recovers_transient_failure(self, monkeypatch):
+        real = campaign_runner.execute_run
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient worker crash")
+            return real(spec)
+
+        monkeypatch.setattr(campaign_runner, "execute_run", flaky)
+        report = run_specs([_tiny_spec()], strict=True)
+        assert not report.failures
+        assert len(report.results) == 1
+        assert calls["n"] == 2
+
+    def test_parallel_sweep_survives_failures(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        specs = [_tiny_spec(seed=0), _tiny_spec(seed=1), self._bad_spec()]
+        report = run_specs(specs, jobs=2, store=store, strict=False)
+        assert len(report.results) == 2
+        assert len(report.failures) == 1
+        assert report.executed == 2
+
+    def test_no_store_still_tolerates_failures(self):
+        report = run_specs(
+            [_tiny_spec(), self._bad_spec()], strict=False
+        )
+        assert len(report.results) == 1
+        assert len(report.failures) == 1

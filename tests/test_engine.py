@@ -1,7 +1,7 @@
 """Tests for the reusable simulation kernel (repro.engine).
 
 Covers the clock, event-queue semantics (same-cycle rescheduling),
-kernel progress/watchdog behaviour, and the cycle-skipping fast path's
+kernel progress/watchdog behaviour, and the ready/wake scheduler's
 exact-equivalence contract against the cycle-by-cycle reference engine.
 """
 
@@ -82,11 +82,12 @@ class TestEventQueue:
 
 
 class _CountdownComponent:
-    """Commits one unit per cycle for `work` cycles, then goes idle."""
+    """Commits one unit per cycle for `work` cycles, then goes to sleep."""
 
     def __init__(self, work: int) -> None:
         self.work = work
-        self.idle_charged = 0
+        self.slept_from: int | None = None
+        self.woken_at: list[int] = []
 
     def step(self, now: int) -> int:
         if self.work > 0:
@@ -94,11 +95,14 @@ class _CountdownComponent:
             return 1
         return 0
 
-    def skip_horizon(self, now: int) -> int | None:
+    def sleep_plan(self, now: int) -> int | None:
         return NEVER if self.work == 0 else None
 
-    def on_skip(self, start: int, cycles: int) -> None:
-        self.idle_charged += cycles
+    def on_sleep(self, now: int) -> None:
+        self.slept_from = now + 1
+
+    def on_wake(self, now: int) -> None:
+        self.woken_at.append(now)
 
 
 class TestKernel:
@@ -116,7 +120,7 @@ class TestKernel:
         with pytest.raises(SimulationError, match="max_cycles"):
             kernel.run(max_cycles=10)
 
-    def test_skip_jumps_to_next_event(self):
+    def test_empty_ready_set_jumps_to_next_event(self):
         kernel = SimulationKernel()
         component = _CountdownComponent(work=3)
         kernel.register(component)
@@ -124,15 +128,71 @@ class TestKernel:
         kernel.events.schedule(1000, lambda: finished.append(True))
         kernel.set_finish_condition(lambda: bool(finished))
         assert kernel.run(max_cycles=10_000) == 1001
-        # Cycles 3..999 are idle: one executed (progress check), rest skipped.
+        # Steps at 0..2 commit and the component sleeps right after its
+        # last one (unlike the old global gate, no zero-progress cycle
+        # is needed first); the clock jumps 3 -> 1000.
         assert kernel.stats.skips == 1
-        assert kernel.stats.cycles_skipped == 1000 - 4
-        assert component.idle_charged == 1000 - 4
+        assert kernel.stats.cycles_skipped == 1000 - 3
+        assert kernel.stats.cycles_executed == 4
+        assert component.slept_from == 3
+        assert component.woken_at == []  # the event never wakes it
+
+    def test_timer_wake_resumes_component(self):
+        kernel = SimulationKernel()
+
+        class Napper:
+            """Commits at cycle 0, naps 99 cycles, commits again at 100."""
+
+            def __init__(self) -> None:
+                self.commit_cycles: list[int] = []
+                self.woken_at: list[int] = []
+
+            def step(self, now: int) -> int:
+                if now in (0, 100):
+                    self.commit_cycles.append(now)
+                    return 1
+                return 0
+
+            def sleep_plan(self, now: int) -> int | None:
+                return 100 if now < 100 else NEVER
+
+            def on_sleep(self, now: int) -> None:
+                pass
+
+            def on_wake(self, now: int) -> None:
+                self.woken_at.append(now)
+
+        napper = Napper()
+        kernel.register(napper)
+        kernel.set_finish_condition(lambda: len(napper.commit_cycles) == 2)
+        assert kernel.run(max_cycles=10_000) == 101
+        assert napper.woken_at == [100]
+        assert napper.commit_cycles == [0, 100]
+        assert kernel.stats.cycles_skipped > 0
+
+    def test_explicit_wake_from_event_steps_same_cycle(self):
+        kernel = SimulationKernel()
+        component = _CountdownComponent(work=1)
+        kernel.register(component)
+
+        def refill():
+            component.work = 2
+            kernel.wake(component)
+
+        kernel.events.schedule(50, refill)
+        kernel.set_finish_condition(
+            lambda: component.woken_at != [] and component.work == 0
+        )
+        assert kernel.run(max_cycles=10_000) == 52
+        # The event at 50 wakes the component before stepping, so it
+        # commits at cycles 50 and 51 (no lost cycle).
+        assert component.woken_at == [50]
+        assert kernel.stats.wakes == 1
 
     def test_deadlock_fires_across_skips(self):
-        # With nothing scheduled and every component idle forever, the
-        # fast path must not jump past the watchdog: the deadlock fires
-        # at exactly the cycle the stepped engine would raise at.
+        # With nothing scheduled and every component asleep forever, the
+        # jump must not overshoot the watchdog: the deadlock fires at
+        # exactly the cycle the stepped engine would raise at.
         kernel = SimulationKernel(stall_limit=500)
         component = _CountdownComponent(work=2)
         kernel.register(component)
@@ -141,7 +201,7 @@ class TestKernel:
         # Last progress at cycle 1; watchdog fires at 1 + 500 + 1.
         assert kernel.stats.cycles_skipped > 0
 
-    def test_component_without_skip_support_vetoes_skipping(self):
+    def test_component_without_sleep_support_stays_ready(self):
         class Bare:
             def step(self, now):
                 return 0
@@ -151,6 +211,7 @@ class TestKernel:
         with pytest.raises(DeadlockError):
             kernel.run(max_cycles=1_000)
         assert kernel.stats.cycles_skipped == 0
+        assert kernel.stats.component_steps == kernel.stats.cycles_executed
 
 
 def _master_records(phases=1):

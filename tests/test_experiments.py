@@ -137,3 +137,40 @@ class TestRenderedOutput:
         run_experiment("fig08", ctx)
         after = len(ctx._results)
         assert after == before  # no extra simulations needed
+
+
+class TestSeedSweeps:
+    def test_mean_ci_math(self):
+        from repro.experiments.common import mean_ci
+
+        single = mean_ci([2.0])
+        assert (single.mean, single.half_width, single.n) == (2.0, 0.0, 1)
+        triple = mean_ci([1.0, 2.0, 3.0])
+        assert triple.mean == 2.0
+        assert triple.n == 3
+        # s = 1, se = 1/sqrt(3), t(df=2, 95%) = 4.303
+        assert triple.half_width == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+        assert "±" in str(triple)
+
+    def test_seed_sweep_orders_and_dedupes(self):
+        sweep_ctx = ExperimentContext(
+            scale=0.02, benchmarks=["CG"], seed=1, seeds=(0, 1, 2)
+        )
+        assert sweep_ctx.seed_sweep == (1, 0, 2)
+        assert ExperimentContext(scale=0.02).seed_sweep == (0,)
+
+    def test_fig07_surfaces_interval(self):
+        sweep_ctx = ExperimentContext(
+            scale=0.03, benchmarks=["CG", "UA"], seeds=(1, 2)
+        )
+        result = run_experiment("fig07", sweep_ctx)
+        assert "seed sweep, n=3" in result.rendered
+        assert "mean_cpc8_ratio_ci95" in result.summary
+        assert result.summary["seed_count"] == 3.0
+        assert result.summary["mean_cpc8_ratio_ci95"] >= 0.0
+
+    def test_single_seed_output_unchanged(self):
+        plain = ExperimentContext(scale=0.03, benchmarks=["CG"])
+        result = run_experiment("fig07", plain)
+        assert "seed sweep" not in result.rendered
+        assert "mean_cpc8_ratio_ci95" not in result.summary

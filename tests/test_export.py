@@ -52,3 +52,11 @@ class TestRender:
         results = [_result(experiment_id="fig01", crossover_percent=50.0)]
         markdown = render_markdown(results, scale=1.0)
         assert "| NO |" in markdown
+
+    def test_seed_interval_rendered(self):
+        check = ShapeCheck("claim", "~2", "value", 1.0, 3.0)
+        measured, ok = check.evaluate(
+            _result(value=2.0, value_ci95=0.12, seed_count=3.0)
+        )
+        assert ok
+        assert measured == "2.000 ± 0.120 (95% CI, 3 seeds)"

@@ -75,3 +75,20 @@ class TestItlbIntegration:
             worker_shared_config(itlb_enabled=True, shared_itlb=True), traces
         )
         assert shared.cycles <= private.cycles
+
+    def test_shared_itlb_stats_reported_once_per_group(self, traces):
+        # Group-shared structures follow one rule: counters appear on
+        # the first member core only, never multiplied per core (the
+        # same dedupe as shared fetch predictors).
+        private = simulate(worker_shared_config(itlb_enabled=True), traces)
+        assert all(
+            core.itlb_lookups > 0 for core in private.cores
+        )  # private iTLBs: every core reports its own
+        shared = simulate(
+            worker_shared_config(itlb_enabled=True, shared_itlb=True), traces
+        )
+        master, first_worker, *other_workers = shared.cores
+        assert master.itlb_lookups > 0  # private master iTLB
+        assert first_worker.itlb_lookups > 0  # the group's counters
+        assert all(core.itlb_lookups == 0 for core in other_workers)
+        assert all(core.itlb_misses == 0 for core in other_workers)

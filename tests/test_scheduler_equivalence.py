@@ -1,0 +1,179 @@
+"""Scheduler-vs-stepped equivalence over a randomized config grid.
+
+The ready/wake scheduler's contract is exact equivalence with the
+cycle-by-cycle reference engine (``cycle_skip=False``): bit-identical
+:class:`SimulationResult` payloads, and :class:`DeadlockError` raised at
+the identical cycle with the identical diagnosis. This suite sweeps the
+machine dimensions that exercise different sleep/wake paths — private
+vs shared groups, single vs double bus, crossbar vs multi-bus, icount
+vs round-robin arbitration, iTLB on/off/shared — plus a seeded random
+sample of further combinations.
+"""
+
+import random
+
+import pytest
+
+from repro.acmp import (
+    AcmpConfig,
+    all_shared_config,
+    baseline_config,
+    result_to_dict,
+    simulate,
+    worker_shared_config,
+)
+from repro.errors import DeadlockError
+from repro.trace.records import (
+    BasicBlockRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
+from repro.trace.synthesis import synthesize_benchmark
+
+#: The directed grid: every row is one scheduler path worth pinning.
+GRID: list[tuple[str, AcmpConfig]] = [
+    ("private-baseline", baseline_config(worker_count=4)),
+    ("private-itlb", baseline_config(worker_count=4, itlb_enabled=True)),
+    (
+        "shared-cpc2-single-bus",
+        worker_shared_config(
+            cores_per_cache=2, icache_kb=32, bus_count=1, line_buffers=4
+        ),
+    ),
+    (
+        "shared-cpc4-double-bus",
+        AcmpConfig(
+            worker_count=4,
+            cores_per_cache=4,
+            worker_icache_bytes=16 * 1024,
+            bus_count=2,
+        ),
+    ),
+    (
+        "shared-crossbar",
+        AcmpConfig(
+            worker_count=4,
+            cores_per_cache=4,
+            interconnect="crossbar",
+            bus_count=2,
+        ),
+    ),
+    (
+        "shared-icount",
+        AcmpConfig(worker_count=4, cores_per_cache=4, arbitration="icount"),
+    ),
+    (
+        "shared-itlb",
+        AcmpConfig(
+            worker_count=4,
+            cores_per_cache=4,
+            itlb_enabled=True,
+            shared_itlb=True,
+        ),
+    ),
+    ("all-shared", all_shared_config(icache_kb=32, bus_count=1)),
+]
+
+
+def _random_configs(count: int = 4) -> list[tuple[str, AcmpConfig]]:
+    """A deterministic random sample of further design points."""
+    rng = random.Random(0xACC5)
+    configs = []
+    for index in range(count):
+        workers = rng.choice((2, 4, 8))
+        divisors = [d for d in (1, 2, 4, 8) if workers % d == 0 and d <= workers]
+        cpc = rng.choice(divisors)
+        itlb = rng.random() < 0.5
+        config = AcmpConfig(
+            worker_count=workers,
+            cores_per_cache=cpc,
+            worker_icache_bytes=rng.choice((16, 32)) * 1024,
+            bus_count=rng.choice((1, 2)),
+            line_buffers=rng.choice((2, 4, 8)),
+            arbitration=rng.choice(("round-robin", "icount"))
+            if cpc > 1
+            else "round-robin",
+            interconnect=rng.choice(("bus", "crossbar")),
+            itlb_enabled=itlb,
+            shared_itlb=itlb and cpc > 1 and rng.random() < 0.5,
+        )
+        configs.append((f"random-{index}", config))
+    return configs
+
+
+@pytest.mark.parametrize(
+    ("label", "config"), GRID + _random_configs(), ids=lambda v: v if isinstance(v, str) else ""
+)
+@pytest.mark.parametrize("bench", ("CG", "UA"))
+def test_bit_identical_results(label, config, bench):
+    traces = synthesize_benchmark(
+        bench, thread_count=config.core_count, scale=0.03, seed=3
+    )
+    scheduled = simulate(config, traces, cycle_skip=True)
+    stepped = simulate(config, traces, cycle_skip=False)
+    assert result_to_dict(scheduled) == result_to_dict(stepped)
+
+
+def _deadlock_traces() -> TraceSet:
+    """Worker 2 waits on a phase the master never starts."""
+    master = [
+        IpcRecord(1.0),
+        BasicBlockRecord(0x100, 8),
+        SyncRecord(SyncKind.PARALLEL_START, 0),
+        IpcRecord(2.0),
+        BasicBlockRecord(0x1000, 8),
+        SyncRecord(SyncKind.PARALLEL_END, 0),
+    ]
+    worker = [
+        SyncRecord(SyncKind.PARALLEL_START, 0),
+        IpcRecord(1.0),
+        BasicBlockRecord(0x1000, 8),
+        SyncRecord(SyncKind.PARALLEL_END, 0),
+    ]
+    bad_worker = [
+        SyncRecord(SyncKind.PARALLEL_START, 7),
+        IpcRecord(1.0),
+        BasicBlockRecord(0x1000, 8),
+        SyncRecord(SyncKind.PARALLEL_END, 7),
+    ]
+    return TraceSet(
+        "phantom-phase",
+        [
+            ThreadTrace(0, master),
+            ThreadTrace(1, worker),
+            ThreadTrace(2, bad_worker),
+        ],
+    )
+
+
+@pytest.mark.parametrize(
+    ("label", "config"),
+    [
+        ("private", baseline_config(worker_count=2)),
+        (
+            "shared",
+            AcmpConfig(worker_count=2, cores_per_cache=2, bus_count=1),
+        ),
+        (
+            "shared-icount-itlb",
+            AcmpConfig(
+                worker_count=2,
+                cores_per_cache=2,
+                arbitration="icount",
+                itlb_enabled=True,
+            ),
+        ),
+    ],
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_deadlock_at_identical_cycle(label, config):
+    traces = _deadlock_traces()
+    with pytest.raises(DeadlockError) as scheduled:
+        simulate(config, traces, cycle_skip=True)
+    with pytest.raises(DeadlockError) as stepped:
+        simulate(config, traces, cycle_skip=False)
+    # Identical diagnosis, including the firing cycle embedded in it.
+    assert str(scheduled.value) == str(stepped.value)
+    assert "phase 7" in str(scheduled.value)
