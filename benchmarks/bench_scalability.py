@@ -128,11 +128,20 @@ def test_emit_campaign_timing(tmp_path):
     )
 
     # Scheduler engagement on representative runs: skip efficiency
-    # (clock jumps) plus the event-driven scheduler's step elision.
+    # (clock jumps), the event-driven scheduler's step elision, and —
+    # on shared-front-end configs — the interconnect's batched
+    # busy-cycle accounting.
+    from repro.acmp import worker_shared_config
+
     kernel_skip = []
-    for bench in ("UA", "CoMD"):
+    probe_configs = [
+        ("UA", baseline_config()),
+        ("CoMD", baseline_config()),
+        ("UA", worker_shared_config()),
+    ]
+    for bench, config in probe_configs:
         traces = synthesize_benchmark(bench, thread_count=9, scale=BENCH_SCALE)
-        system = AcmpSystem(baseline_config(), traces)
+        system = AcmpSystem(config, traces)
         system.warm_instruction_l2s()
         simulator = AcmpSimulator(system)
         simulator.run()
@@ -141,7 +150,7 @@ def test_emit_campaign_timing(tmp_path):
         kernel_skip.append(
             {
                 "benchmark": bench,
-                "config": "baseline::32KB::4lb",
+                "config": config.label(),
                 "cycles_skipped": stats.cycles_skipped,
                 "total_cycles": stats.total_cycles,
                 "skipped_fraction": round(stats.skipped_fraction, 4),
@@ -152,6 +161,7 @@ def test_emit_campaign_timing(tmp_path):
                     stats.component_steps_avoided / max(1, total_steps), 4
                 ),
                 "wakes": stats.wakes,
+                "interconnect_busy_batched": stats.interconnect_busy_batched,
             }
         )
     kernel_stats = kernel_skip[0]
@@ -185,4 +195,9 @@ def test_emit_campaign_timing(tmp_path):
     assert kernel_stats["skipped_fraction"] >= 0.17
     assert any(
         entry["steps_avoided_fraction"] >= 0.3 for entry in kernel_skip
+    )
+    # The interconnect busy-horizon lever: shared-front-end runs must
+    # batch at least some busy-only steps away.
+    assert any(
+        entry["interconnect_busy_batched"] > 0 for entry in kernel_skip
     )

@@ -41,9 +41,11 @@ def main() -> None:
 
         ratios = []
         for seed in SEEDS:
-            base = report.results[(BENCHMARK, base_config.label(), seed, SCALE)]
+            base = report.results[
+                ("acmp", BENCHMARK, base_config.label(), seed, SCALE)
+            ]
             shared = report.results[
-                (BENCHMARK, shared_config.label(), seed, SCALE)
+                ("acmp", BENCHMARK, shared_config.label(), seed, SCALE)
             ]
             ratios.append(shared.cycles / base.cycles)
             print(

@@ -1,13 +1,16 @@
 """repro: reproduction of "Sharing the Instruction Cache Among Lean Cores
 on an Asymmetric CMP for HPC Applications" (Milic et al., ISPASS 2017).
 
-A trace-driven cycle-level simulator of an asymmetric CMP (1 big master
-core + 8 lean workers) whose worker cores may share one L1 instruction
-cache behind a single/double bus, plus every substrate the paper's
-methodology depends on: a Pin-style trace model with synthetic HPC
-workload generation, a decoupled front-end (gshare + loop predictor, FTQ,
-line buffers), an OpenMP-like runtime replay layer, an L2/DDR3 memory
-hierarchy, and McPAT/CACTI-style area/energy models.
+A trace-driven cycle-level simulator built on a machine-model
+abstraction layer (:mod:`repro.machine`): the paper's asymmetric CMP
+(1 big master core + 8 lean workers whose I-caches may be shared behind
+a single/double bus, :mod:`repro.acmp`) and a symmetric CMP of uniform
+lean cores with per-core or banked front-ends (:mod:`repro.scmp`), plus
+every substrate the paper's methodology depends on: a Pin-style trace
+model with synthetic HPC workload generation, a decoupled front-end
+(gshare + loop predictor, FTQ, line buffers), an OpenMP-like runtime
+replay layer, an L2/DDR3 memory hierarchy, and McPAT/CACTI-style
+area/energy models.
 
 Quickstart::
 
@@ -18,6 +21,9 @@ Quickstart::
     base = simulate(baseline_config(), traces)
     shared = simulate(worker_shared_config(), traces)
     print(shared.cycles / base.cycles)
+
+``simulate`` accepts any registered machine model's configuration; see
+``repro.machine.get_model`` / ``model_names`` for the registry.
 
 To regenerate a paper figure::
 
@@ -31,8 +37,25 @@ from repro.acmp import (
     SimulationResult,
     all_shared_config,
     baseline_config,
-    simulate,
     worker_shared_config,
+)
+from repro.acmp import (
+    simulate as simulate_acmp,
+)
+from repro.machine import (
+    MachineModel,
+    SystemSimulator,
+    get_model,
+    model_for_config,
+    model_names,
+    register_model,
+    simulate,
+)
+from repro.scmp import (
+    ScmpConfig,
+    ScmpSystem,
+    banked_config,
+    private_config,
 )
 from repro.campaign import (
     Campaign,
@@ -67,10 +90,21 @@ __all__ = [
     "AcmpConfig",
     "AcmpSimulator",
     "AcmpSystem",
+    "MachineModel",
+    "ScmpConfig",
+    "ScmpSystem",
     "SimulationResult",
+    "SystemSimulator",
     "all_shared_config",
+    "banked_config",
     "baseline_config",
+    "get_model",
+    "model_for_config",
+    "model_names",
+    "private_config",
+    "register_model",
     "simulate",
+    "simulate_acmp",
     "worker_shared_config",
     "Campaign",
     "CampaignReport",

@@ -1,4 +1,9 @@
-"""ACMP assembly: configuration, topology, system builder and simulator."""
+"""ACMP assembly: configuration, topology and wiring over repro.machine.
+
+The ACMP is the first implementation of the
+:class:`repro.machine.MachineModel` protocol (registered as ``acmp``);
+importing this package registers the model.
+"""
 
 from repro.acmp.config import (
     AcmpConfig,
@@ -15,11 +20,13 @@ from repro.acmp.serialization import (
     save_result,
     save_results,
 )
+from repro.acmp.model import MODEL
 from repro.acmp.simulator import AcmpSimulator, simulate
 from repro.acmp.system import AcmpSystem, EventQueue
 from repro.acmp.topology import CacheGroup, Topology, build_topology
 
 __all__ = [
+    "MODEL",
     "load_result",
     "load_results",
     "result_from_dict",

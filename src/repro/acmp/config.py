@@ -4,7 +4,11 @@ Defaults mirror the paper's simulated ACMP: 1 master + 8 worker cores,
 32 KB / 8-way / 64 B / 1-cycle I-caches, 4 line buffers, a 32 B-wide
 2-cycle round-robin I-interconnect, 16 KB gshare + 256-entry loop
 predictor, 1 MB / 32-way / 20-cycle L2s, a 32 B-wide 4-cycle L2-DRAM bus
-and DDR3-1600 DRAM.
+and DDR3-1600 DRAM. The machine-neutral substrate (front-end geometry,
+interconnect, memory) lives in
+:class:`~repro.machine.config.BaseMachineConfig`; this class adds the
+ACMP's topology — one big master core plus lean workers partitioned
+into shared-I-cache groups.
 """
 
 from __future__ import annotations
@@ -12,13 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
-from repro.utils import require_positive, require_power_of_two
+from repro.machine.config import KB, BaseMachineConfig
+from repro.utils import require_positive
 
-KB = 1024
+__all__ = [
+    "KB",
+    "AcmpConfig",
+    "all_shared_config",
+    "baseline_config",
+    "worker_shared_config",
+]
 
 
 @dataclass(frozen=True)
-class AcmpConfig:
+class AcmpConfig(BaseMachineConfig):
     """Full parameter set for one simulated ACMP design point."""
 
     # -- topology ---------------------------------------------------------
@@ -35,55 +46,10 @@ class AcmpConfig:
     #: Size of each worker I-cache (private or shared, per Table I the
     #: geometry is identical for any sharing degree).
     worker_icache_bytes: int = 32 * KB
-    icache_ways: int = 8
-    icache_line_bytes: int = 64
-    icache_latency: int = 1
-    icache_policy: str = "lru"
 
-    # -- front-end -----------------------------------------------------------
-    line_buffers: int = 4
-    ftq_capacity: int = 8
-    iq_capacity: int = 64
-    gshare_bytes: int = 16 * KB
-    loop_predictor_entries: int = 256
+    # -- front-end ---------------------------------------------------------
     mispredict_penalty_master: int = 12
     mispredict_penalty_worker: int = 8
-
-    # -- I-interconnect --------------------------------------------------------
-    #: Buses (and cache banks): 1 = single bus, 2 = double bus.
-    bus_count: int = 1
-    bus_width_bytes: int = 32
-    bus_latency: int = 2
-    #: Arbitration policy: ``round-robin`` (Table I), ``fixed-priority``,
-    #: ``least-recently-granted``, or ``icount`` — an SMT-ICOUNT-style
-    #: fetch policy favouring the most-starved core (the Section VII
-    #: future-work ablation: "the arbitration policy on an I-bus becomes
-    #: the fetching policy").
-    arbitration: str = "round-robin"
-    #: Interconnect topology: ``bus`` (the paper) or ``crossbar`` (the
-    #: Section IV-B alternative, quadratic area).
-    interconnect: str = "bus"
-    mshr_capacity: int = 16
-
-    # -- extensions (Section VII future work) ------------------------------------
-    #: Share one fetch predictor (gshare + loop predictor + BTB) among the
-    #: cores of each shared-I-cache group, for cross-thread training.
-    shared_fetch_predictor: bool = False
-    #: Model an instruction TLB per core (off by default: the paper's
-    #: baseline has no iTLB component).
-    itlb_enabled: bool = False
-    itlb_entries: int = 32
-    itlb_miss_penalty: int = 30
-    #: Share one iTLB among each shared-I-cache group's cores.
-    shared_itlb: bool = False
-
-    # -- memory -----------------------------------------------------------------
-    l2_bytes: int = 1024 * KB
-    l2_ways: int = 32
-    l2_latency: int = 20
-    l2_bus_width_bytes: int = 32
-    l2_bus_latency: int = 4
-    core_ghz: float = 2.0
 
     def __post_init__(self) -> None:
         require_positive(self.worker_count, "worker_count")
@@ -103,36 +69,7 @@ class AcmpConfig:
                 "all_shared requires a single worker group "
                 "(cores_per_cache == worker_count)"
             )
-        require_power_of_two(self.bus_count, "bus_count")
-        require_positive(self.line_buffers, "line_buffers")
-        require_positive(self.iq_capacity, "iq_capacity")
-        require_power_of_two(self.icache_line_bytes, "icache_line_bytes")
-        if self.interconnect not in ("bus", "crossbar"):
-            raise ConfigurationError(
-                f"interconnect must be 'bus' or 'crossbar', got "
-                f"{self.interconnect!r}"
-            )
-        if self.arbitration not in (
-            "round-robin",
-            "fixed-priority",
-            "least-recently-granted",
-            "icount",
-        ):
-            raise ConfigurationError(
-                f"unknown arbitration policy {self.arbitration!r}"
-            )
-        if self.shared_fetch_predictor and self.is_baseline:
-            raise ConfigurationError(
-                "shared_fetch_predictor requires a shared-I-cache topology"
-            )
-        if self.shared_itlb and not self.itlb_enabled:
-            raise ConfigurationError("shared_itlb requires itlb_enabled")
-        if self.shared_itlb and self.is_baseline:
-            raise ConfigurationError(
-                "shared_itlb requires a shared-I-cache topology"
-            )
-        require_positive(self.itlb_entries, "itlb_entries")
-        require_positive(self.itlb_miss_penalty, "itlb_miss_penalty")
+        super().__post_init__()
 
     @property
     def core_count(self) -> int:

@@ -1,91 +1,23 @@
-"""The cycle-level ACMP simulation engine.
+"""ACMP entry points for the machine-neutral simulation driver.
 
-Per-cycle order of operations (encoded as per-core kernel components,
-see :mod:`repro.acmp.components`):
-
-1. scheduled completions land (line-buffer fills, cache refills);
-2. every runnable core's front-end steps (FTQ fill, issue, extract);
-3. the shared I-interconnects arbitrate and process grants;
-4. every core's back-end attempts to commit, charging stall cycles to
-   the front-end's attribution when it starves;
-5. blocked cores accumulate synchronisation wait time.
-
-The run terminates when every thread has consumed its trace and drained
-its pipeline; the cycle count at that point is the benchmark's execution
-time for the configured design point.
-
-The main loop lives in :class:`repro.engine.SimulationKernel`, an
-event-driven ready/wake scheduler: components that block (a front-end
-waiting on a fill, a back-end with an empty queue, a core blocked on
-synchronisation, an idle interconnect) leave the run list and arm a
-wake — an event or a cycle horizon — so each cycle only steps the
-components with work, and when nothing is ready at all the clock jumps
-straight to the next wake-up. Elided cycles are batch-accounted into
-the same stall buckets a stepped run would produce. Results are
-bit-identical either way; pass ``cycle_skip=False`` to force the
-cycle-by-cycle reference path that steps every component every cycle.
+The main loop and the build-and-run helper are machine-agnostic
+(:mod:`repro.machine.simulator`); this module keeps the ACMP-named
+aliases every existing caller and the seed API used.
 """
 
 from __future__ import annotations
 
 from repro.acmp.config import AcmpConfig
-from repro.acmp.results import SimulationResult
 from repro.acmp.system import AcmpSystem
-from repro.engine import SimulationKernel
+from repro.machine.results import SimulationResult
+from repro.machine.simulator import SystemSimulator
 from repro.trace.stream import TraceSet
 
-#: Cycles without any committed instruction before declaring a deadlock.
-_STALL_LIMIT = 200_000
+__all__ = ["AcmpSimulator", "simulate"]
 
 
-class AcmpSimulator:
+class AcmpSimulator(SystemSimulator):
     """Runs one :class:`AcmpSystem` to completion on a simulation kernel."""
-
-    def __init__(self, system: AcmpSystem, *, cycle_skip: bool = True) -> None:
-        self.system = system
-        self.kernel = SimulationKernel(
-            events=system.events,
-            stall_limit=_STALL_LIMIT,
-            cycle_skip=cycle_skip,
-        )
-        system.register_components(self.kernel)
-        self.kernel.set_finish_condition(system.all_finished)
-        self.kernel.set_describe(self._describe)
-        self.kernel.set_deadlock_detail(self._deadlock_detail)
-
-    @property
-    def cycle(self) -> int:
-        """Current simulation cycle (the kernel clock's reading)."""
-        return self.kernel.clock.now
-
-    def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
-        """Simulate until all threads finish; return collected results.
-
-        Raises:
-            DeadlockError: when no thread commits for a long window while
-                unfinished threads remain (protocol violation or bug).
-        """
-        cycles = self.kernel.run(max_cycles=max_cycles)
-        return self.system.collect_results(cycles)
-
-    # -- error context -----------------------------------------------------
-
-    def _describe(self) -> str:
-        system = self.system
-        return (
-            f"benchmark {system.traces.benchmark!r}, config "
-            f"{system.config.label()}"
-        )
-
-    def _deadlock_detail(self, now: int) -> str:
-        system = self.system
-        states = {
-            core.core_id: core.context.state.value for core in system.cores
-        }
-        return (
-            f"core states {states}; runtime: "
-            f"{system.runtime.describe_blockage()}"
-        )
 
 
 def simulate(
@@ -95,15 +27,10 @@ def simulate(
     warm_l2: bool = True,
     cycle_skip: bool = True,
 ) -> SimulationResult:
-    """Build and run one design point over one trace set.
+    """Build and run one ACMP design point over one trace set.
 
-    Args:
-        warm_l2: pre-fill the instruction-side L2s with the code footprint
-            (see :meth:`AcmpSystem.warm_instruction_l2s`); on by default
-            because the paper's full-length runs operate with code-resident
-            L2s.
-        cycle_skip: enable the kernel's cycle-skipping fast path
-            (bit-identical results; off only for engine cross-checks).
+    See :func:`repro.machine.simulator.simulate` for the argument
+    semantics; this wrapper only pins the machine to the ACMP.
     """
     system = AcmpSystem(config, traces)
     if warm_l2:

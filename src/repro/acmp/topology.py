@@ -1,52 +1,20 @@
-"""Sharing topology: which cores share which I-cache.
+"""ACMP sharing topology: which cores share which I-cache.
 
 Core numbering: core 0 is the master (runs thread 0, the master thread);
 cores 1..worker_count are the lean workers. ``cores_per_cache`` partitions
 the workers into groups of equal size, each group sharing one I-cache
 behind one I-interconnect (Section V-B). In the all-shared variant of
-Section VI-E the master joins the single worker group.
+Section VI-E the master joins the single worker group. The
+:class:`~repro.machine.topology.CacheGroup` / ``Topology`` dataclasses
+are machine-neutral and shared with every other model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.acmp.config import AcmpConfig
+from repro.machine.topology import CacheGroup, Topology
 
-
-@dataclass(frozen=True, slots=True)
-class CacheGroup:
-    """One I-cache and the cores attached to it."""
-
-    index: int
-    core_ids: tuple[int, ...]
-    size_bytes: int
-
-    @property
-    def shared(self) -> bool:
-        return len(self.core_ids) > 1
-
-
-@dataclass(frozen=True, slots=True)
-class Topology:
-    """The full I-cache organisation of one design point."""
-
-    groups: tuple[CacheGroup, ...]
-    core_count: int
-
-    def group_of(self, core_id: int) -> CacheGroup:
-        for group in self.groups:
-            if core_id in group.core_ids:
-                return group
-        raise KeyError(f"core {core_id} belongs to no cache group")
-
-    @property
-    def shared_groups(self) -> tuple[CacheGroup, ...]:
-        return tuple(group for group in self.groups if group.shared)
-
-    @property
-    def icache_count(self) -> int:
-        return len(self.groups)
+__all__ = ["CacheGroup", "Topology", "build_topology"]
 
 
 def build_topology(config: AcmpConfig) -> Topology:

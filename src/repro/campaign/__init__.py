@@ -1,10 +1,13 @@
 """Simulation campaigns: declarative sweeps, parallel execution, caching.
 
-The layer between the single-run engine (:mod:`repro.acmp` on
-:mod:`repro.engine`) and the figure/table drivers: declare *what* to run
-(:class:`Campaign` / :class:`RunSpec`), execute it serially or across
-worker processes (:func:`run_campaign` / :func:`run_specs`), and never
-run the same design point twice (:class:`ResultStore`).
+The layer between the single-run engine (the machine models of
+:mod:`repro.machine` on :mod:`repro.engine`) and the figure/table
+drivers: declare *what* to run (:class:`Campaign` / :class:`RunSpec` —
+any mix of registered machine models), execute it serially, across
+worker processes, or as one deterministic shard of a multi-host sweep
+(:func:`run_campaign` / :func:`run_specs`), and never run the same
+design point twice (:class:`ResultStore`). ``python -m repro.campaign``
+exposes the sweep/shard/resume workflow on the command line.
 """
 
 from repro.campaign.runner import (
@@ -19,6 +22,8 @@ from repro.campaign.spec import (
     RunFailure,
     RunKey,
     RunSpec,
+    parse_shard,
+    shard_specs,
 )
 from repro.campaign.store import ResultStore
 
@@ -30,7 +35,9 @@ __all__ = [
     "RunKey",
     "RunSpec",
     "execute_run",
+    "parse_shard",
     "print_progress",
     "run_campaign",
     "run_specs",
+    "shard_specs",
 ]

@@ -1,0 +1,170 @@
+"""Command-line campaign driver: populate a shared result store.
+
+Runs a declarative sweep — one machine model's standard design points
+(or the naive cross product of a config space subset) over a benchmark
+list and seed sweep — into a persistent :class:`ResultStore`, with
+optional multi-host sharding and failure-journal resume.
+
+Examples::
+
+    # Sweep the ACMP standard design points over three benchmarks.
+    python -m repro.campaign --machine acmp --benchmarks CG,UA,CoMD \\
+        --scale 0.1 --cache-dir .results
+
+    # The same sweep split across two hosts sharing .results (e.g. NFS):
+    python -m repro.campaign --machine scmp --cache-dir .results --shard 1/2
+    python -m repro.campaign --machine scmp --cache-dir .results --shard 2/2
+
+    # Retry only what the journal says is still failing:
+    python -m repro.campaign --cache-dir .results --from-failures
+
+Sharding hashes each run's persistent key, so every host enumerating
+the same campaign agrees on the partition without coordination; the
+``failures.jsonl`` journal next to the store is the resume manifest
+(runs that later succeed are pruned from it automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.runner import print_progress, run_specs
+from repro.campaign.spec import Campaign, RunSpec, parse_shard
+from repro.campaign.store import ResultStore
+from repro.machine.model import get_model, model_names
+from repro.workloads.suites import benchmark_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a simulation campaign into a shared result store.",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=model_names(),
+        default="acmp",
+        help="machine model whose standard design points to sweep",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default="",
+        help="comma-separated benchmark subset (default: all)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=str,
+        default="0",
+        help="comma-separated trace-synthesis seeds (default: 0)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="per-thread instruction budget multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        required=True,
+        help="result store root shared by every shard of the campaign",
+    )
+    parser.add_argument(
+        "--shard",
+        type=str,
+        default="",
+        help="K/N: run only the K-th of N deterministic partitions of "
+        "the campaign (multi-host sweeps over one store tree)",
+    )
+    parser.add_argument(
+        "--from-failures",
+        action="store_true",
+        help="ignore the sweep definition and retry the runs journalled "
+        "in failures.jsonl (the resume manifest)",
+    )
+    parser.add_argument(
+        "--no-cycle-skip",
+        action="store_true",
+        help="run the cycle-by-cycle reference engine (cross-check "
+        "entries are cached separately from scheduled-engine ones)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-run progress on stderr",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = ResultStore(args.cache_dir)
+    shard = parse_shard(args.shard) if args.shard else None
+
+    specs: list[RunSpec]
+    if args.from_failures:
+        specs = store.failed_specs()
+        name = "resume-failures"
+        if not specs:
+            print("failures.jsonl is empty: nothing to resume", file=sys.stderr)
+            return 0
+    else:
+        model = get_model(args.machine)
+        benchmarks = tuple(
+            name.strip() for name in args.benchmarks.split(",") if name.strip()
+        ) or tuple(benchmark_names())
+        seeds = tuple(
+            int(part) for part in args.seeds.split(",") if part.strip() != ""
+        )
+        campaign = Campaign(
+            name=f"{args.machine}-standard",
+            benchmarks=benchmarks,
+            design_points=tuple(model.standard_design_points()),
+            seeds=seeds or (0,),
+            scale=args.scale,
+            cycle_skip=not args.no_cycle_skip,
+        )
+        specs = campaign.runs()
+        name = campaign.name
+
+    report = run_specs(
+        specs,
+        jobs=args.jobs,
+        store=store,
+        progress=None if args.quiet else print_progress,
+        name=name,
+        strict=False,
+        shard=shard,
+    )
+    if args.from_failures and report.results:
+        # Explicit single-operator compaction of the resume manifest;
+        # routine sweeps only ever append to it.
+        succeeded = {
+            (spec.key, spec.engine)
+            for spec in specs
+            if spec.key in report.results
+        }
+        pruned = store.prune_journal(succeeded)
+        if pruned:
+            print(f"pruned {pruned} recovered run(s) from failures.jsonl")
+    print(report.summary())
+    if report.failures:
+        print(
+            f"{len(report.failures)} run(s) journalled to "
+            f"{store.journal_path}; rerun with --from-failures to retry",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

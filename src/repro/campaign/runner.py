@@ -33,17 +33,18 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from functools import lru_cache
 
-from repro.acmp.results import SimulationResult
-from repro.acmp.simulator import simulate
 from repro.campaign.spec import (
     Campaign,
     CampaignReport,
     RunFailure,
     RunKey,
     RunSpec,
+    shard_specs,
 )
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError, SimulationError
+from repro.machine.results import SimulationResult
+from repro.machine.simulator import simulate
 
 #: Executions attempted per spec before journalling it as failed.
 MAX_ATTEMPTS = 2
@@ -102,19 +103,20 @@ def _journal_failure(
         return
     spec = failure.spec
     entry = {
+        "machine": spec.machine,
         "benchmark": spec.benchmark,
         "label": spec.config.label(),
         "seed": spec.seed,
         "scale": spec.scale,
         "warm_l2": spec.warm_l2,
         "cycle_skip": spec.cycle_skip,
+        "engine": spec.engine,
         "config_digest": spec.config_digest(),
         "config": asdict(spec.config),
         "error": failure.error,
         "attempts": failure.attempts,
     }
-    path = store.root / "failures.jsonl"
-    with path.open("a") as journal:
+    with store.journal_path.open("a") as journal:
         journal.write(json.dumps(entry) + "\n")
 
 
@@ -126,6 +128,7 @@ def run_specs(
     progress: ProgressHook | None = None,
     name: str = "ad-hoc",
     strict: bool = True,
+    shard: tuple[int, int] | None = None,
 ) -> CampaignReport:
     """Execute every spec, reusing cached results; return all results.
 
@@ -138,24 +141,45 @@ def run_specs(
             summarising permanently-failed runs *after* the rest of the
             sweep completed (and was journalled); when False, return
             the partial report with :attr:`CampaignReport.failures`.
+        shard: ``(K, N)`` selects the K-th of N deterministic partitions
+            of the spec set (1-based). Hosts sharing one store tree each
+            run a different shard of the same campaign; the partition
+            hashes persistent run keys, so every host agrees on the
+            assignment without coordination. Sharded-out specs are
+            neither executed nor loaded from the cache.
 
     Returns:
         A :class:`CampaignReport` whose ``results`` maps every
         successful spec's key to its :class:`SimulationResult`.
     """
     started = time.perf_counter()
-    unique: dict[RunKey, RunSpec] = {}
+    # Dedup by (key, engine): the two engine flavors of one design
+    # point are distinct work units (a cross-check batch must run
+    # both), while true duplicates collapse to one run.
+    unique: dict[tuple[RunKey, str], RunSpec] = {}
     for spec in specs:
-        known = unique.setdefault(spec.key, spec)
+        known = unique.setdefault((spec.key, spec.engine), spec)
         if known is not spec and known.config_digest() != spec.config_digest():
             raise ConfigurationError(
                 f"two specs in one batch share the key {spec.key} but "
                 f"differ in configuration: the design-point label does "
                 f"not distinguish them"
             )
+    sharded_out = 0
+    if shard is not None:
+        index, count = shard
+        mine = {spec.key for spec in shard_specs(list(unique.values()), index, count)}
+        sharded_out = len(unique) - sum(
+            1 for key, _engine in unique if key in mine
+        )
+        unique = {
+            key_engine: spec
+            for key_engine, spec in unique.items()
+            if key_engine[0] in mine
+        }
     results: dict[RunKey, SimulationResult] = {}
     pending: list[RunSpec] = []
-    for key, spec in unique.items():
+    for (key, _engine), spec in unique.items():
         if store is not None and (stored := store.get(spec)) is not None:
             results[key] = stored
         else:
@@ -222,7 +246,7 @@ def run_specs(
         workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(execute_run, spec): spec for spec in pending}
-            attempts = dict.fromkeys((spec.key for spec in pending), 1)
+            attempts = dict.fromkeys(((spec.key, spec.engine) for spec in pending), 1)
             try:
                 while futures:
                     for future in as_completed(list(futures)):
@@ -232,9 +256,9 @@ def run_specs(
                         except BrokenExecutor:
                             raise  # the pool itself died, not the run
                         except Exception as exc:
-                            attempt = attempts[spec.key]
+                            attempt = attempts[(spec.key, spec.engine)]
                             if attempt < MAX_ATTEMPTS:
-                                attempts[spec.key] = attempt + 1
+                                attempts[(spec.key, spec.engine)] = attempt + 1
                                 futures[pool.submit(execute_run, spec)] = spec
                             else:
                                 record_failure(spec, exc, attempt)
@@ -243,6 +267,12 @@ def run_specs(
                     future.cancel()
                 raise
 
+    # failures.jsonl stays append-only here: with several hosts
+    # appending to one shared journal, a rewrite could lose another
+    # host's concurrent entry. The manifest stays accurate anyway —
+    # ResultStore.failed_specs() skips entries whose run has since
+    # landed in the store — and ``--from-failures`` compacts the file
+    # explicitly via ResultStore.prune_journal after a resume.
     report = CampaignReport(
         name=name,
         total=total,
@@ -252,6 +282,7 @@ def run_specs(
         jobs=jobs,
         results=results,
         failures=failures,
+        sharded_out=sharded_out,
     )
     if failures and strict:
         sample = "; ".join(
@@ -275,6 +306,7 @@ def run_campaign(
     store: ResultStore | None = None,
     progress: ProgressHook | None = None,
     strict: bool = True,
+    shard: tuple[int, int] | None = None,
 ) -> CampaignReport:
     """Execute a whole declarative campaign (see :class:`Campaign`)."""
     return run_specs(
@@ -284,4 +316,5 @@ def run_campaign(
         progress=progress,
         name=campaign.name,
         strict=strict,
+        shard=shard,
     )

@@ -1,11 +1,13 @@
-"""Declarative simulation campaigns: benchmarks × design points × seeds.
+"""Declarative simulation campaigns: machines × benchmarks × designs × seeds.
 
 A :class:`Campaign` names *what* to run; :mod:`repro.campaign.runner`
 decides *how* (serial or process-parallel) and
 :mod:`repro.campaign.store` remembers what already ran. The unit of work
-is a :class:`RunSpec` — one benchmark on one design point with one trace
-seed — whose :meth:`RunSpec.key` is the persistent identity results are
-cached under.
+is a :class:`RunSpec` — one benchmark on one design point of one machine
+model with one trace seed — whose :meth:`RunSpec.key` is the persistent
+identity results are cached under. The machine model is resolved from
+the configuration's type through the registry
+(:mod:`repro.machine.model`), so campaigns can mix machines freely.
 """
 
 from __future__ import annotations
@@ -14,29 +16,53 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
-from repro.acmp.config import AcmpConfig
 from repro.errors import ConfigurationError
+from repro.machine.config import BaseMachineConfig
 
-#: The persistent identity of one run: (benchmark, config label, seed,
-#: scale). Everything the synthesis and simulation depend on, modulo the
-#: full config (the label is the design point's reporting identity).
-RunKey = tuple[str, str, int, float]
+#: The persistent identity of one run: (machine, benchmark, config
+#: label, seed, scale). Everything the synthesis and simulation depend
+#: on, modulo the full config (the label is the design point's
+#: reporting identity within its machine's namespace).
+RunKey = tuple[str, str, str, int, float]
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One benchmark × design point × seed simulation."""
+    """One benchmark × design point × seed simulation on one machine."""
 
     benchmark: str
-    config: AcmpConfig
+    config: BaseMachineConfig
     seed: int = 0
     scale: float = 1.0
     warm_l2: bool = True
     cycle_skip: bool = True
+    #: Machine-model registry name; derived from the config's type when
+    #: left empty, so existing ``RunSpec(benchmark, config)`` calls keep
+    #: working for any machine.
+    machine: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.machine:
+            from repro.machine.model import model_for_config
+
+            object.__setattr__(
+                self, "machine", model_for_config(self.config).name
+            )
 
     @property
     def key(self) -> RunKey:
-        return (self.benchmark, self.config.label(), self.seed, self.scale)
+        return (
+            self.machine,
+            self.benchmark,
+            self.config.label(),
+            self.seed,
+            self.scale,
+        )
+
+    @property
+    def engine(self) -> str:
+        """Engine flavor tag: ``skip`` (scheduled) or ``reference``."""
+        return "skip" if self.cycle_skip else "reference"
 
     def config_digest(self) -> str:
         """Fingerprint of every run-affecting input the key omits.
@@ -46,8 +72,11 @@ class RunSpec:
         in it, and ``warm_l2`` is outside the config entirely. The
         digest covers all of them so a store can refuse to serve a
         cached result produced by a different machine than the one
-        requested. ``cycle_skip`` is deliberately excluded: the two
-        engine paths are bit-identical by contract.
+        requested. ``cycle_skip`` is deliberately excluded here — the
+        two engine paths are bit-identical by contract — but the store
+        still files the flavors separately (engine cross-checks must
+        never read each other's cache entries; see
+        :meth:`repro.campaign.store.ResultStore.path_for`).
         """
         payload = json.dumps(
             {"config": asdict(self.config), "warm_l2": self.warm_l2},
@@ -57,9 +86,45 @@ class RunSpec:
 
     def describe(self) -> str:
         return (
-            f"{self.benchmark} @ {self.config.label()} "
+            f"{self.benchmark} @ {self.machine}/{self.config.label()} "
             f"(seed={self.seed}, scale={self.scale})"
         )
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``K/N`` shard selector into (index, count), 1-based."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"shard must look like K/N (e.g. 2/4), got {text!r}"
+        ) from None
+    if count < 1 or not (1 <= index <= count):
+        raise ConfigurationError(
+            f"shard index must satisfy 1 <= K <= N, got {text!r}"
+        )
+    return index, count
+
+
+def shard_specs(
+    specs: list[RunSpec], index: int, count: int
+) -> list[RunSpec]:
+    """Deterministically select shard ``index`` of ``count`` (1-based).
+
+    Partitioning hashes each spec's persistent :attr:`RunSpec.key`, so
+    every host enumerating the same campaign — in any order, with any
+    local cache state — agrees on the assignment, and shards stay
+    stable when a campaign grows new design points.
+    """
+    if count == 1:
+        return list(specs)
+    selected = []
+    for spec in specs:
+        digest = hashlib.sha256(repr(spec.key).encode()).digest()
+        if int.from_bytes(digest[:8], "big") % count == index - 1:
+            selected.append(spec)
+    return selected
 
 
 @dataclass(frozen=True)
@@ -69,7 +134,8 @@ class Campaign:
     Attributes:
         name: campaign identifier used in reports.
         benchmarks: benchmark names to evaluate.
-        design_points: the :class:`AcmpConfig` instances to sweep.
+        design_points: the machine configurations to sweep (any mix of
+            registered machine models).
         seeds: trace-synthesis seeds; each (benchmark, design point)
             pair runs once per seed.
         scale: per-thread instruction budget multiplier.
@@ -77,7 +143,7 @@ class Campaign:
 
     name: str
     benchmarks: tuple[str, ...]
-    design_points: tuple[AcmpConfig, ...]
+    design_points: tuple[BaseMachineConfig, ...]
     seeds: tuple[int, ...] = (0,)
     scale: float = 1.0
     warm_l2: bool = True
@@ -92,10 +158,14 @@ class Campaign:
             )
         if not self.seeds:
             raise ConfigurationError("campaign needs at least one seed")
-        labels = [config.label() for config in self.design_points]
+        labels = [
+            (type(config).__name__, config.label())
+            for config in self.design_points
+        ]
         if len(set(labels)) != len(labels):
             raise ConfigurationError(
-                f"campaign design points have colliding labels: {labels}"
+                f"campaign design points have colliding labels: "
+                f"{[label for _, label in labels]}"
             )
 
     def runs(self) -> list[RunSpec]:
@@ -142,13 +212,18 @@ class CampaignReport:
     #: Runs that failed even after the retry (journalled when a result
     #: store is attached; see ``failures.jsonl`` next to it).
     failures: list[RunFailure] = field(default_factory=list)
+    #: Runs excluded by the active shard selector (other hosts' work).
+    sharded_out: int = 0
 
     def summary(self) -> str:
         rate = self.executed / self.wall_seconds if self.wall_seconds else 0.0
         failed = f", {len(self.failures)} FAILED" if self.failures else ""
+        shard = (
+            f", {self.sharded_out} on other shards" if self.sharded_out else ""
+        )
         return (
             f"campaign {self.name!r}: {self.total} runs "
-            f"({self.executed} executed, {self.cached} cached{failed}) in "
-            f"{self.wall_seconds:.1f}s with {self.jobs} job(s) "
+            f"({self.executed} executed, {self.cached} cached{failed}"
+            f"{shard}) in {self.wall_seconds:.1f}s with {self.jobs} job(s) "
             f"[{rate:.2f} runs/s]"
         )

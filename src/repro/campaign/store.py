@@ -1,16 +1,27 @@
 """Persistent JSON result store for simulation campaigns.
 
 One file per run under a root directory, keyed by
-``(benchmark, config.label(), seed, scale)``. The store survives across
-invocations, so re-running a figure driver or campaign only simulates
-design points it has never seen — the caching layer that makes repeated
-regenerations cheap.
+``(machine, benchmark, config.label(), seed, scale)`` plus the engine
+flavor. The store survives across invocations, so re-running a figure
+driver or campaign only simulates design points it has never seen —
+the caching layer that makes repeated regenerations cheap — and it can
+be shared by several hosts executing disjoint shards of one campaign.
 
 Layout::
 
     <root>/
-      <benchmark>/
-        <config-label>__seed<seed>__scale<scale>.json
+      <machine>/
+        <benchmark>/
+          <config-label>__seed<seed>__scale<scale>[__ref].json
+
+Reference-engine runs (``cycle_skip=False``) get the ``__ref`` suffix:
+the two engines are bit-identical by contract, but an engine cross-check
+that silently read the other engine's cache entry would verify nothing,
+so the flavors never share an entry. Stores written before the machine
+axis existed used ``<root>/<benchmark>/...`` with no machine directory;
+those entries remain readable as ``acmp``/scheduled-engine results (the
+only flavor that existed), and new writes always use the namespaced
+layout.
 
 Labels are sanitised for the filesystem (``::`` and other separators
 become ``-``); the authoritative key is stored inside the JSON payload
@@ -24,10 +35,14 @@ import json
 import re
 from pathlib import Path
 
-from repro.acmp.results import SimulationResult
-from repro.acmp.serialization import result_from_dict, result_to_dict
 from repro.campaign.spec import RunKey, RunSpec
 from repro.errors import ConfigurationError, SimulationError
+from repro.machine.results import SimulationResult
+from repro.machine.serialization import (
+    _LEGACY_MACHINE,
+    result_from_dict,
+    result_to_dict,
+)
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._=-]+")
 
@@ -40,6 +55,18 @@ def _format_scale(scale: float) -> str:
     # Stable, filesystem-safe rendering: 1.0 -> "1", 0.15 -> "0.15".
     text = f"{scale:g}"
     return text.replace("/", "-")
+
+
+def _normalize_key(raw: object) -> RunKey | None:
+    """Rebuild a :data:`RunKey` from a stored payload header."""
+    if not isinstance(raw, list):
+        return None
+    if len(raw) == 4:  # pre-machine-axis payload: implicitly acmp
+        raw = [_LEGACY_MACHINE, *raw]
+    if len(raw) != 5:
+        return None
+    machine, benchmark, label, seed, scale = raw
+    return (str(machine), str(benchmark), str(label), int(seed), float(scale))
 
 
 class ResultStore:
@@ -57,22 +84,47 @@ class ResultStore:
 
     # -- paths -------------------------------------------------------------
 
-    def path_for(self, spec: RunSpec) -> Path:
-        benchmark, label, seed, scale = spec.key
-        filename = (
-            f"{_sanitize(label)}__seed{seed}__scale{_format_scale(scale)}.json"
+    def _filename(self, spec: RunSpec) -> str:
+        _machine, _benchmark, label, seed, scale = spec.key
+        engine = "" if spec.cycle_skip else "__ref"
+        return (
+            f"{_sanitize(label)}__seed{seed}__scale{_format_scale(scale)}"
+            f"{engine}.json"
         )
-        return self.root / _sanitize(benchmark) / filename
+
+    def path_for(self, spec: RunSpec) -> Path:
+        machine, benchmark = spec.key[0], spec.key[1]
+        return (
+            self.root
+            / _sanitize(machine)
+            / _sanitize(benchmark)
+            / self._filename(spec)
+        )
+
+    def _legacy_path(self, spec: RunSpec) -> Path | None:
+        """Pre-machine-axis location, readable for acmp scheduled runs."""
+        if spec.machine != _LEGACY_MACHINE or not spec.cycle_skip:
+            return None
+        return self.root / _sanitize(spec.benchmark) / self._filename(spec)
+
+    def _existing_path(self, spec: RunSpec) -> Path | None:
+        path = self.path_for(spec)
+        if path.exists():
+            return path
+        legacy = self._legacy_path(spec)
+        if legacy is not None and legacy.exists():
+            return legacy
+        return None
 
     # -- access ------------------------------------------------------------
 
     def __contains__(self, spec: RunSpec) -> bool:
-        return self.path_for(spec).exists()
+        return self._existing_path(spec) is not None
 
     def get(self, spec: RunSpec) -> SimulationResult | None:
         """Load the stored result for ``spec``, or None when absent."""
-        path = self.path_for(spec)
-        if not path.exists():
+        path = self._existing_path(spec)
+        if path is None:
             return None
         try:
             payload = json.loads(path.read_text())
@@ -81,33 +133,35 @@ class ResultStore:
                 f"corrupt result cache entry {path}: {exc}"
             ) from exc
         stored_key = payload.get("key")
-        if stored_key is not None and tuple(stored_key) != (
-            spec.key[0],
-            spec.key[1],
-            spec.key[2],
-            spec.key[3],
-        ):
+        if stored_key is not None and _normalize_key(stored_key) != spec.key:
             raise SimulationError(
                 f"result cache entry {path} holds key {stored_key}, "
                 f"expected {spec.key} (label sanitisation collision?)"
+            )
+        stored_engine = payload.get("engine")
+        if stored_engine is not None and stored_engine != spec.engine:
+            raise SimulationError(
+                f"result cache entry {path} was produced by the "
+                f"{stored_engine!r} engine but the {spec.engine!r} engine "
+                f"was requested; engine flavors never share cache entries"
             )
         stored_digest = payload.get("config_digest")
         if stored_digest is not None and stored_digest != spec.config_digest():
             raise SimulationError(
                 f"result cache entry {path} was produced by a different "
                 f"machine configuration than requested: the design-point "
-                f"label {spec.key[1]!r} does not distinguish them. Use "
+                f"label {spec.key[2]!r} does not distinguish them. Use "
                 f"distinct labels or a separate cache directory."
             )
-        return result_from_dict(payload["result"])
+        return result_from_dict(payload["result"], expect_machine=spec.machine)
 
     def put(self, spec: RunSpec, result: SimulationResult) -> Path:
         """Persist one result; returns the written path."""
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        benchmark, label, seed, scale = spec.key
         payload = {
-            "key": [benchmark, label, seed, scale],
+            "key": list(spec.key),
+            "engine": spec.engine,
             "config_digest": spec.config_digest(),
             "result": result_to_dict(result),
         }
@@ -118,18 +172,119 @@ class ResultStore:
 
     # -- maintenance ---------------------------------------------------------
 
+    def _entry_paths(self) -> list[Path]:
+        # New layout: <machine>/<benchmark>/<file>; legacy: <benchmark>/<file>.
+        return sorted(
+            set(self.root.glob("*/*/*.json")) | set(self.root.glob("*/*.json"))
+        )
+
     def keys(self) -> list[RunKey]:
         """Every key currently stored (reads each payload's header)."""
         found: list[RunKey] = []
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in self._entry_paths():
             try:
                 payload = json.loads(path.read_text())
             except json.JSONDecodeError:
                 continue
-            key = payload.get("key")
-            if isinstance(key, list) and len(key) == 4:
-                found.append((key[0], key[1], int(key[2]), float(key[3])))
+            key = _normalize_key(payload.get("key"))
+            if key is not None:
+                found.append(key)
         return found
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self._entry_paths())
+
+    # -- failure journal -----------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        """The resume manifest: one JSON object per permanently-failed run."""
+        return self.root / "failures.jsonl"
+
+    def journalled_failures(self) -> list[dict]:
+        """Parse ``failures.jsonl`` (malformed lines are skipped)."""
+        path = self.journal_path
+        if not path.exists():
+            return []
+        entries: list[dict] = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    def failed_specs(self) -> list[RunSpec]:
+        """Rebuild the journalled runs as specs — the resume manifest.
+
+        Entries whose run has since landed in the store are skipped, so
+        the manifest stays accurate without ever rewriting the
+        append-only journal (several hosts may be appending to it
+        concurrently over one shared tree). Entries whose machine model
+        or configuration cannot be rebuilt (e.g. written by a newer
+        version) are skipped rather than aborting the resume.
+        """
+        from repro.machine.model import get_model
+
+        specs: list[RunSpec] = []
+        seen: set[tuple[RunKey, str]] = set()
+        for entry in self.journalled_failures():
+            try:
+                model = get_model(entry.get("machine", _LEGACY_MACHINE))
+                config = model.config_type(**entry["config"])
+                spec = RunSpec(
+                    benchmark=entry["benchmark"],
+                    config=config,
+                    seed=int(entry.get("seed", 0)),
+                    scale=float(entry.get("scale", 1.0)),
+                    warm_l2=bool(entry.get("warm_l2", True)),
+                    cycle_skip=entry.get("engine", "skip") == "skip",
+                )
+            except Exception:
+                continue
+            if (spec.key, spec.engine) in seen or spec in self:
+                continue
+            seen.add((spec.key, spec.engine))
+            specs.append(spec)
+        return specs
+
+    def prune_journal(self, succeeded: set[tuple[RunKey, str]]) -> int:
+        """Compact the journal: drop entries whose runs have succeeded.
+
+        ``succeeded`` holds ``(run key, engine flavor)`` pairs — the
+        flavor matters because a scheduled-engine success says nothing
+        about a still-failing reference cross-check of the same design
+        point. The rewrite is an explicit, single-operator compaction
+        (the ``--from-failures`` flow); routine sweeps never rewrite
+        the journal, they only append, so concurrent hosts cannot lose
+        each other's entries. The replacement file lands atomically.
+        Returns the number of entries removed.
+        """
+        path = self.journal_path
+        if not path.exists() or not succeeded:
+            return 0
+        kept: list[str] = []
+        dropped = 0
+        for entry in self.journalled_failures():
+            key = (
+                str(entry.get("machine", _LEGACY_MACHINE)),
+                str(entry.get("benchmark", "")),
+                str(entry.get("label", "")),
+                int(entry.get("seed", 0)),
+                float(entry.get("scale", 1.0)),
+            )
+            if (key, entry.get("engine", "skip")) in succeeded:
+                dropped += 1
+            else:
+                kept.append(json.dumps(entry))
+        if dropped:
+            text = "\n".join(kept)
+            tmp = path.with_suffix(".jsonl.tmp")
+            tmp.write_text(text + "\n" if text else "")
+            tmp.replace(path)  # atomic within one filesystem
+        return dropped

@@ -124,6 +124,10 @@ class KernelStats:
     component_steps_avoided: int = 0
     #: Transitions from asleep back into the ready set.
     wakes: int = 0
+    #: Interconnect busy-only steps replaced by one batched settlement
+    #: (a sleeping interconnect component charging a whole transfer
+    #: window at once); aggregated by the simulator after the run.
+    interconnect_busy_batched: int = 0
 
     @property
     def total_cycles(self) -> int:

@@ -68,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "realisations; the first seed drives the primary tables",
     )
     parser.add_argument(
+        "--machine",
+        type=str,
+        default="acmp",
+        help="machine model the machine-parametric figures (fig07-fig09) "
+        "sweep: 'acmp' (the paper's machine) or 'scmp' (symmetric CMP "
+        "with per-core or banked front-ends); fig01 always compares "
+        "the ACMP against the symmetric model",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -131,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         cycle_skip=not args.no_cycle_skip,
         progress=print_progress if show_progress else None,
+        machine=args.machine,
     )
     started = time.time()
     if args.experiment == "all":

@@ -11,6 +11,12 @@ front via :meth:`ExperimentContext.ensure`, which batches the missing
 runs — across worker processes when ``jobs > 1`` — and consults the
 persistent result store when ``cache_dir`` is set, so repeated
 regenerations only simulate what they have never seen.
+
+Design points may belong to any registered machine model
+(:mod:`repro.machine.model`): each run's machine is derived from its
+config's type, results are memoised per (machine, benchmark, label),
+and :attr:`ExperimentContext.machine` names the model that
+machine-parametric drivers (fig07-fig09) build their sweeps from.
 """
 
 from __future__ import annotations
@@ -20,13 +26,14 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.acmp.config import AcmpConfig
-from repro.acmp.results import SimulationResult
-from repro.acmp.simulator import simulate
 from repro.campaign.runner import ProgressHook, run_specs
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError
+from repro.machine.config import BaseMachineConfig
+from repro.machine.model import MachineModel, get_model, model_for_config
+from repro.machine.results import SimulationResult
+from repro.machine.simulator import simulate
 from repro.trace.stream import TraceSet
 from repro.trace.synthesis import synthesize
 from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
@@ -101,6 +108,13 @@ class ExperimentContext:
         seeds: additional trace-synthesis seeds forming a seed sweep
             with ``seed``; figure drivers then report per-design-point
             mean ± 95 % CI alongside the primary seed's tables.
+        machine: registry name of the machine model that
+            machine-parametric drivers (fig07-fig09) build their design
+            points from; resolved through :mod:`repro.machine.model`.
+            Drivers may still mix in configs of any other registered
+            machine (fig01 compares two machines in one run) — the
+            machine of each individual run is always derived from its
+            config's type.
     """
 
     scale: float = 1.0
@@ -114,11 +128,12 @@ class ExperimentContext:
     cycle_skip: bool = True
     progress: ProgressHook | None = None
     seeds: tuple[int, ...] = ()
+    machine: str = "acmp"
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
-    _results: dict[tuple[str, str], SimulationResult] = field(
+    _results: dict[tuple[str, str, str], SimulationResult] = field(
         default_factory=dict, repr=False
     )
-    _digests: dict[tuple[str, str], str] = field(
+    _digests: dict[tuple[str, str, str], str] = field(
         default_factory=dict, repr=False
     )
     _store: ResultStore | None = field(default=None, repr=False)
@@ -129,6 +144,12 @@ class ExperimentContext:
     def __post_init__(self) -> None:
         if self.cache_dir is not None:
             self._store = ResultStore(self.cache_dir)
+        get_model(self.machine)  # fail fast on unknown machine names
+
+    @property
+    def model(self) -> MachineModel:
+        """The machine model machine-parametric drivers build configs from."""
+        return get_model(self.machine)
 
     # -- seed sweeps ---------------------------------------------------------
 
@@ -158,6 +179,7 @@ class ExperimentContext:
                 cache_dir=self.cache_dir,
                 cycle_skip=self.cycle_skip,
                 progress=self.progress,
+                machine=self.machine,
             )
             self._seed_contexts[seed] = pinned
         return pinned
@@ -206,8 +228,13 @@ class ExperimentContext:
             )
         return self._traces[key]
 
-    def spec_for(self, name: str, config: AcmpConfig) -> RunSpec:
-        """The campaign work unit for one benchmark on one design point."""
+    def spec_for(self, name: str, config: BaseMachineConfig) -> RunSpec:
+        """The campaign work unit for one benchmark on one design point.
+
+        The machine model is derived from the config's type through the
+        registry (by :class:`RunSpec` itself), so drivers can mix
+        machines in one context.
+        """
         return RunSpec(
             benchmark=name,
             config=config,
@@ -217,7 +244,7 @@ class ExperimentContext:
             cycle_skip=self.cycle_skip,
         )
 
-    def ensure(self, pairs: Iterable[tuple[str, AcmpConfig]]) -> None:
+    def ensure(self, pairs: Iterable[tuple[str, BaseMachineConfig]]) -> None:
         """Simulate every missing (benchmark, design point) pair.
 
         Drivers call this with their full design-point set before
@@ -226,13 +253,13 @@ class ExperimentContext:
         store instead of simulating lazily one run at a time.
         """
         specs: list[RunSpec] = []
-        seen: set[tuple[str, str]] = set()
+        seen: set[tuple[str, str, str]] = set()
         for name, config in pairs:
-            key = (name, config.label())
             spec = self.spec_for(name, config)
-            # Results are memoised by label: refuse two different
-            # machines behind one label rather than serving whichever
-            # was simulated first.
+            key = (spec.machine, name, config.label())
+            # Results are memoised by (machine, label): refuse two
+            # different configurations behind one label rather than
+            # serving whichever was simulated first.
             digest = spec.config_digest()
             known = self._digests.setdefault(key, digest)
             if known != digest:
@@ -253,7 +280,8 @@ class ExperimentContext:
             # as campaign workers synthesise theirs, so results cannot
             # depend on the execution mode.
             for spec in specs:
-                self._results[(spec.benchmark, spec.config.label())] = simulate(
+                key = (spec.machine, spec.benchmark, spec.config.label())
+                self._results[key] = simulate(
                     spec.config,
                     self.traces_for(
                         spec.benchmark, thread_count=spec.config.core_count
@@ -269,15 +297,16 @@ class ExperimentContext:
             progress=self.progress,
             name="experiments",
         )
-        for (benchmark, label, _seed, _scale), result in report.results.items():
-            self._results[(benchmark, label)] = result
+        for (machine, benchmark, label, _seed, _scale), result in report.results.items():
+            self._results[(machine, benchmark, label)] = result
 
-    def run(self, name: str, config: AcmpConfig) -> SimulationResult:
+    def run(self, name: str, config: BaseMachineConfig) -> SimulationResult:
         """Simulate (and memoise) one benchmark on one design point."""
         # Always route through ensure: on a memo hit it only performs
         # the label/digest consistency check.
         self.ensure([(name, config)])
-        return self._results[(name, config.label())]
+        machine = model_for_config(config).name
+        return self._results[(machine, name, config.label())]
 
 
 @dataclass

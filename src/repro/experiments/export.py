@@ -49,6 +49,10 @@ SHAPE_CHECKS: dict[str, list[ShapeCheck]] = {
             "ACMP beats both symmetric CMPs above this serial fraction",
             "~2 %", "crossover_percent", 1.0, 3.0, "{:.1f} %",
         ),
+        ShapeCheck(
+            "measured ACMP-vs-SCMP amean speedup (equal area, simulated)",
+            ">= 1", "measured_speedup_amean", 0.99, 3.0, "{:.3f}x",
+        ),
     ],
     "fig02": [
         ShapeCheck(

@@ -1,21 +1,67 @@
-"""Fig. 1: potential speedup of CMP designs vs serial code fraction.
+"""Fig. 1: ACMP vs symmetric-CMP speedup — analytic model and simulation.
 
-Analytic Hill-Marty model: 16 BCE budget; 4-big-core symmetric CMP vs
-16-small-core symmetric CMP vs 1-big + 12-small ACMP. Shape check: the
-ACMP wins for serial fractions above ~2 %.
+Two complementary views of the paper's motivation figure:
+
+* **Analytic (Hill-Marty)**: 16 BCE budget; 4-big-core symmetric CMP vs
+  16-small-core symmetric CMP vs 1-big + 12-small ACMP, as the serial
+  code fraction varies. Shape check: the ACMP wins for serial fractions
+  above ~2 %.
+* **Simulated (cross-machine)**: the same workloads run on two
+  registered machine models through the campaign layer — the paper's
+  ACMP baseline (1 big master + 8 lean workers,
+  :mod:`repro.acmp`) against a symmetric CMP of nine uniform lean
+  cores (:mod:`repro.scmp`) at matched parallel width. The equal-area
+  normalisation follows Hill-Marty ``perf(r) = sqrt(r)``: the big
+  master spends 4 BCE for 2x the lean serial IPC, so the symmetric
+  machine replays serial phases at half rate
+  (``serial_ipc_scale = 0.5``) and is granted the freed ~3 BCE as
+  doubled per-core I-caches (64 KB vs 32 KB) — a normalisation that
+  favours the symmetric side. Per-benchmark speedup =
+  symmetric-CMP cycles / ACMP cycles: benchmarks with a real serial
+  fraction should favour the ACMP, reproducing Fig. 1's claim in
+  simulation rather than only analytically.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import format_table
 from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.machine.model import get_model
 from repro.models.amdahl import acmp_crossover_fraction, figure1_series
 
 EXPERIMENT_ID = "fig01"
-TITLE = "ACMP speedup potential vs serial code fraction (Hill-Marty, 16 BCE)"
+TITLE = "ACMP speedup potential: Hill-Marty model + measured ACMP vs SCMP"
+
+#: Matched parallel width: 9 threads on both machines.
+_THREADS = 9
+#: Equal-area normalisation: the symmetric machine trades the big
+#: core's extra ~3 BCE for doubled per-core I-caches.
+_SCMP_ICACHE_KB = 64
+
+
+def _acmp_config(ctx: ExperimentContext):
+    return get_model("acmp").baseline_config()
+
+
+def _scmp_config(ctx: ExperimentContext):
+    symmetric = ctx.machine if ctx.machine != "acmp" else "scmp"
+    return get_model(symmetric).baseline_config(
+        core_count=_THREADS, icache_bytes=_SCMP_ICACHE_KB * 1024
+    )
+
+
+def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
+    """Every (benchmark, config) pair the simulated comparison needs."""
+    return [
+        (name, config)
+        for name in ctx.benchmarks
+        for config in (_acmp_config(ctx), _scmp_config(ctx))
+    ]
 
 
 def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    # -- analytic Hill-Marty curves (the paper's actual figure) ----------
     points = figure1_series()
     headers = [
         "serial %",
@@ -39,6 +85,30 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         f"\nACMP outperforms both symmetric designs above "
         f"{crossover * 100:.1f}% serial code (paper: ~2%)"
     )
+
+    # -- simulated cross-machine comparison ------------------------------
+    ctx.ensure(design_points(ctx))
+    measured_headers = ["benchmark", "ACMP cycles", "SCMP cycles", "speedup"]
+    measured_rows: list[list[object]] = []
+    speedups: list[float] = []
+    acmp_wins = 0
+    for name in ctx.benchmarks:
+        acmp = ctx.run(name, _acmp_config(ctx))
+        scmp = ctx.run(name, _scmp_config(ctx))
+        speedup = scmp.cycles / acmp.cycles
+        speedups.append(speedup)
+        if speedup > 1.0:
+            acmp_wins += 1
+        measured_rows.append([name, acmp.cycles, scmp.cycles, speedup])
+    amean = sum(speedups) / len(speedups)
+    measured = format_table(measured_headers, measured_rows)
+    rendered += (
+        f"\n\nmeasured: ACMP ({_acmp_config(ctx).label()}) vs symmetric CMP "
+        f"({_scmp_config(ctx).label()}), equal-area normalisation\n"
+        f"{measured}\n"
+        f"ACMP faster on {acmp_wins}/{len(speedups)} benchmarks; "
+        f"amean speedup {amean:.3f} (serial phases drive the gap)"
+    )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -50,5 +120,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "acmp_speedup_at_10pct": next(
                 p.asymmetric for p in points if abs(p.serial_fraction - 0.10) < 1e-9
             ),
+            "measured_speedup_amean": amean,
+            "acmp_win_fraction": acmp_wins / len(speedups),
         },
     )

@@ -4,11 +4,15 @@ A 32 KB I-cache shared among worker cores with four line buffers and a
 single bus, normalised to the private-I-cache baseline. Shape checks:
 slowdown grows with the sharing degree; the worst benchmark (UA in the
 paper, +18 %) degrades markedly at cpc = 8 while most codes stay near 1.0.
+
+Machine-parametric: the sweep is built from the context's machine model
+(``--machine``), so the same figure measures naive sharing on the
+ACMP's worker cluster or per-core-vs-banked front-ends on a symmetric
+CMP.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
@@ -24,8 +28,8 @@ CPC_LEVELS = (2, 4, 8)
 
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
-    configs = [baseline_config()] + [
-        worker_shared_config(
+    configs = [ctx.model.baseline_config()] + [
+        ctx.model.shared_config(
             cores_per_cache=cpc, icache_kb=32, bus_count=1, line_buffers=4
         )
         for cpc in CPC_LEVELS
@@ -41,10 +45,10 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     worst: tuple[str, float] = ("", 0.0)
     means = {cpc: [] for cpc in CPC_LEVELS}
     for name in ctx.benchmarks:
-        base = ctx.run(name, baseline_config())
+        base = ctx.run(name, ctx.model.baseline_config())
         row: list[object] = [name]
         for cpc in CPC_LEVELS:
-            config = worker_shared_config(
+            config = ctx.model.shared_config(
                 cores_per_cache=cpc, icache_kb=32, bus_count=1, line_buffers=4
             )
             shared = ctx.run(name, config)

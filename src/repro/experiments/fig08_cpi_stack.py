@@ -4,11 +4,14 @@ Worker-core CPI breakdown for the cpc = 8 naive-sharing configuration
 (32 KB shared, 4 line buffers, single bus), normalised to the baseline
 run's CPI. Shape check: the added components are dominated by I-bus
 latency/congestion, not by I-cache misses or branch mispredictions.
+
+Machine-parametric: the sweep is built from the context's machine model
+(``--machine``), so the same figure characterises naive sharing on the
+ACMP's worker cluster or on a symmetric CMP's banked front-ends.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_stacked_bars, format_table
 from repro.experiments.common import (
     ExperimentContext,
@@ -44,8 +47,8 @@ SYMBOLS = {
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
     configs = [
-        baseline_config(),
-        worker_shared_config(
+        ctx.model.baseline_config(),
+        ctx.model.shared_config(
             cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
         ),
     ]
@@ -60,10 +63,10 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     stacks: dict[str, dict[str, float]] = {}
     bus_dominated = 0
     for name in ctx.benchmarks:
-        base = ctx.run(name, baseline_config())
+        base = ctx.run(name, ctx.model.baseline_config())
         shared = ctx.run(
             name,
-            worker_shared_config(
+            ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
             ),
         )

@@ -6,11 +6,14 @@ the line-buffer effect is isolated from bus behaviour. Shape checks:
 short-basic-block codes (CG, IS, botsalgn, botsspar, CoSP) have low
 ratios; long-basic-block codes (BT, LU, ilbdc, LULESH) sit near 100 %;
 more line buffers lower the ratio.
+
+Machine-parametric: the baseline is built from the context's machine
+model (``--machine``), so the split can be measured on the ACMP's
+workers or a symmetric CMP's uniform cores.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import baseline_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
@@ -29,7 +32,7 @@ HIGH_RATIO_CODES = ("BT", "LU", "ilbdc", "LULESH")
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
     return [
-        (name, baseline_config(line_buffers=count))
+        (name, ctx.model.baseline_config(line_buffers=count))
         for name in ctx.benchmarks
         for count in LINE_BUFFER_COUNTS
     ]
@@ -44,7 +47,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     for name in ctx.benchmarks:
         row: list[object] = [name]
         for count in LINE_BUFFER_COUNTS:
-            result = ctx.run(name, baseline_config(line_buffers=count))
+            result = ctx.run(name, ctx.model.baseline_config(line_buffers=count))
             ratio = result.worker_access_ratio() * 100
             row.append(ratio)
             if count == 4:

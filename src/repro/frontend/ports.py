@@ -17,6 +17,7 @@ from collections.abc import Callable
 
 from repro.cache.mshr import MshrFile
 from repro.cache.set_assoc import SetAssociativeCache
+from repro.engine import NEVER
 from repro.errors import SimulationError
 from repro.frontend.request import LineRequest, RequestState
 from repro.interconnect.multibus import MultiBus
@@ -229,6 +230,27 @@ class SharedIcacheGroup:
         interconnect needs per-cycle stepping.
         """
         return self.interconnect.idle_at(cycle)
+
+    def wake_horizon(self, cycle: int) -> int | None:
+        """Sleep plan for the group's interconnect component.
+
+        ``None`` keeps the component on the run list (a grant is
+        possible at ``cycle``); a later cycle promises no grant before
+        it (the earliest queued request's bus-busy horizon); ``NEVER``
+        (no queued request) sleeps until the activity listener fires.
+        Busy cycles elided while asleep are recovered by
+        :meth:`settle_busy`.
+        """
+        horizon = self.interconnect.grant_horizon(cycle)
+        if horizon is None:
+            return NEVER
+        if horizon <= cycle:
+            return None
+        return horizon
+
+    def settle_busy(self, upto: int) -> int:
+        """Batch-charge busy cycles the sleeping component never stepped."""
+        return self.interconnect.settle_busy(upto)
 
 
 class SharedPortView:

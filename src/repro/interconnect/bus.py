@@ -91,6 +91,10 @@ class Bus:
         self._arbiter = arbiter if arbiter is not None else RoundRobinArbiter(requester_count)
         self._queues: list[deque[BusRequest]] = [deque() for _ in range(requester_count)]
         self._busy_until = 0
+        #: Busy cycles are charged up to (exclusive) this cycle; live
+        #: steps settle one cycle at a time, a sleeping interconnect
+        #: component settles the whole elided window on wake-up.
+        self._busy_accounted_to = 0
         self.stats = BusStats()
 
     def transfer_cycles(self, payload_bytes: int) -> int:
@@ -137,6 +141,33 @@ class Bus:
         """
         return cycle >= self._busy_until and self.pending_requests == 0
 
+    def grant_horizon(self, cycle: int) -> int | None:
+        """Earliest cycle >= ``cycle`` at which a grant could happen.
+
+        ``None`` when no request is queued (only an in-flight transfer,
+        if any, keeps the bus busy; its per-cycle busy accounting is
+        recoverable in one step via :meth:`settle_busy`, so stepping the
+        bus before the next request arrives is a provable no-op).
+        """
+        if self.pending_requests == 0:
+            return None
+        return max(cycle, self._busy_until)
+
+    def settle_busy(self, upto: int) -> int:
+        """Charge the busy cycles of ``[accounted, min(upto, busy_end))``.
+
+        Returns the number of cycles charged, so a sleeping interconnect
+        component can report how many per-cycle steps it batched away.
+        A stepped run reaches the identical total one cycle at a time.
+        """
+        end = min(upto, self._busy_until)
+        charged = end - self._busy_accounted_to
+        if charged <= 0:
+            return 0
+        self.stats.busy_cycles += charged
+        self._busy_accounted_to = end
+        return charged
+
     def step(self, now: int) -> BusRequest | None:
         """Advance one cycle; return the request granted this cycle, if any.
 
@@ -144,7 +175,7 @@ class Bus:
         bus ``latency``.
         """
         if now < self._busy_until:
-            self.stats.busy_cycles += 1
+            self.settle_busy(now + 1)
             return None
         candidates = [
             requester
@@ -158,7 +189,8 @@ class Bus:
         request.granted_at = now
         occupancy = self.transfer_cycles(request.payload_bytes)
         self._busy_until = now + occupancy
-        self.stats.busy_cycles += 1
+        self._busy_accounted_to = now
+        self.settle_busy(now + 1)  # the grant cycle itself counts busy
         self.stats.transactions += 1
         wait = request.wait_cycles
         self.stats.wait_cycles += wait

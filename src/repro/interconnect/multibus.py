@@ -86,6 +86,25 @@ class MultiBus:
         """True when stepping every bus at ``cycle`` is provably a no-op."""
         return all(bus.idle_at(cycle) for bus in self.buses)
 
+    def grant_horizon(self, cycle: int) -> int | None:
+        """Earliest cycle >= ``cycle`` at which any bus could grant.
+
+        ``None`` when no bus has a queued request: in-flight transfers
+        may still be draining, but their per-cycle busy accounting is
+        recoverable in one step (:meth:`settle_busy`), so nothing
+        observable happens until a new request arrives.
+        """
+        horizon: int | None = None
+        for bus in self.buses:
+            candidate = bus.grant_horizon(cycle)
+            if candidate is not None and (horizon is None or candidate < horizon):
+                horizon = candidate
+        return horizon
+
+    def settle_busy(self, upto: int) -> int:
+        """Batch-charge every bus's elided busy cycles up to ``upto``."""
+        return sum(bus.settle_busy(upto) for bus in self.buses)
+
     @property
     def pending_requests(self) -> int:
         return sum(bus.pending_requests for bus in self.buses)

@@ -1,13 +1,13 @@
-"""Per-core kernel components for the ACMP machine (ready/wake model).
+"""Per-core kernel components shared by every machine model (ready/wake).
 
-The seed engine's per-cycle order of operations (front-ends, shared
+The stepped engine's per-cycle order of operations (front-ends, shared
 interconnects, back-ends) becomes one
 :class:`~repro.engine.kernel.ScheduledComponent` per core front-end,
 per shared interconnect group and per core back-end, registered with
-the :class:`~repro.engine.SimulationKernel` in that order. Unlike the
-earlier core-aggregating phases, each component sleeps and wakes on its
-own, so one stalled core no longer vetoes eliding work for the whole
-machine.
+the :class:`~repro.engine.SimulationKernel` in that order. The
+components are machine-neutral: any model built from cores, cache
+groups and shared interconnects (the ACMP, the symmetric CMP) registers
+the same classes and gets sleep/wake + clock jumps for free.
 
 The two components of one core share a :class:`CoreScheduleState`,
 which derives both sleep plans from one decision per cycle:
@@ -40,6 +40,15 @@ A finished core sleeps without a window — a stepped run does nothing
 for it either. Every mode is conservative: a component that cannot
 prove quiescence simply stays on the run list, which is always
 equivalent (its steps are no-ops, exactly as in the reference engine).
+
+:class:`GroupInterconnectComponent` additionally batches **busy-cycle
+accounting**: a bus occupied by an in-flight transfer does nothing per
+cycle except count itself busy, so the component sleeps across the
+known busy horizon (or indefinitely when no request is queued) and the
+elided busy cycles are charged in one step on wake-up — or at result
+collection for a transfer still draining at the end of the run. The
+count of busy steps elided this way is surfaced through
+:attr:`~repro.engine.kernel.KernelStats.interconnect_busy_batched`.
 """
 
 from __future__ import annotations
@@ -53,8 +62,8 @@ from repro.runtime.threads import ThreadState
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Callable
 
-    from repro.acmp.system import Core
     from repro.frontend.ports import SharedIcacheGroup
+    from repro.machine.system import Core
 
 #: CoreScheduleState back-end window kinds.
 _NO_WINDOW = "none"
@@ -229,21 +238,34 @@ class CoreFrontendComponent:
 class GroupInterconnectComponent:
     """One shared group's I-interconnect (arbitration and grants)."""
 
-    __slots__ = ("group", "sleep_plan")
+    __slots__ = ("group", "busy_steps_batched")
 
     def __init__(self, group: SharedIcacheGroup) -> None:
         self.group = group
-        # An idle interconnect (no queued requests, no in-flight
-        # transfer occupying a bus) grants nothing and accrues no
-        # busy/wait statistics; a new request fires the group's
-        # activity listener, which wakes this component for same-cycle
-        # arbitration.
-        idle_at = group.idle_at
-        self.sleep_plan = lambda now: NEVER if idle_at(now + 1) else None
+        #: Busy-only interconnect steps elided by sleeping across a
+        #: transfer's known busy horizon (batch-accounted on wake).
+        self.busy_steps_batched = 0
+
+    def sleep_plan(self, now: int) -> int | None:
+        # An interconnect with no queued request grants nothing: a
+        # transfer still draining only counts itself busy, which the
+        # batched settlement reproduces, so the component sleeps until
+        # a new request fires the group's activity listener. With
+        # queued requests, the earliest possible grant is the earliest
+        # bus-busy horizon: nothing observable happens before it.
+        return self.group.wake_horizon(now + 1)
 
     def step(self, now: int) -> int:
         self.group.step(now)
         return 0
+
+    def on_sleep(self, now: int) -> None:
+        pass
+
+    def on_wake(self, now: int) -> None:
+        # Charge the busy cycles every bus accrued while this component
+        # slept — exactly the per-cycle counts a stepped run made.
+        self.busy_steps_batched += self.group.settle_busy(now)
 
 
 class CoreCommitComponent:

@@ -1,0 +1,118 @@
+"""Machine-neutral configuration base shared by every machine model.
+
+Every simulated machine — the paper's ACMP, the symmetric CMP, and any
+future model — is built from the same substrate: lean in-order cores
+with a decoupled front-end, L1 instruction caches (private or shared
+behind an I-interconnect), per-group L2s and a DDR3 memory system.
+:class:`BaseMachineConfig` owns the parameters of that substrate; each
+machine model subclasses it with its topology fields (how many cores,
+which of them share which I-cache) and its reporting ``label()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils import require_positive, require_power_of_two
+
+KB = 1024
+
+#: Legal I-interconnect topologies.
+INTERCONNECTS = ("bus", "crossbar")
+
+#: Legal bus arbitration policies (``icount`` is the Section VII
+#: SMT-ICOUNT-style fetch policy ablation).
+ARBITRATIONS = ("round-robin", "fixed-priority", "least-recently-granted", "icount")
+
+
+@dataclass(frozen=True)
+class BaseMachineConfig:
+    """Parameters every machine model shares (Table I substrate)."""
+
+    # -- I-cache geometry --------------------------------------------------
+    icache_ways: int = 8
+    icache_line_bytes: int = 64
+    icache_latency: int = 1
+    icache_policy: str = "lru"
+
+    # -- front-end ---------------------------------------------------------
+    line_buffers: int = 4
+    ftq_capacity: int = 8
+    iq_capacity: int = 64
+    gshare_bytes: int = 16 * KB
+    loop_predictor_entries: int = 256
+
+    # -- I-interconnect ----------------------------------------------------
+    #: Buses (and cache banks): 1 = single bus, 2 = double bus.
+    bus_count: int = 1
+    bus_width_bytes: int = 32
+    bus_latency: int = 2
+    arbitration: str = "round-robin"
+    #: Interconnect topology: ``bus`` (the paper) or ``crossbar`` (the
+    #: Section IV-B alternative, quadratic area).
+    interconnect: str = "bus"
+    mshr_capacity: int = 16
+
+    # -- extensions (Section VII future work) ------------------------------
+    #: Share one fetch predictor (gshare + loop predictor + BTB) among the
+    #: cores of each shared-I-cache group, for cross-thread training.
+    shared_fetch_predictor: bool = False
+    #: Model an instruction TLB per core (off by default: the paper's
+    #: baseline has no iTLB component).
+    itlb_enabled: bool = False
+    itlb_entries: int = 32
+    itlb_miss_penalty: int = 30
+    #: Share one iTLB among each shared-I-cache group's cores.
+    shared_itlb: bool = False
+
+    # -- memory ------------------------------------------------------------
+    l2_bytes: int = 1024 * KB
+    l2_ways: int = 32
+    l2_latency: int = 20
+    l2_bus_width_bytes: int = 32
+    l2_bus_latency: int = 4
+    core_ghz: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.bus_count, "bus_count")
+        require_positive(self.line_buffers, "line_buffers")
+        require_positive(self.iq_capacity, "iq_capacity")
+        require_power_of_two(self.icache_line_bytes, "icache_line_bytes")
+        if self.interconnect not in INTERCONNECTS:
+            raise ConfigurationError(
+                f"interconnect must be 'bus' or 'crossbar', got "
+                f"{self.interconnect!r}"
+            )
+        if self.arbitration not in ARBITRATIONS:
+            raise ConfigurationError(
+                f"unknown arbitration policy {self.arbitration!r}"
+            )
+        if self.shared_itlb and not self.itlb_enabled:
+            raise ConfigurationError("shared_itlb requires itlb_enabled")
+        if self.shared_fetch_predictor and self.is_baseline:
+            raise ConfigurationError(
+                "shared_fetch_predictor requires a shared-I-cache topology"
+            )
+        if self.shared_itlb and self.is_baseline:
+            raise ConfigurationError(
+                "shared_itlb requires a shared-I-cache topology"
+            )
+        require_positive(self.itlb_entries, "itlb_entries")
+        require_positive(self.itlb_miss_penalty, "itlb_miss_penalty")
+
+    # -- model hooks -------------------------------------------------------
+
+    @property
+    def core_count(self) -> int:
+        """Total simulated cores (thread 0 is always the master thread)."""
+        raise NotImplementedError
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when every core has a private I-cache (no shared groups)."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """Compact design-point label used in reports and store keys."""
+        raise NotImplementedError

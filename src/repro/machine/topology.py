@@ -1,0 +1,48 @@
+"""Machine-neutral sharing topology: which cores share which I-cache.
+
+A machine model's configuration derives a :class:`Topology` — a
+partition of the cores into :class:`CacheGroup`\\ s, each group sharing
+one I-cache (behind one I-interconnect when the group has more than one
+member). The dataclasses here are model-agnostic; each machine package
+owns its ``build_topology`` rule (master private + worker groups for
+the ACMP, a uniform partition for the symmetric CMP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGroup:
+    """One I-cache and the cores attached to it."""
+
+    index: int
+    core_ids: tuple[int, ...]
+    size_bytes: int
+
+    @property
+    def shared(self) -> bool:
+        return len(self.core_ids) > 1
+
+
+@dataclass(frozen=True, slots=True)
+class Topology:
+    """The full I-cache organisation of one design point."""
+
+    groups: tuple[CacheGroup, ...]
+    core_count: int
+
+    def group_of(self, core_id: int) -> CacheGroup:
+        for group in self.groups:
+            if core_id in group.core_ids:
+                return group
+        raise KeyError(f"core {core_id} belongs to no cache group")
+
+    @property
+    def shared_groups(self) -> tuple[CacheGroup, ...]:
+        return tuple(group for group in self.groups if group.shared)
+
+    @property
+    def icache_count(self) -> int:
+        return len(self.groups)

@@ -1,0 +1,25 @@
+"""Symmetric CMP: uniform lean cores on the machine abstraction layer.
+
+The second implementation of the :class:`repro.machine.MachineModel`
+protocol (registered as ``scmp``): a conventional CMP of identical lean
+cores with per-core private front-ends, or — via ``cores_per_cache`` —
+banked L1 I-caches shared behind an I-interconnect, built entirely from
+the shared :mod:`repro.machine` components. Importing this package
+registers the model.
+"""
+
+from repro.machine.simulator import simulate
+from repro.scmp.config import ScmpConfig, banked_config, private_config
+from repro.scmp.model import MODEL
+from repro.scmp.system import ScmpSystem
+from repro.scmp.topology import build_topology
+
+__all__ = [
+    "MODEL",
+    "ScmpConfig",
+    "ScmpSystem",
+    "banked_config",
+    "build_topology",
+    "private_config",
+    "simulate",
+]

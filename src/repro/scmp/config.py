@@ -1,0 +1,127 @@
+"""Symmetric-CMP configuration and standard design points.
+
+A symmetric CMP of uniform lean cores: no big master core, identical
+front-ends everywhere. ``cores_per_cache = 1`` gives the conventional
+per-core private front-end baseline; larger values bank one shared
+L1 I-cache behind an I-interconnect across each group of cores —
+including core 0, since no core is special. The machine-neutral
+substrate (front-end geometry, interconnect, memory) comes from
+:class:`~repro.machine.config.BaseMachineConfig`.
+
+Because the trace sets were measured on a machine whose serial phases
+run on a big core, :attr:`ScmpConfig.serial_ipc_scale` replays thread
+0's serial sections at the lean core's commit rate (Hill-Marty
+``perf(r) = sqrt(r)``: a 1-BCE lean core achieves half the 4-BCE big
+core's serial IPC). Parallel-section IPC, measured on lean cores, is
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.machine.config import KB, BaseMachineConfig
+from repro.utils import require_positive
+
+__all__ = ["KB", "ScmpConfig", "banked_config", "private_config"]
+
+
+@dataclass(frozen=True)
+class ScmpConfig(BaseMachineConfig):
+    """Full parameter set for one symmetric-CMP design point."""
+
+    # -- topology ---------------------------------------------------------
+    #: Total (uniform, lean) cores; thread 0 still runs the master thread.
+    core_count_total: int = 8
+    #: Cores per I-cache: 1 = private per-core front-ends; larger values
+    #: bank one shared I-cache across each group of cores.
+    cores_per_cache: int = 1
+
+    # -- I-cache -----------------------------------------------------------
+    #: Size of each I-cache (private or banked-shared).
+    icache_bytes: int = 32 * KB
+
+    # -- front-end ---------------------------------------------------------
+    #: Uniform lean-core redirect penalty (the ACMP's worker value).
+    mispredict_penalty: int = 8
+    #: Replay factor for thread 0's serial-section IPC (lean core vs the
+    #: big core the traces were measured on); 1.0 disables the scaling.
+    serial_ipc_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive(self.core_count_total, "core_count_total")
+        require_positive(self.cores_per_cache, "cores_per_cache")
+        if self.cores_per_cache > self.core_count_total:
+            raise ConfigurationError(
+                f"cores_per_cache {self.cores_per_cache} exceeds "
+                f"core_count_total {self.core_count_total}"
+            )
+        if self.core_count_total % self.cores_per_cache:
+            raise ConfigurationError(
+                f"core_count_total {self.core_count_total} not divisible "
+                f"by cores_per_cache {self.cores_per_cache}"
+            )
+        if not (0.0 < self.serial_ipc_scale <= 1.0):
+            raise ConfigurationError(
+                f"serial_ipc_scale must be in (0, 1], got "
+                f"{self.serial_ipc_scale}"
+            )
+        super().__post_init__()
+
+    @property
+    def core_count(self) -> int:
+        """Total simulated cores."""
+        return self.core_count_total
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for the per-core private front-end baseline."""
+        return self.cores_per_cache == 1
+
+    def label(self) -> str:
+        """Compact design-point label used in reports."""
+        prefix = f"scmp{self.core_count_total}"
+        if self.is_baseline:
+            return (
+                f"{prefix}::private::{self.icache_bytes // KB}KB::"
+                f"{self.line_buffers}lb"
+            )
+        bus = (
+            "single"
+            if self.bus_count == 1
+            else ("double" if self.bus_count == 2 else f"{self.bus_count}x")
+        )
+        return (
+            f"{prefix}::cpc={self.cores_per_cache}::"
+            f"{self.icache_bytes // KB}KB::{self.line_buffers}lb::{bus}-bus"
+        )
+
+
+def private_config(core_count: int = 8, **overrides) -> ScmpConfig:
+    """The symmetric baseline: per-core private I-caches."""
+    return replace(ScmpConfig(core_count_total=core_count), **overrides)
+
+
+def banked_config(
+    cores_per_cache: int = 8,
+    icache_kb: int = 16,
+    bus_count: int = 2,
+    line_buffers: int = 4,
+    core_count: int = 8,
+    **overrides,
+) -> ScmpConfig:
+    """A banked shared-front-end design point.
+
+    Mirrors the ACMP proposal's geometry (16 KB shared by 8 cores behind
+    a double bus) on the symmetric machine, for per-core-vs-shared
+    front-end sweeps at matched area.
+    """
+    return replace(
+        ScmpConfig(core_count_total=core_count),
+        cores_per_cache=cores_per_cache,
+        icache_bytes=icache_kb * KB,
+        bus_count=bus_count,
+        line_buffers=line_buffers,
+        **overrides,
+    )

@@ -1,0 +1,77 @@
+"""The symmetric-CMP machine model: registry glue."""
+
+from __future__ import annotations
+
+from repro.machine.model import register_model
+from repro.machine.serialization import _FORMAT_VERSION
+from repro.scmp.config import ScmpConfig, banked_config, private_config
+from repro.scmp.system import ScmpSystem
+from repro.trace.stream import TraceSet
+
+
+class ScmpModel:
+    """Uniform lean cores with per-core or banked-shared front-ends."""
+
+    name = "scmp"
+    config_type = ScmpConfig
+
+    def default_config(self, **overrides) -> ScmpConfig:
+        return private_config(**overrides)
+
+    def baseline_config(self, **overrides) -> ScmpConfig:
+        """The symmetric baseline: per-core private I-caches."""
+        return private_config(**overrides)
+
+    def shared_config(
+        self,
+        cores_per_cache: int = 8,
+        icache_kb: int = 16,
+        bus_count: int = 2,
+        line_buffers: int = 4,
+        **overrides,
+    ) -> ScmpConfig:
+        """A banked shared-front-end design point."""
+        return banked_config(
+            cores_per_cache=cores_per_cache,
+            icache_kb=icache_kb,
+            bus_count=bus_count,
+            line_buffers=line_buffers,
+            **overrides,
+        )
+
+    def build_system(self, config: ScmpConfig, traces: TraceSet) -> ScmpSystem:
+        return ScmpSystem(config, traces)
+
+    def config_space(self) -> dict[str, tuple]:
+        """The per-core-vs-shared front-end sweep dimensions."""
+        return {
+            "core_count_total": (4, 8, 16),
+            "cores_per_cache": (1, 2, 4, 8),
+            "icache_bytes": (16 * 1024, 32 * 1024),
+            "bus_count": (1, 2),
+            "line_buffers": (2, 4, 8),
+            "serial_ipc_scale": (0.5, 1.0),
+        }
+
+    def standard_design_points(self) -> list[ScmpConfig]:
+        """Private baseline plus the banked-sharing sweep."""
+        return [
+            private_config(),
+            banked_config(cores_per_cache=2, icache_kb=32, bus_count=1),
+            banked_config(cores_per_cache=4, icache_kb=32, bus_count=1),
+            banked_config(cores_per_cache=8, icache_kb=32, bus_count=1),
+            banked_config(),  # cpc=8, 16 KB, double bus
+        ]
+
+    def result_schema(self) -> dict:
+        """Shape of this model's serialized :class:`SimulationResult`."""
+        return {
+            "machine": self.name,
+            "version": _FORMAT_VERSION,
+            "core_roles": {"0..core_count": "uniform lean core"},
+            "cache_groups": "cores grouped uniformly by cores_per_cache "
+            "(no private master group)",
+        }
+
+
+MODEL = register_model(ScmpModel())

@@ -1,0 +1,39 @@
+"""Symmetric-CMP system wiring over the machine-neutral assembly layer.
+
+All cores are identical lean cores; the only departures from the shared
+:class:`repro.machine.System` flow are the uniform topology, the
+uniform redirect penalty, and the serial-IPC replay scaling for thread
+0 (the master thread's serial phases were measured on a big core the
+symmetric machine does not have).
+"""
+
+from __future__ import annotations
+
+from repro.machine.system import System, scale_serial_ipc
+from repro.machine.topology import Topology
+from repro.scmp.config import ScmpConfig
+from repro.scmp.topology import build_topology
+from repro.trace.records import TraceRecord
+
+__all__ = ["ScmpSystem"]
+
+
+class ScmpSystem(System):
+    """The complete simulated symmetric CMP for one (config, traces) pair."""
+
+    machine_name = "scmp"
+
+    config: ScmpConfig
+
+    def _build_topology(self) -> Topology:
+        return build_topology(self.config)
+
+    def _mispredict_penalty(self, core_id: int) -> int:
+        return self.config.mispredict_penalty
+
+    def _thread_records(self, thread_id: int) -> list[TraceRecord]:
+        records = self.traces.threads[thread_id].records
+        factor = self.config.serial_ipc_scale
+        if thread_id != 0 or factor == 1.0:
+            return records
+        return scale_serial_ipc(records, factor)

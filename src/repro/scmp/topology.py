@@ -1,0 +1,29 @@
+"""Symmetric-CMP topology: a uniform partition of all cores.
+
+No core is special: the cores are split into consecutive groups of
+``cores_per_cache`` members, each group owning one I-cache (private for
+groups of one, banked-shared behind an I-interconnect otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import CacheGroup, Topology
+from repro.scmp.config import ScmpConfig
+
+__all__ = ["build_topology"]
+
+
+def build_topology(config: ScmpConfig) -> Topology:
+    """Derive the uniform cache grouping from a configuration."""
+    groups: list[CacheGroup] = []
+    size = config.cores_per_cache
+    for start in range(0, config.core_count, size):
+        member_ids = tuple(range(start, start + size))
+        groups.append(
+            CacheGroup(
+                index=len(groups),
+                core_ids=member_ids,
+                size_bytes=config.icache_bytes,
+            )
+        )
+    return Topology(groups=tuple(groups), core_count=config.core_count)

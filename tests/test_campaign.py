@@ -30,7 +30,10 @@ def _tiny_spec(benchmark="CG", seed=0, **config_overrides):
 class TestSpec:
     def test_key_identity(self):
         spec = _tiny_spec()
-        assert spec.key == ("CG", "baseline::32KB::4lb", 0, 0.02)
+        # The machine model leads the key; it is derived from the
+        # config's type through the registry when not given explicitly.
+        assert spec.key == ("acmp", "CG", "baseline::32KB::4lb", 0, 0.02)
+        assert spec.machine == "acmp"
 
     def test_campaign_cross_product(self):
         campaign = Campaign(

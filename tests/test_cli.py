@@ -13,11 +13,31 @@ class TestCli:
         assert "fig13" in out
         assert "table1" in out
 
-    def test_run_analytic_experiment(self, capsys):
-        assert main(["fig01"]) == 0
+    def test_run_fig01_cross_machine(self, capsys):
+        # fig01 simulates both machine models, so keep the CLI run small.
+        assert main(["fig01", "--scale", "0.03", "--benchmarks", "CG"]) == 0
         out = capsys.readouterr().out
         assert "ACMP" in out
+        assert "symmetric CMP" in out
         assert "total]" in out
+
+    def test_machine_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "fig07",
+                    "--scale",
+                    "0.03",
+                    "--benchmarks",
+                    "CG",
+                    "--machine",
+                    "scmp",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cpc=8" in out
 
     def test_run_with_subset_and_scale(self, capsys):
         assert main(["fig02", "--scale", "0.05", "--benchmarks", "CG,IS"]) == 0

@@ -46,15 +46,23 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             run_experiment("fig99")
 
-    def test_id_normalisation(self):
-        result = run_experiment("Fig 01")
+    def test_id_normalisation(self, ctx):
+        result = run_experiment("Fig 01", ctx)
         assert result.experiment_id == "fig01"
 
 
 class TestAnalyticExperiments:
-    def test_fig01_crossover(self):
-        result = run_experiment("fig01")
+    def test_fig01_crossover(self, ctx):
+        result = run_experiment("fig01", ctx)
         assert 1.0 < result.summary["crossover_percent"] < 3.0
+
+    def test_fig01_cross_machine_measurement(self, ctx):
+        # fig01's simulated half compares two machine models through
+        # the campaign layer; the ACMP should not lose on average once
+        # serial phases replay at the lean core's rate on the SCMP.
+        result = run_experiment("fig01", ctx)
+        assert result.summary["measured_speedup_amean"] >= 0.99
+        assert 0.0 <= result.summary["acmp_win_fraction"] <= 1.0
 
     def test_table1_matches_paper(self):
         result = run_experiment("table1")

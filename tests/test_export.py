@@ -42,9 +42,15 @@ class TestCoverage:
 
 class TestRender:
     def test_renders_pass_counts(self):
-        results = [_result(experiment_id="fig01", crossover_percent=1.8)]
+        results = [
+            _result(
+                experiment_id="fig01",
+                crossover_percent=1.8,
+                measured_speedup_amean=1.05,
+            )
+        ]
         markdown = render_markdown(results, scale=1.0)
-        assert "Shape checks passed: 1/1." in markdown
+        assert "Shape checks passed: 2/2." in markdown
         assert "## fig01" in markdown
         assert "| yes |" in markdown
 

@@ -7,7 +7,10 @@ the identical cycle with the identical diagnosis. This suite sweeps the
 machine dimensions that exercise different sleep/wake paths — private
 vs shared groups, single vs double bus, crossbar vs multi-bus, icount
 vs round-robin arbitration, iTLB on/off/shared — plus a seeded random
-sample of further combinations.
+sample of further combinations, on **both registered machine models**
+(the ACMP and the symmetric CMP): every machine model must hold the
+bit-identical contract, which is also what the ``engine-crosscheck``
+CI matrix enforces end to end.
 """
 
 import random
@@ -19,10 +22,11 @@ from repro.acmp import (
     all_shared_config,
     baseline_config,
     result_to_dict,
-    simulate,
     worker_shared_config,
 )
 from repro.errors import DeadlockError
+from repro.machine import simulate
+from repro.scmp import ScmpConfig, banked_config, private_config
 from repro.trace.records import (
     BasicBlockRecord,
     IpcRecord,
@@ -74,6 +78,57 @@ GRID: list[tuple[str, AcmpConfig]] = [
         ),
     ),
     ("all-shared", all_shared_config(icache_kb=32, bus_count=1)),
+    # -- symmetric CMP: the same sleep/wake paths with no master core --
+    ("scmp-private", private_config(core_count=4)),
+    (
+        "scmp-banked-cpc4",
+        banked_config(cores_per_cache=4, icache_kb=16, core_count=4),
+    ),
+    (
+        "scmp-banked-single-bus",
+        banked_config(
+            cores_per_cache=2, icache_kb=32, bus_count=1, core_count=4
+        ),
+    ),
+    (
+        "scmp-crossbar-icount",
+        ScmpConfig(
+            core_count_total=4,
+            cores_per_cache=4,
+            interconnect="crossbar",
+            arbitration="icount",
+            bus_count=2,
+        ),
+    ),
+    (
+        "scmp-itlb-shared",
+        ScmpConfig(
+            core_count_total=4,
+            cores_per_cache=2,
+            itlb_enabled=True,
+            shared_itlb=True,
+        ),
+    ),
+    # A narrow bus stretches transfer occupancy (8 cycles per line),
+    # exercising the batched busy-horizon sleep of the interconnect.
+    (
+        "scmp-narrow-bus",
+        ScmpConfig(
+            core_count_total=4,
+            cores_per_cache=4,
+            bus_count=1,
+            bus_width_bytes=8,
+        ),
+    ),
+    (
+        "acmp-narrow-bus",
+        AcmpConfig(
+            worker_count=4,
+            cores_per_cache=4,
+            bus_count=1,
+            bus_width_bytes=8,
+        ),
+    ),
 ]
 
 
@@ -164,6 +219,11 @@ def _deadlock_traces() -> TraceSet:
                 arbitration="icount",
                 itlb_enabled=True,
             ),
+        ),
+        ("scmp-private", ScmpConfig(core_count_total=3)),
+        (
+            "scmp-banked",
+            ScmpConfig(core_count_total=3, cores_per_cache=3, bus_count=1),
         ),
     ],
     ids=lambda v: v if isinstance(v, str) else "",
