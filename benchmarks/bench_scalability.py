@@ -162,6 +162,7 @@ def test_emit_campaign_timing(tmp_path):
                 ),
                 "wakes": stats.wakes,
                 "interconnect_busy_batched": stats.interconnect_busy_batched,
+                "commit_cycles_batched": stats.commit_cycles_batched,
             }
         )
     kernel_stats = kernel_skip[0]
@@ -200,4 +201,10 @@ def test_emit_campaign_timing(tmp_path):
     # batch at least some busy-only steps away.
     assert any(
         entry["interconnect_busy_batched"] > 0 for entry in kernel_skip
+    )
+    # The commit-replay lever: every probe leaves commit-bound drain
+    # phases behind quiescent front-ends, and those back-end cycles
+    # must be settled in batches, not stepped.
+    assert all(
+        entry["commit_cycles_batched"] > 0 for entry in kernel_skip
     )

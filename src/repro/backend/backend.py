@@ -159,6 +159,84 @@ class CommitEngine:
                 return ahead
         return None
 
+    def replay_horizon(self, space_needed: int = 0, cap: int = 4096) -> int | None:
+        """Relative wake cycle bounding a commit-replay window.
+
+        The scheduler's commit-replay lever: with a non-empty queue and
+        a quiescent front-end (no pushes, no IPC retargets), every
+        coming back-end cycle is either a commit or sub-unit pacing —
+        never a stall — until the queue drains, so the whole span can be
+        settled in one batch (:meth:`replay_steps`). This walks the same
+        float credit trajectory :meth:`step` would produce and returns
+        ``r`` such that every cycle in ``[now + 1, now + r)`` is
+        replayable and the caller must wake at ``now + r`` at the
+        latest:
+
+        * the cycle after the queue drains (the next cycle would charge
+          a stall, which needs live attribution);
+        * the cycle a front-end waiting for ``space_needed`` free queue
+          slots would first act — one cycle after the commit that frees
+          the room, exactly when a live back-end would have woken it;
+        * ``cap`` cycles out, when neither bound is reached first (the
+          caller then simply re-plans on wake).
+
+        Returns ``None`` when the queue is empty (no commit stream to
+        replay; the idle-window machinery owns that case).
+        """
+        iq = self._iq_count
+        if iq == 0:
+            return None
+        credit = self._credit
+        ipc = self._ipc
+        space_limit = self.iq_capacity - space_needed if space_needed else -1
+        for ahead in range(1, cap + 1):
+            credit += ipc
+            commit = min(int(credit), iq)
+            if commit:
+                iq -= commit
+                credit = min(credit - commit, ipc)
+                if iq <= space_limit or iq == 0:
+                    return ahead + 1
+        return cap
+
+    def replay_steps(self, cycles: int) -> tuple[int, int | None]:
+        """Replay ``cycles`` consecutive commit/pacing steps at once.
+
+        Equivalent to calling :meth:`step` ``cycles`` times while the
+        queue stays non-empty: identical committed counts, base cycles
+        and final commit-credit value (including float behaviour), so a
+        batched settlement is bit-identical to a stepped run. The caller
+        (the scheduler's commit-replay window) guarantees the window
+        ends no later than one cycle past the drain; a stall cycle in
+        the span means the window was mis-sized and the run would
+        diverge from a stepped one.
+
+        Returns ``(committed, last_commit_offset)`` where the offset is
+        the 1-based position of the last committing cycle within the
+        replayed span (``None`` when the span was pure pacing) — the
+        watchdog needs the exact cycle progress was last made.
+        """
+        committed_total = 0
+        last_commit = None
+        for offset in range(1, cycles + 1):
+            self._credit += self._ipc
+            commit = min(int(self._credit), self._iq_count)
+            if commit > 0:
+                self._iq_count -= commit
+                self._credit -= commit
+                self.stats.committed += commit
+                self.stats.base_cycles += 1
+                self._credit = min(self._credit, self._ipc)
+                committed_total += commit
+                last_commit = offset
+            elif self._credit >= 1.0:
+                raise SimulationError(
+                    "commit-replay window crossed a stall boundary"
+                )
+            else:
+                self.stats.base_cycles += 1
+        return committed_total, last_commit
+
     def pacing_steps(self, cycles: int) -> None:
         """Replay ``cycles`` sub-unit pacing steps at once.
 

@@ -32,7 +32,9 @@ the wrong result.
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from pathlib import Path
 
 from repro.campaign.spec import RunKey, RunSpec
@@ -45,6 +47,14 @@ from repro.machine.serialization import (
 )
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._=-]+")
+
+#: Process umask, captured once at import (reading it requires setting
+#: it; doing so here keeps the racy set/restore out of concurrent
+#: ``put()`` calls). Entries are chmodded to umask-based permissions so
+#: shared store trees stay readable across users — ``mkstemp`` alone
+#: would pin every result file to 0600.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
 
 
 def _sanitize(part: str) -> str:
@@ -165,9 +175,24 @@ class ResultStore:
             "config_digest": spec.config_digest(),
             "result": result_to_dict(result),
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        tmp.replace(path)  # atomic within one filesystem
+        # Unique tmp per writer: two runners recovering the same run
+        # over one store tree (shards, --from-failures) may put() the
+        # same spec concurrently, and a shared tmp name would let one
+        # writer's replace() consume the other's half-written file.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=path.parent
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+            # os.chmod (not fchmod: absent on Windows < 3.13) so shared
+            # store trees keep umask-based cross-user readability.
+            os.chmod(tmp, 0o666 & ~_UMASK)
+            tmp.replace(path)  # atomic within one filesystem
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     # -- maintenance ---------------------------------------------------------

@@ -128,6 +128,10 @@ class KernelStats:
     #: (a sleeping interconnect component charging a whole transfer
     #: window at once); aggregated by the simulator after the run.
     interconnect_busy_batched: int = 0
+    #: Back-end commit/pacing steps replaced by one batched commit
+    #: replay (a sleeping back-end settling a whole deterministic
+    #: commit window at once); aggregated by the simulator after the run.
+    commit_cycles_batched: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -227,6 +231,28 @@ class SimulationKernel:
         self._gen[index] += 1  # invalidate any armed timer
         self._ready_count += 1
         self.stats.wakes += 1
+
+    # -- progress accounting ------------------------------------------------
+
+    @property
+    def last_progress(self) -> int:
+        """Cycle of the most recent progress the watchdog knows about."""
+        return self._last_progress
+
+    def note_progress(self, cycle: int) -> None:
+        """Record progress units made at ``cycle`` retroactively.
+
+        Batched settlements (a commit-replay window settling elided
+        commits in one step) report the cycle the last elided commit
+        actually happened at, so the deadlock watchdog measures the same
+        no-progress span a stepped run would. A window may never extend
+        past ``last_progress + stall_limit + 1`` (the cycle the watchdog
+        would fire at): its settlement then lands — and notes progress —
+        before the firing check, keeping :class:`DeadlockError` cycles
+        bit-identical between engines.
+        """
+        if cycle > self._last_progress:
+            self._last_progress = cycle
 
     # -- main loop ---------------------------------------------------------
 

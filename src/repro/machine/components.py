@@ -27,6 +27,22 @@ which derives both sleep plans from one decision per cycle:
   matches a stepped run's per-cycle attribution exactly. A blocked core
   sleeps this way with the cause pinned to ``"sync"`` until the runtime
   coordinator's barrier/lock hand-off listener wakes it.
+* **commit-replay sleep** — the front-end is quiescent and the queue is
+  non-empty: every coming back-end cycle is a commit or sub-unit pacing
+  step (never a stall) until the queue drains, and the whole trajectory
+  is deterministic (no pushes, no IPC retargets while the front-end
+  sleeps). Both components sleep across a window bounded by the
+  front-end's own wake (cycles-to-next-fetch-need: fills, redirect and
+  iTLB timers, runtime hand-offs cut it short), the cycle a space-gated
+  front-end must re-act, the cycle after the queue drains, and the
+  deadlock watchdog's firing horizon; on wake the elided commits are
+  batch-settled (:meth:`~repro.backend.backend.CommitEngine.
+  replay_steps`) and the cycle of the last replayed commit is reported
+  to the kernel (:meth:`~repro.engine.SimulationKernel.note_progress`)
+  so the watchdog still fires at the stepped engine's exact cycle. The
+  queue count *changes* inside the window, so cores whose ``iq_count``
+  is observed cross-core (the ICOUNT arbiter's urgency callback) never
+  open one — they fall back to the pacing window below.
 * **unit pacing sleep** — the queue is non-empty but the commit credit
   stays below 1.0 until a known cycle
   (:meth:`~repro.backend.backend.CommitEngine.cycles_to_next_commit`);
@@ -34,7 +50,8 @@ which derives both sleep plans from one decision per cycle:
   (:meth:`~repro.backend.backend.CommitEngine.pacing_steps`) and the
   core wakes on the commit cycle. The queue count is constant inside
   the window, so cross-core observers (the ICOUNT arbiter's urgency
-  callback) always read current state.
+  callback) always read current state — the fallback that keeps
+  ICOUNT-arbitrated cores elidable.
 
 A finished core sleeps without a window — a stepped run does nothing
 for it either. Every mode is conservative: a component that cannot
@@ -69,6 +86,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _NO_WINDOW = "none"
 _IDLE = "idle"
 _PACING = "pacing"
+_REPLAY = "replay"
+
+#: Longest commit-replay look-ahead (cycles). Bounds the planning walk;
+#: a window that neither drains nor hits a wake inside it simply ends
+#: there and re-plans.
+REPLAY_CAP = 4096
 
 
 class CoreScheduleState:
@@ -80,7 +103,12 @@ class CoreScheduleState:
         "settled_to",
         "cause",
         "front_space_needed",
+        "front_asleep",
+        "iq_observed",
         "wake_front",
+        "note_progress",
+        "progress_guard",
+        "commit_cycles_batched",
         "_plan_cycle",
         "_plans",
         "_pending_window",
@@ -98,8 +126,27 @@ class CoreScheduleState:
         #: IQ room that lets a lone-sleeping front-end act again; the
         #: live back-end wakes it at the first commit reaching it.
         self.front_space_needed = 0
+        #: Whether the front-end component is currently deregistered
+        #: (kept by its on_sleep/on_wake hooks).
+        self.front_asleep = False
+        #: True when this core's ``iq_count`` is read by another
+        #: component mid-cycle (the ICOUNT arbiter's urgency callback):
+        #: commit-replay windows, whose elided commits leave the queue
+        #: count stale until settlement, are then disabled in favour of
+        #: constant-count pacing windows. Set by the system wiring.
+        self.iq_observed = False
         #: Injected by the system wiring: wakes the front-end component.
         self.wake_front: Callable[[], None] | None = None
+        #: Injected by the system wiring: reports the cycle of the last
+        #: batch-replayed commit to the kernel's deadlock watchdog.
+        self.note_progress: Callable[[int], None] = lambda cycle: None
+        #: Injected by the system wiring: the cycle the kernel's
+        #: watchdog would fire at; replay windows never extend past it,
+        #: so their settlement (which notes elided progress) always
+        #: lands before the firing check.
+        self.progress_guard: Callable[[], int] = lambda: NEVER
+        #: Back-end steps elided through commit-replay windows.
+        self.commit_cycles_batched = 0
         self._plan_cycle = -1
         self._plans: tuple[int | None, int | None] = (None, None)
         self._pending_window = _NO_WINDOW
@@ -130,27 +177,64 @@ class CoreScheduleState:
         if state is ThreadState.RUNNING:
             frontend = core.frontend
             backend = core.backend
-            if not frontend.idle_step and backend.iq_count:
+            if (
+                backend.iq_count
+                and not frontend.idle_step
+                and not self.front_asleep
+            ):
                 # The front-end just did work and the back-end is
                 # draining: nothing here sleeps long enough to pay for
-                # the full probe. (Empty-queue cores are always probed:
-                # their idle windows are what empties the ready set and
-                # lets the clock jump, and a one-cycle-late onset there
-                # would cost a skipped cycle per window.)
+                # the full probe. A front-end already off the run list
+                # is probed regardless — its last recorded step is
+                # stale, and the draining back-end behind it is exactly
+                # what the commit-replay window elides. (Empty-queue
+                # cores are always probed: their idle windows are what
+                # empties the ready set and lets the clock jump, and a
+                # one-cycle-late onset there would cost a skipped cycle
+                # per window.)
                 return (None, None)
             wake_at, space_needed = frontend.sleep_state(now + 1)
             if wake_at is None:
                 return (None, None)  # the front-end acts next cycle
             if backend.iq_count:
-                ahead = backend.cycles_to_next_commit()
-                if ahead is not None and ahead >= MIN_TIMER_NAP:
-                    # Unit pacing nap until the commit cycle. Commits
-                    # are the only source of the queue room the space
-                    # gates wait for, and none happens before the wake.
-                    self._pending_window = _PACING
-                    self._pending_space = 0
-                    wake_at = min(wake_at, now + ahead)
-                    return (wake_at, wake_at)
+                if not self.iq_observed:
+                    # Commit replay: with the front-end quiescent the
+                    # whole commit trajectory is deterministic, so both
+                    # components sleep across it and the elided commits
+                    # settle in one batch on wake. The window never
+                    # outlives the front-end's own wake (a stepped
+                    # front-end could act there), the cycle a
+                    # space-gated front-end must re-act, the drain
+                    # point (the next cycle would stall, which needs
+                    # live attribution), or the watchdog's firing cycle
+                    # (settlement must note elided progress before the
+                    # firing check).
+                    bound = min(wake_at, self.progress_guard()) - now
+                    if bound >= MIN_TIMER_NAP:
+                        # replay_horizon may return cap + 1 (a drain or
+                        # space trigger on the last walked cycle), so
+                        # the cap stays one short of the bound.
+                        horizon = backend.replay_horizon(
+                            space_needed, cap=min(bound - 1, REPLAY_CAP)
+                        )
+                        if horizon is not None and horizon >= MIN_TIMER_NAP:
+                            self._pending_window = _REPLAY
+                            self._pending_space = 0
+                            wake = now + horizon
+                            return (wake, wake)
+                else:
+                    ahead = backend.cycles_to_next_commit()
+                    if ahead is not None and ahead >= MIN_TIMER_NAP:
+                        # Unit pacing nap until the commit cycle: the
+                        # queue count stays constant, so the ICOUNT
+                        # urgency callback observing this core always
+                        # reads current state. Commits are the only
+                        # source of the queue room the space gates wait
+                        # for, and none happens before the wake.
+                        self._pending_window = _PACING
+                        self._pending_space = 0
+                        wake_at = min(wake_at, now + ahead)
+                        return (wake_at, wake_at)
                 # The back-end commits imminently: keep it live (exact
                 # per-cycle credit and stall attribution); it wakes a
                 # space-gated front-end at the commit whose freed room
@@ -183,8 +267,19 @@ class CoreScheduleState:
         self.settled_to = now + 1
 
     def commit_woke(self, now: int) -> None:
+        window = self.window
         self.settle(now)
         self.window = _NO_WINDOW
+        if window is _REPLAY and self.front_space_needed:
+            # The front-end slept on queue room before this window
+            # opened around it. A live back-end would have woken it at
+            # the commit whose freed room first reached the threshold;
+            # the replay wake lands one cycle after that commit by
+            # construction, so waking the front-end now has it step on
+            # exactly the cycle a stepped run's would.
+            needed = self.front_space_needed
+            if self.core.backend.iq_space() >= needed and self.wake_front:
+                self.wake_front()
 
     def settle(self, now: int) -> None:
         """Batch-account the elided back-end cycles ``[settled_to, now)``."""
@@ -193,6 +288,14 @@ class CoreScheduleState:
         cycles = now - self.settled_to
         if self.window is _IDLE:
             self.core.backend.idle_steps(cycles, self.cause)
+        elif self.window is _REPLAY:
+            _committed, last_commit = self.core.backend.replay_steps(cycles)
+            self.commit_cycles_batched += cycles
+            if last_commit is not None:
+                # The watchdog must see progress at the cycle the last
+                # elided commit actually happened (a stepped run reset
+                # it there), not at the settlement cycle.
+                self.note_progress(self.settled_to + last_commit - 1)
         else:
             self.core.backend.pacing_steps(cycles)
         self.settled_to = now
@@ -230,9 +333,11 @@ class CoreFrontendComponent:
 
     def on_sleep(self, now: int) -> None:
         self.sched.front_space_needed = self.sched._pending_space
+        self.sched.front_asleep = True
 
     def on_wake(self, now: int) -> None:
         self.sched.front_space_needed = 0
+        self.sched.front_asleep = False
 
 
 class GroupInterconnectComponent:

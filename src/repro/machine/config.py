@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.trace.records import INSTRUCTION_BYTES
 from repro.utils import require_positive, require_power_of_two
 
 KB = 1024
@@ -79,6 +80,14 @@ class BaseMachineConfig:
         require_positive(self.line_buffers, "line_buffers")
         require_positive(self.iq_capacity, "iq_capacity")
         require_power_of_two(self.icache_line_bytes, "icache_line_bytes")
+        line_instructions = self.icache_line_bytes // INSTRUCTION_BYTES
+        if self.iq_capacity < line_instructions:
+            raise ConfigurationError(
+                f"iq_capacity={self.iq_capacity} cannot hold one full "
+                f"fetch line ({line_instructions} instructions): a "
+                "line-sized fetch piece could never drain into the queue "
+                "and the machine would hang on its first full line"
+            )
         if self.interconnect not in INTERCONNECTS:
             raise ConfigurationError(
                 f"interconnect must be 'bus' or 'crossbar', got "

@@ -72,6 +72,10 @@ class SystemSimulator:
                 component.busy_steps_batched
                 for component in self.system.interconnect_components
             )
+            self.kernel.stats.commit_cycles_batched += sum(
+                state.commit_cycles_batched
+                for state in self.system.schedule_states
+            )
         return self.system.collect_results(cycles)
 
     # -- error context -----------------------------------------------------

@@ -144,6 +144,9 @@ class System:
         #: Interconnect components registered with the kernel; the
         #: simulator aggregates their batched-busy counters after a run.
         self.interconnect_components: list[GroupInterconnectComponent] = []
+        #: Per-core schedule states registered with the kernel; the
+        #: simulator aggregates their commit-replay counters after a run.
+        self.schedule_states: list[CoreScheduleState] = []
         self._build()
 
     # -- machine hooks -----------------------------------------------------
@@ -330,9 +333,26 @@ class System:
         hand-offs return sleeping cores to the run list, new bus
         requests wake idle interconnects, and in-flight request
         lifecycle transitions settle sleeping cores' batched stall
-        attribution.
+        attribution. The commit-replay lever additionally needs the
+        watchdog plumbing (batched commits report their true cycle to
+        the kernel, and windows never cross the firing horizon) and the
+        ICOUNT observability gate: a core whose ``iq_count`` feeds a
+        shared group's urgency-based arbitration must keep its queue
+        count current every cycle, so it only opens constant-count
+        pacing windows.
         """
         states = [CoreScheduleState(core) for core in self.cores]
+        self.schedule_states = states
+        guard = lambda: kernel.last_progress + kernel.stall_limit + 1  # noqa: E731
+        for state in states:
+            state.note_progress = kernel.note_progress
+            state.progress_guard = guard
+        if self.config.arbitration == "icount":
+            for group in self.topology.groups:
+                if not group.shared:
+                    continue
+                for core_id in group.core_ids:
+                    states[core_id].iq_observed = True
         fronts = [
             CoreFrontendComponent(core, state)
             for core, state in zip(self.cores, states)

@@ -1,6 +1,8 @@
 """Tests for the campaign layer: specs, the JSON store, and the runner."""
 
 import json
+import shutil
+import threading
 
 import pytest
 
@@ -14,8 +16,10 @@ from repro.campaign import (
     run_specs,
 )
 from repro.campaign import runner as campaign_runner
+from repro.campaign.spec import shard_specs
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.common import ExperimentContext
+from repro.scmp import private_config
 
 
 def _tiny_spec(benchmark="CG", seed=0, **config_overrides):
@@ -112,6 +116,224 @@ class TestResultStore:
             store.get(spec_cold)
 
 
+class TestStoreLegacyFallback:
+    """Pre-machine-axis entries stay readable — for acmp scheduled runs
+    only, and only when no namespaced entry shadows them."""
+
+    def _relocate_to_legacy(self, store, spec):
+        """Move a namespaced entry to the pre-machine-axis location."""
+        path = store.path_for(spec)
+        legacy = store.root / spec.benchmark / path.name
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        shutil.move(path, legacy)
+        return legacy
+
+    def test_legacy_entry_served_for_acmp_scheduled(self, tmp_path):
+        spec = _tiny_spec()
+        result = execute_run(spec)
+        store = ResultStore(tmp_path)
+        store.put(spec, result)
+        self._relocate_to_legacy(store, spec)
+        assert spec in store
+        assert result_to_dict(store.get(spec)) == result_to_dict(result)
+        # keys() walks the legacy layout too (payload header is the
+        # authoritative key, machine defaulted to acmp).
+        assert store.keys() == [spec.key]
+
+    def test_namespaced_entry_shadows_legacy(self, tmp_path):
+        spec = _tiny_spec()
+        result = execute_run(spec)
+        store = ResultStore(tmp_path)
+        store.put(spec, result)
+        legacy = self._relocate_to_legacy(store, spec)
+        # Corrupt the legacy copy, then write a fresh namespaced entry:
+        # reads must prefer the namespaced path and never touch legacy.
+        legacy.write_text("{not json")
+        store.put(spec, result)
+        assert result_to_dict(store.get(spec)) == result_to_dict(result)
+
+    def test_reference_engine_never_reads_legacy(self, tmp_path):
+        # Only scheduled-engine acmp runs existed before the machine
+        # axis, so a reference-flavor spec must miss even if a file with
+        # its exact name sits in the legacy location.
+        spec_skip = _tiny_spec()
+        result = execute_run(spec_skip)
+        store = ResultStore(tmp_path)
+        store.put(spec_skip, result)
+        legacy = self._relocate_to_legacy(store, spec_skip)
+        spec_ref = RunSpec(
+            benchmark=spec_skip.benchmark,
+            config=spec_skip.config,
+            seed=spec_skip.seed,
+            scale=spec_skip.scale,
+            cycle_skip=False,
+        )
+        ref_name = store.path_for(spec_ref).name
+        (legacy.parent / ref_name).write_text(legacy.read_text())
+        assert spec_ref not in store
+        assert store.get(spec_ref) is None
+
+    def test_non_acmp_machine_never_reads_legacy(self, tmp_path):
+        spec = RunSpec(
+            benchmark="CG", config=private_config(core_count=2), scale=0.02
+        )
+        store = ResultStore(tmp_path)
+        # Plant a file at the legacy location under the scmp spec's
+        # filename; the fallback is acmp-only, so this must stay unseen.
+        legacy = store.root / spec.benchmark / store.path_for(spec).name
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(json.dumps({"key": list(spec.key), "result": {}}))
+        assert spec not in store
+        assert store.get(spec) is None
+
+
+class TestStoreConcurrentWriters:
+    """Two runners over one store tree: engine flavors stay separate and
+    interleaved writes never corrupt or cross-serve entries."""
+
+    def test_engine_flavors_write_distinct_entries(self, tmp_path):
+        spec_skip = _tiny_spec(worker_count=2)
+        spec_ref = RunSpec(
+            benchmark="CG",
+            config=baseline_config(worker_count=2),
+            scale=0.02,
+            cycle_skip=False,
+        )
+        store = ResultStore(tmp_path)
+        assert store.path_for(spec_skip) != store.path_for(spec_ref)
+        assert store.path_for(spec_ref).name.endswith("__ref.json")
+
+        # Two concurrent runners — one per engine flavor — share the
+        # tree, as an engine cross-check batch on one host would.
+        stores = [ResultStore(tmp_path), ResultStore(tmp_path)]
+        reports = {}
+
+        def runner(index, spec):
+            reports[index] = run_specs(
+                [spec], store=stores[index], name=f"runner-{index}"
+            )
+
+        threads = [
+            threading.Thread(target=runner, args=(0, spec_skip)),
+            threading.Thread(target=runner, args=(1, spec_ref)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert reports[0].executed == reports[1].executed == 1
+        assert len(store) == 2  # one entry per flavor, same run key
+        # Each flavor round-trips through a fresh store handle; the two
+        # engines are bit-identical by contract, so the payloads agree,
+        # but each must have been served from its own file.
+        fresh = ResultStore(tmp_path)
+        skip_loaded = fresh.get(spec_skip)
+        ref_loaded = fresh.get(spec_ref)
+        assert result_to_dict(skip_loaded) == result_to_dict(ref_loaded)
+        # Tampering with the ref entry must not leak into skip reads
+        # (i.e. the flavors really are separate files).
+        store.path_for(spec_ref).unlink()
+        assert fresh.get(spec_ref) is None
+        assert fresh.get(spec_skip) is not None
+
+    def test_flavor_mismatch_inside_entry_is_rejected(self, tmp_path):
+        spec = _tiny_spec(worker_count=2)
+        store = ResultStore(tmp_path)
+        store.put(spec, execute_run(spec))
+        path = store.path_for(spec)
+        payload = json.loads(path.read_text())
+        payload["engine"] = "reference"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SimulationError, match="never share"):
+            store.get(spec)
+
+    def test_interleaved_writers_land_every_entry(self, tmp_path):
+        # Two runner threads racing disjoint-but-interleaved spec lists
+        # over one tree: every entry lands intact (atomic tmp-file
+        # replace), including the spec both runners write.
+        result = execute_run(_tiny_spec(worker_count=2))
+        specs = [
+            _tiny_spec(worker_count=2, seed=seed) for seed in range(6)
+        ]
+        stores = [ResultStore(tmp_path), ResultStore(tmp_path)]
+
+        def writer(store, mine):
+            for spec in mine:
+                store.put(spec, result)
+
+        threads = [
+            threading.Thread(target=writer, args=(stores[0], specs[:4])),
+            threading.Thread(target=writer, args=(stores[1], specs[2:])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == len(specs)
+        for spec in specs:
+            assert result_to_dict(fresh.get(spec)) == result_to_dict(result)
+        assert not list(fresh.root.rglob("*.tmp"))
+
+
+class TestSharding:
+    """--shard K/N must partition a campaign: disjoint and complete."""
+
+    def _campaign_specs(self):
+        return Campaign(
+            name="shardable",
+            benchmarks=("CG", "UA", "CoMD"),
+            design_points=(
+                baseline_config(),
+                worker_shared_config(),
+                private_config(core_count=4),
+            ),
+            seeds=(0, 1, 2),
+            scale=0.02,
+        ).runs()
+
+    @pytest.mark.parametrize("count", (1, 2, 3, 4, 7))
+    def test_shards_disjoint_and_complete(self, count):
+        specs = self._campaign_specs()
+        shards = [
+            shard_specs(specs, index, count)
+            for index in range(1, count + 1)
+        ]
+        seen = [spec.key for shard in shards for spec in shard]
+        assert sorted(seen) == sorted(spec.key for spec in specs)
+        assert len(seen) == len(set(seen))
+
+    def test_shard_assignment_is_enumeration_order_independent(self):
+        specs = self._campaign_specs()
+        forward = {spec.key for spec in shard_specs(specs, 1, 3)}
+        backward = {
+            spec.key for spec in shard_specs(list(reversed(specs)), 1, 3)
+        }
+        assert forward == backward
+
+    def test_runner_executes_only_its_shard(self, monkeypatch, tmp_path):
+        result = execute_run(_tiny_spec(worker_count=2))
+        monkeypatch.setattr(
+            campaign_runner, "execute_run", lambda spec: result
+        )
+        specs = self._campaign_specs()
+        keys_by_shard = []
+        total_sharded_out = 0
+        for index in (1, 2, 3):
+            report = run_specs(
+                specs, shard=(index, 3), name=f"shard-{index}"
+            )
+            keys_by_shard.append(set(report.results))
+            assert report.sharded_out == len(specs) - len(report.results)
+            total_sharded_out += report.sharded_out
+        union = set().union(*keys_by_shard)
+        assert union == {spec.key for spec in specs}
+        assert sum(len(keys) for keys in keys_by_shard) == len(union)
+        assert total_sharded_out == 2 * len(specs)
+
+
 class TestRunner:
     def test_serial_and_parallel_agree(self, tmp_path):
         campaign = Campaign(
@@ -172,6 +394,91 @@ class TestRunner:
     def test_colliding_specs_in_one_batch_rejected(self):
         with pytest.raises(ConfigurationError, match="share the key"):
             run_specs([_tiny_spec(), _tiny_spec(worker_count=4)])
+
+
+class TestFromFailuresResume:
+    """failures.jsonl as a resume manifest: recovered runs are pruned
+    from it exactly once."""
+
+    def _journal_entry(self, spec):
+        from dataclasses import asdict
+
+        return {
+            "machine": spec.machine,
+            "benchmark": spec.benchmark,
+            "label": spec.config.label(),
+            "seed": spec.seed,
+            "scale": spec.scale,
+            "warm_l2": spec.warm_l2,
+            "cycle_skip": spec.cycle_skip,
+            "engine": spec.engine,
+            "config": asdict(spec.config),
+            "error": "RuntimeError: transient",
+            "attempts": 2,
+        }
+
+    def test_cli_resume_prunes_recovered_run_exactly_once(
+        self, tmp_path, capsys
+    ):
+        from repro.campaign.__main__ import main
+
+        store = ResultStore(tmp_path / "cache")
+        # A run that failed transiently in some past sweep but succeeds
+        # now: journalled, absent from the store.
+        spec = _tiny_spec(worker_count=2)
+        with store.journal_path.open("a") as journal:
+            journal.write(json.dumps(self._journal_entry(spec)) + "\n")
+
+        code = main(
+            ["--cache-dir", str(store.root), "--from-failures", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 recovered run(s)" in out
+        assert store.get(spec) is not None
+        assert store.journalled_failures() == []
+
+        # Second resume: the manifest is empty — the recovered run is
+        # not pruned (or executed) a second time.
+        code = main(
+            ["--cache-dir", str(store.root), "--from-failures", "--quiet"]
+        )
+        assert code == 0
+        assert "pruned" not in capsys.readouterr().out
+
+    def test_prune_drops_only_matching_flavor(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = _tiny_spec(worker_count=2)
+        ref_spec = RunSpec(
+            benchmark=spec.benchmark,
+            config=spec.config,
+            seed=spec.seed,
+            scale=spec.scale,
+            cycle_skip=False,
+        )
+        with store.journal_path.open("a") as journal:
+            journal.write(json.dumps(self._journal_entry(spec)) + "\n")
+            journal.write(json.dumps(self._journal_entry(ref_spec)) + "\n")
+        # Only the scheduled flavor recovered: the reference cross-check
+        # entry must survive the compaction.
+        assert store.prune_journal({(spec.key, spec.engine)}) == 1
+        remaining = store.journalled_failures()
+        assert len(remaining) == 1
+        assert remaining[0]["engine"] == "reference"
+        # Re-compacting with the same success set is a no-op: an entry
+        # is pruned exactly once.
+        assert store.prune_journal({(spec.key, spec.engine)}) == 0
+        assert len(store.journalled_failures()) == 1
+
+    def test_failed_specs_skips_entries_already_in_store(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = _tiny_spec(worker_count=2)
+        store.put(spec, execute_run(spec))
+        with store.journal_path.open("a") as journal:
+            journal.write(json.dumps(self._journal_entry(spec)) + "\n")
+        # The run already landed (another shard recovered it): the
+        # manifest rebuild must not schedule it again.
+        assert store.failed_specs() == []
 
 
 class TestExperimentContextIntegration:

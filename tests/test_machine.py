@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.acmp import baseline_config, worker_shared_config
+from repro.acmp import AcmpConfig, baseline_config, worker_shared_config
 from repro.campaign import (
     ResultStore,
     RunSpec,
@@ -101,6 +101,17 @@ class TestScmpModel:
     def test_divisibility_enforced(self):
         with pytest.raises(ConfigurationError):
             ScmpConfig(core_count_total=6, cores_per_cache=4)
+
+    def test_sub_line_iq_capacity_rejected(self):
+        # A queue smaller than one fetch line can never accept a
+        # line-sized fetch piece: the machine would hang, so the
+        # substrate config rejects it up front (for every model).
+        with pytest.raises(ConfigurationError, match="full\\s+fetch line"):
+            ScmpConfig(core_count_total=4, iq_capacity=8)
+        with pytest.raises(ConfigurationError, match="full\\s+fetch line"):
+            AcmpConfig(worker_count=4, iq_capacity=15)
+        # One full line is the smallest legal capacity.
+        assert AcmpConfig(worker_count=4, iq_capacity=16).iq_capacity == 16
 
     def test_labels_are_namespaced(self):
         assert private_config().label() == "scmp8::private::32KB::4lb"

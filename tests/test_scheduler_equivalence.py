@@ -129,6 +129,21 @@ GRID: list[tuple[str, AcmpConfig]] = [
             bus_width_bytes=8,
         ),
     ),
+    # A large instruction queue leaves long drain phases behind a
+    # quiescent front-end — the commit-replay window's home turf.
+    ("acmp-big-iq", baseline_config(worker_count=4, iq_capacity=256)),
+    # The smallest legal queue (one fetch line) space-gates the
+    # front-end constantly, exercising the replay window's exact
+    # space-wake cycle (one past the commit that frees the room).
+    ("acmp-tiny-iq", baseline_config(worker_count=4, iq_capacity=16)),
+    # Sub-unit serial IPC on the symmetric CMP mixes pacing and commit
+    # cycles inside one replay window.
+    (
+        "scmp-lean-serial-big-iq",
+        ScmpConfig(
+            core_count_total=4, serial_ipc_scale=0.4, iq_capacity=128
+        ),
+    ),
 ]
 
 
@@ -225,6 +240,10 @@ def _deadlock_traces() -> TraceSet:
             "scmp-banked",
             ScmpConfig(core_count_total=3, cores_per_cache=3, bus_count=1),
         ),
+        # Commit-replay windows drain the healthy cores' queues right up
+        # to the hang; the watchdog must still fire at the stepped
+        # engine's exact cycle (note_progress + the firing-horizon cap).
+        ("private-big-iq", baseline_config(worker_count=2, iq_capacity=256)),
     ],
     ids=lambda v: v if isinstance(v, str) else "",
 )
