@@ -167,6 +167,63 @@ def test_emit_campaign_timing(tmp_path):
         )
     kernel_stats = kernel_skip[0]
 
+    # Sampled-simulation probe: wall-time reduction and accuracy of
+    # fast-mode interval sampling (repro.sampling) against full
+    # detailed runs, on the UA sharing comparison at full trace scale.
+    # Full scale, not BENCH_SCALE: sampling is a long-run lever — at
+    # bench scale the traces fit inside one sampling period and the
+    # sampled path degenerates to an exact run.
+    from repro.acmp import worker_shared_config as _shared
+    from repro.sampling import resolve_plan, simulate_sampled
+
+    plan = resolve_plan("fast")
+    probe_traces = synthesize_benchmark("UA", thread_count=9, scale=1.0)
+    base_cfg = baseline_config()
+    shared_cfg = _shared()
+    timings = {}
+    cycles = {}
+    for label, config, sampled in (
+        ("full_base", base_cfg, False),
+        ("full_shared", shared_cfg, False),
+        ("sampled_base", base_cfg, True),
+        ("sampled_shared", shared_cfg, True),
+    ):
+        started = time.perf_counter()
+        if sampled:
+            result = simulate_sampled(config, probe_traces, plan)
+        else:
+            result = simulate(config, probe_traces)
+        timings[label] = time.perf_counter() - started
+        cycles[label] = result.cycles
+    full_s = timings["full_base"] + timings["full_shared"]
+    sampled_s = timings["sampled_base"] + timings["sampled_shared"]
+    ratio_full = cycles["full_shared"] / cycles["full_base"]
+    ratio_sampled = cycles["sampled_shared"] / cycles["sampled_base"]
+    sampling_probe = {
+        "benchmark": "UA",
+        "scale": 1.0,
+        "plan": plan.spec(),
+        "coverage": round(plan.coverage, 4),
+        "full_s": round(full_s, 3),
+        "sampled_s": round(sampled_s, 3),
+        "wall_speedup": round(full_s / sampled_s, 3),
+        "time_ratio_full": round(ratio_full, 5),
+        "time_ratio_sampled": round(ratio_sampled, 5),
+        "speedup_rel_error": round(
+            abs(ratio_sampled - ratio_full) / ratio_full, 5
+        ),
+        "cycles_rel_error_base": round(
+            abs(cycles["sampled_base"] - cycles["full_base"])
+            / cycles["full_base"],
+            5,
+        ),
+        "cycles_rel_error_shared": round(
+            abs(cycles["sampled_shared"] - cycles["full_shared"])
+            / cycles["full_shared"],
+            5,
+        ),
+    }
+
     payload = {
         "generated": date.today().isoformat(),
         "host_cpus": os.cpu_count(),
@@ -182,6 +239,7 @@ def test_emit_campaign_timing(tmp_path):
         "speedup_cached": round(reference_s / max(cached_s, 1e-9), 3),
         "kernel_skip": kernel_stats,
         "kernel_skip_per_benchmark": kernel_skip,
+        "sampling": sampling_probe,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -208,3 +266,8 @@ def test_emit_campaign_timing(tmp_path):
     assert all(
         entry["commit_cycles_batched"] > 0 for entry in kernel_skip
     )
+    # The interval-sampling lever: fast mode must cut wall time by at
+    # least 3x on the UA probe while keeping the reported shared-vs-
+    # baseline speedup within 2% of the full runs' value.
+    assert sampling_probe["wall_speedup"] >= 3.0
+    assert sampling_probe["speedup_rel_error"] <= 0.02

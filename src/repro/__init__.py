@@ -65,6 +65,7 @@ from repro.campaign import (
     run_campaign,
 )
 from repro.engine import Clock, EventQueue, SimulationKernel
+from repro.sampling import SamplingPlan, simulate_sampled
 from repro.errors import (
     ConfigurationError,
     DeadlockError,
@@ -104,12 +105,14 @@ __all__ = [
     "private_config",
     "register_model",
     "simulate",
+    "simulate_sampled",
     "simulate_acmp",
     "worker_shared_config",
     "Campaign",
     "CampaignReport",
     "ResultStore",
     "RunSpec",
+    "SamplingPlan",
     "run_campaign",
     "Clock",
     "EventQueue",

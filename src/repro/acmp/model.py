@@ -44,8 +44,21 @@ class AcmpModel:
             **overrides,
         )
 
+    def all_shared_config(
+        self, icache_kb: int = 32, bus_count: int = 2, **overrides
+    ) -> AcmpConfig:
+        """Section VI-E: master and workers share a single I-cache."""
+        return all_shared_config(
+            icache_kb=icache_kb, bus_count=bus_count, **overrides
+        )
+
     def build_system(self, config: AcmpConfig, traces: TraceSet) -> AcmpSystem:
         return AcmpSystem(config, traces)
+
+    def build_topology(self, config: AcmpConfig):
+        from repro.acmp.topology import build_topology
+
+        return build_topology(config)
 
     def config_space(self) -> dict[str, tuple]:
         """The dimensions the paper sweeps (Figs. 7-13)."""

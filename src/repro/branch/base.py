@@ -40,6 +40,24 @@ class DirectionPredictor(abc.ABC):
     def update(self, address: int, taken: bool) -> None:
         """Train with the resolved outcome."""
 
+    # -- warm-state checkpoints (sampled simulation) -----------------------
+
+    def warm_state(self) -> object | None:
+        """JSON-ready snapshot of the predictor tables, or ``None``.
+
+        Predictors without snapshot support return ``None``; sampled
+        simulation then simply starts them cold at each measurement
+        interval. See :mod:`repro.machine.warm` for the contract.
+        """
+        return None
+
+    def load_warm_state(self, state: object | None) -> None:
+        """Adopt a :meth:`warm_state` snapshot (``None`` is a no-op)."""
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} has no warm state to restore"
+            )
+
     def predict_and_update(self, address: int, taken: bool) -> bool:
         """Predict, record accuracy, then train. Returns True on a correct
         prediction."""

@@ -54,3 +54,19 @@ class BranchTargetBuffer:
         index = self._index(address)
         self._tags[index] = address
         self._targets[index] = target
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Tag and target tables (passed by reference, not copied)."""
+        return {"tags": self._tags, "targets": self._targets}
+
+    def load_warm_state(self, state) -> None:
+        tags, targets = state["tags"], state["targets"]
+        if len(tags) != len(self._tags) or len(targets) != len(self._targets):
+            raise ValueError(
+                f"BTB snapshot shape {len(tags)}/{len(targets)} does not "
+                f"match {len(self._tags)} entries"
+            )
+        self._tags = tags
+        self._targets = targets

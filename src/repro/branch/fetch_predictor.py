@@ -81,3 +81,18 @@ class FetchPredictor:
         self.direction.update(branch_address, branch.taken)
         self.loop.update(branch_address, branch.taken)
         return correct
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Composite snapshot of the direction/loop/BTB structures."""
+        return {
+            "direction": self.direction.warm_state(),
+            "loop": self.loop.warm_state(),
+            "btb": self.btb.warm_state(),
+        }
+
+    def load_warm_state(self, state) -> None:
+        self.direction.load_warm_state(state["direction"])
+        self.loop.load_warm_state(state["loop"])
+        self.btb.load_warm_state(state["btb"])

@@ -37,3 +37,20 @@ class GsharePredictor(DirectionPredictor):
         index = self._index(address)
         self._counters[index] = saturating_update(self._counters[index], taken)
         self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Counter table + global history (table passed by reference)."""
+        return {"counters": self._counters, "history": self._history}
+
+    def load_warm_state(self, state) -> None:
+        """Adopt a snapshot; the table is shared, not copied."""
+        counters = state["counters"]
+        if len(counters) != len(self._counters):
+            raise ValueError(
+                f"gshare snapshot has {len(counters)} counters, "
+                f"expected {len(self._counters)}"
+            )
+        self._counters = counters
+        self._history = int(state["history"]) & self._mask

@@ -9,8 +9,6 @@ structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.branch.base import DirectionPredictor
 from repro.utils import require_power_of_two
 
@@ -19,60 +17,90 @@ CONFIDENT = 2
 _CONFIDENCE_MAX = 3
 
 
-@dataclass
-class _LoopEntry:
-    tag: int = -1
-    trip_count: int = 0  # learned taken-run length before the exit
-    current: int = 0  # taken count in the current execution of the loop
-    confidence: int = 0
-
-
 class LoopPredictor(DirectionPredictor):
-    """Direct-mapped, tagged loop-termination predictor."""
+    """Direct-mapped, tagged loop-termination predictor.
+
+    Entry fields live in parallel flat lists (tag / learned trip count /
+    current taken-run / confidence): the tables snapshot and restore by
+    reference for warm-state checkpoints, and indexing flat int lists is
+    no slower than attribute access on per-entry objects.
+    """
 
     def __init__(self, entries: int = 256) -> None:
         super().__init__()
         require_power_of_two(entries, "loop predictor entries")
         self._mask = entries - 1
-        self._entries = [_LoopEntry() for _ in range(entries)]
+        self._tags = [-1] * entries
+        self._trips = [0] * entries  # learned taken-run length before exit
+        self._currents = [0] * entries  # taken count in the current run
+        self._confidences = [0] * entries
         self._index_shift = 2
 
-    def _entry(self, address: int) -> _LoopEntry:
-        return self._entries[(address >> self._index_shift) & self._mask]
+    def _index(self, address: int) -> int:
+        return (address >> self._index_shift) & self._mask
 
     def _tag(self, address: int) -> int:
         return address >> self._index_shift
 
     def confident(self, address: int) -> bool:
         """True when this predictor should override the direction predictor."""
-        entry = self._entry(address)
-        return entry.tag == self._tag(address) and entry.confidence >= CONFIDENT
+        index = self._index(address)
+        return (
+            self._tags[index] == self._tag(address)
+            and self._confidences[index] >= CONFIDENT
+        )
 
     def predict(self, address: int) -> bool:
-        entry = self._entry(address)
-        if entry.tag != self._tag(address):
+        index = self._index(address)
+        if self._tags[index] != self._tag(address):
             return True  # unknown loop branch: assume taken (stay in loop)
-        return entry.current + 1 < entry.trip_count or entry.trip_count == 0
+        trips = self._trips[index]
+        return self._currents[index] + 1 < trips or trips == 0
 
     def update(self, address: int, taken: bool) -> None:
-        entry = self._entry(address)
+        index = self._index(address)
         tag = self._tag(address)
-        if entry.tag != tag:
+        if self._tags[index] != tag:
             # Allocate on a not-taken outcome: that is a potential loop exit.
             if not taken:
-                entry.tag = tag
-                entry.trip_count = 0
-                entry.current = 0
-                entry.confidence = 0
+                self._tags[index] = tag
+                self._trips[index] = 0
+                self._currents[index] = 0
+                self._confidences[index] = 0
             return
         if taken:
-            entry.current += 1
+            self._currents[index] += 1
             return
         # Loop exit: compare the observed taken-run with the learned one.
-        observed = entry.current + 1  # count executions including the exit
-        if observed == entry.trip_count:
-            entry.confidence = min(_CONFIDENCE_MAX, entry.confidence + 1)
+        observed = self._currents[index] + 1  # executions incl. the exit
+        if observed == self._trips[index]:
+            self._confidences[index] = min(
+                _CONFIDENCE_MAX, self._confidences[index] + 1
+            )
         else:
-            entry.trip_count = observed
-            entry.confidence = 0
-        entry.current = 0
+            self._trips[index] = observed
+            self._confidences[index] = 0
+        self._currents[index] = 0
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Entry tables, passed by reference (see repro.machine.warm)."""
+        return {
+            "tags": self._tags,
+            "trips": self._trips,
+            "currents": self._currents,
+            "confidences": self._confidences,
+        }
+
+    def load_warm_state(self, state) -> None:
+        tables = (
+            state["tags"], state["trips"], state["currents"],
+            state["confidences"],
+        )
+        if any(len(table) != len(self._tags) for table in tables):
+            raise ValueError(
+                f"loop-predictor snapshot does not match "
+                f"{len(self._tags)} entries"
+            )
+        self._tags, self._trips, self._currents, self._confidences = tables

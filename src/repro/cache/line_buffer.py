@@ -140,6 +140,33 @@ class LineBufferSet:
     def pending_count(self) -> int:
         return sum(1 for entry in self._entries if entry.pending)
 
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """JSON-ready snapshot of the valid lines (pending requests are
+        transient timing state and are not part of warm state)."""
+        return {
+            "clock": self._clock,
+            "entries": [
+                [entry.line, entry.last_use]
+                for entry in self._entries
+                if entry.line is not None and not entry.pending
+            ],
+        }
+
+    def load_warm_state(self, state) -> None:
+        entries = state["entries"]
+        if len(entries) > self.count:
+            raise ValueError(
+                f"line-buffer snapshot holds {len(entries)} lines but the "
+                f"set has only {self.count} buffers"
+            )
+        self._entries = [_Entry() for _ in range(self.count)]
+        for slot, (line, last_use) in zip(self._entries, entries):
+            slot.line = line
+            slot.last_use = last_use
+        self._clock = int(state["clock"])
+
     def valid_lines(self) -> set[int]:
         return {
             entry.line

@@ -34,17 +34,52 @@ class ReplacementPolicy(abc.ABC):
     def victim(self, set_index: int) -> int:
         """Choose the way to evict from a full set."""
 
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> object | None:
+        """JSON-ready snapshot of the replacement state, or ``None``.
+
+        Policies without snapshot support (e.g. the seeded random
+        policy) return ``None``; a restored cache then starts with
+        fresh replacement state. Mutable payloads are passed by
+        reference — :meth:`load_warm_state` adopts, it does not copy.
+        """
+        return None
+
+    def load_warm_state(self, state: object | None) -> None:
+        """Adopt a :meth:`warm_state` snapshot (``None`` is a no-op)."""
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} has no warm state to restore"
+            )
+
 
 class LruPolicy(ReplacementPolicy):
-    """True least-recently-used replacement (the paper's policy)."""
+    """True least-recently-used replacement (the paper's policy).
+
+    Per-set recency order lists are allocated on first touch: an
+    untouched set's order is way order (``None`` placeholder), which
+    keeps constructing a large cache cheap — sampled simulation builds
+    a fresh system per measurement interval, and megabyte-scale L2s
+    would otherwise pay for thousands of order lists they immediately
+    discard to a warm-state restore.
+    """
 
     def __init__(self, set_count: int, ways: int) -> None:
         super().__init__(set_count, ways)
-        # Recency order per set: index 0 is least recently used.
-        self._order = [list(range(ways)) for _ in range(set_count)]
+        # Recency order per set: index 0 is least recently used; None
+        # means never touched (way order).
+        self._order: list[list[int] | None] = [None] * set_count
+
+    def _set_order(self, set_index: int) -> list[int]:
+        order = self._order[set_index]
+        if order is None:
+            order = list(range(self.ways))
+            self._order[set_index] = order
+        return order
 
     def on_access(self, set_index: int, way: int) -> None:
-        order = self._order[set_index]
+        order = self._set_order(set_index)
         order.remove(way)
         order.append(way)
 
@@ -52,7 +87,15 @@ class LruPolicy(ReplacementPolicy):
         self.on_access(set_index, way)
 
     def victim(self, set_index: int) -> int:
-        return self._order[set_index][0]
+        return self._set_order(set_index)[0]
+
+    def warm_state(self) -> list[list[int] | None]:
+        return self._order
+
+    def load_warm_state(self, state) -> None:
+        if len(state) != self.set_count:
+            raise ValueError("LRU snapshot shape does not match the cache")
+        self._order = state
 
 
 class FifoPolicy(ReplacementPolicy):
@@ -71,6 +114,14 @@ class FifoPolicy(ReplacementPolicy):
 
     def victim(self, set_index: int) -> int:
         return self._next_victim[set_index]
+
+    def warm_state(self) -> list[int]:
+        return self._next_victim
+
+    def load_warm_state(self, state) -> None:
+        if len(state) != self.set_count:
+            raise ValueError("FIFO snapshot shape does not match the cache")
+        self._next_victim = state
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -142,6 +193,16 @@ class TreePlruPolicy(ReplacementPolicy):
                 node = 2 * node + 1
                 high = mid
         return low
+
+    def warm_state(self) -> list[list[int]]:
+        return self._bits
+
+    def load_warm_state(self, state) -> None:
+        if len(state) != self.set_count or any(
+            len(bits) != self.ways - 1 for bits in state
+        ):
+            raise ValueError("PLRU snapshot shape does not match the cache")
+        self._bits = state
 
 
 _POLICIES = {

@@ -144,6 +144,44 @@ class SetAssociativeCache:
         self._policy.on_fill(set_index, way)
         return victim
 
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """Tag array, replacement state and the compulsory-miss
+        classifier (lines ever resident), passed by reference.
+
+        The seen-lines set rides along because it is warm state, not a
+        counter: a restored cache that forgot which lines it ever held
+        would misclassify every capacity/conflict miss of a
+        measurement interval as compulsory (the Fig. 11 split). The
+        snapshot and the cache share storage after a
+        :meth:`load_warm_state`; serialize through
+        :meth:`repro.machine.warm.WarmState.to_dict`, which deep-copies.
+        """
+        return {
+            "tags": self._tags,
+            "policy": self._policy.warm_state(),
+            "seen": self.stats._seen_lines,
+        }
+
+    def load_warm_state(self, state) -> None:
+        """Adopt a snapshot captured from an identically-shaped cache."""
+        tags = state["tags"]
+        if len(tags) != self.set_count or any(
+            len(ways) != self.ways for ways in tags
+        ):
+            raise ValueError(
+                f"cache snapshot shape does not match {self!r}"
+            )
+        self._tags = tags
+        self._policy.load_warm_state(state["policy"])
+        # Adopt live sets by reference (like the tag tables); JSON
+        # round trips hand back lists, which need the one-time rebuild.
+        seen = state["seen"]
+        self.stats._seen_lines = (
+            seen if isinstance(seen, set) else set(seen)
+        )
+
     def invalidate_all(self) -> None:
         """Drop every line (replacement state is left as-is)."""
         for tags in self._tags:

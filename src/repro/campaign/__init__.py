@@ -25,16 +25,18 @@ from repro.campaign.spec import (
     parse_shard,
     shard_specs,
 )
-from repro.campaign.store import ResultStore
+from repro.campaign.store import MergeReport, ResultStore, merge_stores
 
 __all__ = [
     "Campaign",
     "CampaignReport",
+    "MergeReport",
     "ResultStore",
     "RunFailure",
     "RunKey",
     "RunSpec",
     "execute_run",
+    "merge_stores",
     "parse_shard",
     "print_progress",
     "run_campaign",

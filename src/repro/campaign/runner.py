@@ -44,7 +44,6 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError, SimulationError
 from repro.machine.results import SimulationResult
-from repro.machine.simulator import simulate
 
 #: Executions attempted per spec before journalling it as failed.
 MAX_ATTEMPTS = 2
@@ -68,13 +67,20 @@ def _traces_cached(benchmark: str, thread_count: int, scale: float, seed: int):
 
 
 def execute_run(spec: RunSpec) -> SimulationResult:
-    """Synthesise traces and simulate one run (worker entry point)."""
+    """Synthesise traces and simulate one run (worker entry point).
+
+    ``simulate_sampled`` with a ``None`` plan is plain full simulation,
+    so one call covers both flavors.
+    """
+    from repro.sampling import simulate_sampled
+
     traces = _traces_cached(
         spec.benchmark, spec.config.core_count, spec.scale, spec.seed
     )
-    return simulate(
+    return simulate_sampled(
         spec.config,
         traces,
+        spec.sampling_plan(),
         warm_l2=spec.warm_l2,
         cycle_skip=spec.cycle_skip,
     )
@@ -111,6 +117,7 @@ def _journal_failure(
         "warm_l2": spec.warm_l2,
         "cycle_skip": spec.cycle_skip,
         "engine": spec.engine,
+        "sampling": spec.sampling,
         "config_digest": spec.config_digest(),
         "config": asdict(spec.config),
         "error": failure.error,
@@ -153,12 +160,13 @@ def run_specs(
         successful spec's key to its :class:`SimulationResult`.
     """
     started = time.perf_counter()
-    # Dedup by (key, engine): the two engine flavors of one design
-    # point are distinct work units (a cross-check batch must run
-    # both), while true duplicates collapse to one run.
-    unique: dict[tuple[RunKey, str], RunSpec] = {}
+    # Dedup by (key, flavor): the engine flavors of one design point
+    # are distinct work units (a cross-check batch must run both), as
+    # are the sampling flavors (a sampled result never stands in for a
+    # full one), while true duplicates collapse to one run.
+    unique: dict[tuple[RunKey, tuple[str, str]], RunSpec] = {}
     for spec in specs:
-        known = unique.setdefault((spec.key, spec.engine), spec)
+        known = unique.setdefault((spec.key, spec.flavor), spec)
         if known is not spec and known.config_digest() != spec.config_digest():
             raise ConfigurationError(
                 f"two specs in one batch share the key {spec.key} but "
@@ -170,7 +178,7 @@ def run_specs(
         index, count = shard
         mine = {spec.key for spec in shard_specs(list(unique.values()), index, count)}
         sharded_out = len(unique) - sum(
-            1 for key, _engine in unique if key in mine
+            1 for key, _flavor in unique if key in mine
         )
         unique = {
             key_engine: spec
@@ -178,10 +186,24 @@ def run_specs(
             if key_engine[0] in mine
         }
     results: dict[RunKey, SimulationResult] = {}
+    completed_flavors: set[tuple[RunKey, tuple[str, str]]] = set()
+    #: Fidelity of the flavor currently held in ``results`` per key:
+    #: full detail beats sampled, scheduled beats reference. A batch
+    #: mixing flavors of one key (a --from-failures resume) must
+    #: surface a deterministic choice, not whichever finished last.
+    result_rank: dict[RunKey, tuple[bool, bool]] = {}
+
+    def keep(spec: RunSpec, result: SimulationResult) -> None:
+        rank = (not spec.sampling, spec.cycle_skip)
+        if spec.key not in result_rank or rank > result_rank[spec.key]:
+            result_rank[spec.key] = rank
+            results[spec.key] = result
+        completed_flavors.add((spec.key, spec.flavor))
+
     pending: list[RunSpec] = []
-    for (key, _engine), spec in unique.items():
+    for (key, _flavor), spec in unique.items():
         if store is not None and (stored := store.get(spec)) is not None:
-            results[key] = stored
+            keep(spec, stored)
         else:
             pending.append(spec)
     cached = len(unique) - len(pending)
@@ -190,7 +212,7 @@ def run_specs(
 
     def record(spec: RunSpec, result: SimulationResult) -> None:
         nonlocal completed
-        results[spec.key] = result
+        keep(spec, result)
         if store is not None:
             store.put(spec, result)
         completed += 1
@@ -246,7 +268,7 @@ def run_specs(
         workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {pool.submit(execute_run, spec): spec for spec in pending}
-            attempts = dict.fromkeys(((spec.key, spec.engine) for spec in pending), 1)
+            attempts = dict.fromkeys(((spec.key, spec.flavor) for spec in pending), 1)
             try:
                 while futures:
                     for future in as_completed(list(futures)):
@@ -256,9 +278,9 @@ def run_specs(
                         except BrokenExecutor:
                             raise  # the pool itself died, not the run
                         except Exception as exc:
-                            attempt = attempts[(spec.key, spec.engine)]
+                            attempt = attempts[(spec.key, spec.flavor)]
                             if attempt < MAX_ATTEMPTS:
-                                attempts[(spec.key, spec.engine)] = attempt + 1
+                                attempts[(spec.key, spec.flavor)] = attempt + 1
                                 futures[pool.submit(execute_run, spec)] = spec
                             else:
                                 record_failure(spec, exc, attempt)
@@ -281,6 +303,7 @@ def run_specs(
         wall_seconds=time.perf_counter() - started,
         jobs=jobs,
         results=results,
+        completed=completed_flavors,
         failures=failures,
         sharded_out=sharded_out,
     )

@@ -40,6 +40,12 @@ class RunSpec:
     #: left empty, so existing ``RunSpec(benchmark, config)`` calls keep
     #: working for any machine.
     machine: str = ""
+    #: Sampling flavor: empty for full detailed simulation, otherwise a
+    #: mode name (``fast``/``precise``) or plan spec, normalised to the
+    #: canonical :meth:`SamplingPlan.spec` string. Like the engine
+    #: flavor, sampling is part of the store identity — sampled
+    #: (extrapolated) and full results never share a cache entry.
+    sampling: str = ""
 
     def __post_init__(self) -> None:
         if not self.machine:
@@ -47,6 +53,13 @@ class RunSpec:
 
             object.__setattr__(
                 self, "machine", model_for_config(self.config).name
+            )
+        if self.sampling:
+            from repro.sampling.plan import resolve_plan
+
+            plan = resolve_plan(self.sampling)
+            object.__setattr__(
+                self, "sampling", plan.spec() if plan is not None else ""
             )
 
     @property
@@ -63,6 +76,20 @@ class RunSpec:
     def engine(self) -> str:
         """Engine flavor tag: ``skip`` (scheduled) or ``reference``."""
         return "skip" if self.cycle_skip else "reference"
+
+    @property
+    def flavor(self) -> tuple[str, str]:
+        """The cache-entry flavor axes beyond the run key: (engine,
+        sampling). Two specs with the same key but different flavors
+        are distinct work units and distinct store entries."""
+        return (self.engine, self.sampling)
+
+    def sampling_plan(self):
+        """The resolved :class:`~repro.sampling.plan.SamplingPlan`, or
+        ``None`` for full detailed simulation."""
+        from repro.sampling.plan import resolve_plan
+
+        return resolve_plan(self.sampling)
 
     def config_digest(self) -> str:
         """Fingerprint of every run-affecting input the key omits.
@@ -85,9 +112,10 @@ class RunSpec:
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def describe(self) -> str:
+        sampled = f", sampling={self.sampling}" if self.sampling else ""
         return (
             f"{self.benchmark} @ {self.machine}/{self.config.label()} "
-            f"(seed={self.seed}, scale={self.scale})"
+            f"(seed={self.seed}, scale={self.scale}{sampled})"
         )
 
 
@@ -148,6 +176,8 @@ class Campaign:
     scale: float = 1.0
     warm_l2: bool = True
     cycle_skip: bool = True
+    #: Sampling flavor applied to every run (see :attr:`RunSpec.sampling`).
+    sampling: str = ""
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -178,6 +208,7 @@ class Campaign:
                 scale=self.scale,
                 warm_l2=self.warm_l2,
                 cycle_skip=self.cycle_skip,
+                sampling=self.sampling,
             )
             for benchmark in self.benchmarks
             for config in self.design_points
@@ -208,7 +239,20 @@ class CampaignReport:
     cached: int
     wall_seconds: float
     jobs: int
+    #: One result per run key. A batch normally carries a single flavor
+    #: per key; when it mixes flavors (a ``--from-failures`` resume
+    #: replaying full and sampled entries of one design point), the
+    #: highest-fidelity flavor wins deterministically — full detail
+    #: over sampled, scheduled over reference — never completion order.
+    #: Flavor-exact bookkeeping lives in :attr:`completed`.
     results: dict[RunKey, object] = field(default_factory=dict)
+    #: Every ``(key, (engine, sampling))`` that landed this invocation,
+    #: whether executed or served from the store — the set journal
+    #: compaction matches against, so a sampled success never prunes a
+    #: still-failing full run of the same key (or vice versa).
+    completed: set[tuple[RunKey, tuple[str, str]]] = field(
+        default_factory=set
+    )
     #: Runs that failed even after the retry (journalled when a result
     #: store is attached; see ``failures.jsonl`` next to it).
     failures: list[RunFailure] = field(default_factory=list)

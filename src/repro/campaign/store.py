@@ -12,16 +12,19 @@ Layout::
     <root>/
       <machine>/
         <benchmark>/
-          <config-label>__seed<seed>__scale<scale>[__ref].json
+          <config-label>__seed<seed>__scale<scale>[__ref][__samp-<plan>].json
 
 Reference-engine runs (``cycle_skip=False``) get the ``__ref`` suffix:
 the two engines are bit-identical by contract, but an engine cross-check
 that silently read the other engine's cache entry would verify nothing,
-so the flavors never share an entry. Stores written before the machine
-axis existed used ``<root>/<benchmark>/...`` with no machine directory;
-those entries remain readable as ``acmp``/scheduled-engine results (the
-only flavor that existed), and new writes always use the namespaced
-layout.
+so the flavors never share an entry. Sampled runs get a ``__samp-<plan>``
+suffix for the same reason with the opposite sign: a sampled result is
+an *extrapolation*, and serving it to a caller that asked for a full
+run (or vice versa) would silently change result semantics. Stores
+written before the machine axis existed used ``<root>/<benchmark>/...``
+with no machine directory; those entries remain readable as
+``acmp``/scheduled-engine/full-simulation results (the only flavor that
+existed), and new writes always use the namespaced layout.
 
 Labels are sanitised for the filesystem (``::`` and other separators
 become ``-``); the authoritative key is stored inside the JSON payload
@@ -35,6 +38,7 @@ import json
 import os
 import re
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.campaign.spec import RunKey, RunSpec
@@ -67,6 +71,28 @@ def _format_scale(scale: float) -> str:
     return text.replace("/", "-")
 
 
+def _entry_identity(entry: dict) -> tuple[RunKey, tuple[str, str]]:
+    """The ``(key, (engine, sampling))`` identity of one journal entry.
+
+    The single place the journal's field defaults live: ``--status``,
+    the ``--from-failures`` manifest rebuild and journal compaction all
+    reconstruct identities through here, so a new flavor axis cannot
+    silently desynchronize them.
+    """
+    key: RunKey = (
+        str(entry.get("machine", _LEGACY_MACHINE)),
+        str(entry.get("benchmark", "")),
+        str(entry.get("label", "")),
+        int(entry.get("seed", 0)),
+        float(entry.get("scale", 1.0)),
+    )
+    flavor = (
+        str(entry.get("engine", "skip")),
+        str(entry.get("sampling", "")),
+    )
+    return key, flavor
+
+
 def _normalize_key(raw: object) -> RunKey | None:
     """Rebuild a :data:`RunKey` from a stored payload header."""
     if not isinstance(raw, list):
@@ -97,9 +123,10 @@ class ResultStore:
     def _filename(self, spec: RunSpec) -> str:
         _machine, _benchmark, label, seed, scale = spec.key
         engine = "" if spec.cycle_skip else "__ref"
+        sampling = f"__samp-{_sanitize(spec.sampling)}" if spec.sampling else ""
         return (
             f"{_sanitize(label)}__seed{seed}__scale{_format_scale(scale)}"
-            f"{engine}.json"
+            f"{engine}{sampling}.json"
         )
 
     def path_for(self, spec: RunSpec) -> Path:
@@ -113,7 +140,11 @@ class ResultStore:
 
     def _legacy_path(self, spec: RunSpec) -> Path | None:
         """Pre-machine-axis location, readable for acmp scheduled runs."""
-        if spec.machine != _LEGACY_MACHINE or not spec.cycle_skip:
+        if (
+            spec.machine != _LEGACY_MACHINE
+            or not spec.cycle_skip
+            or spec.sampling
+        ):
             return None
         return self.root / _sanitize(spec.benchmark) / self._filename(spec)
 
@@ -155,6 +186,14 @@ class ResultStore:
                 f"{stored_engine!r} engine but the {spec.engine!r} engine "
                 f"was requested; engine flavors never share cache entries"
             )
+        stored_sampling = payload.get("sampling", "")
+        if stored_sampling != spec.sampling:
+            raise SimulationError(
+                f"result cache entry {path} holds sampling flavor "
+                f"{stored_sampling!r} but {spec.sampling!r} was requested; "
+                f"sampled (extrapolated) and full results never share "
+                f"cache entries"
+            )
         stored_digest = payload.get("config_digest")
         if stored_digest is not None and stored_digest != spec.config_digest():
             raise SimulationError(
@@ -175,6 +214,8 @@ class ResultStore:
             "config_digest": spec.config_digest(),
             "result": result_to_dict(result),
         }
+        if spec.sampling:
+            payload["sampling"] = spec.sampling
         # Unique tmp per writer: two runners recovering the same run
         # over one store tree (shards, --from-failures) may put() the
         # same spec concurrently, and a shared tmp name would let one
@@ -219,6 +260,52 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self._entry_paths())
 
+    def gc(self, dry_run: bool = False) -> list[Path]:
+        """Drop entries whose identity no longer parses.
+
+        An entry is collectable when its payload is not valid JSON, its
+        key header cannot be rebuilt, its machine is not a registered
+        model, its engine flavor is unknown, or its sampling flavor is
+        not a parseable plan spec — the debris left behind when a store
+        tree outlives the code (renamed machine models, retired flavor
+        formats). Returns the removed paths; with ``dry_run`` nothing
+        is deleted, the would-be victims are only reported.
+        """
+        from repro.machine.model import model_names
+        from repro.sampling.plan import resolve_plan
+
+        known_machines = set(model_names())
+        victims: list[Path] = []
+        for path in self._entry_paths():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                victims.append(path)
+                continue
+            key = _normalize_key(payload.get("key"))
+            parseable = (
+                key is not None
+                and key[0] in known_machines
+                and payload.get("engine", "skip") in ("skip", "reference")
+            )
+            if parseable:
+                try:
+                    resolve_plan(str(payload.get("sampling", "")))
+                except ConfigurationError:
+                    parseable = False
+            if not parseable:
+                victims.append(path)
+        if not dry_run:
+            for path in victims:
+                path.unlink(missing_ok=True)
+        return victims
+
+    def journalled_flavors(self) -> set[tuple[RunKey, tuple[str, str]]]:
+        """The ``(key, (engine, sampling))`` identities in the journal."""
+        return {
+            _entry_identity(entry) for entry in self.journalled_failures()
+        }
+
     # -- failure journal -----------------------------------------------------
 
     @property
@@ -257,7 +344,7 @@ class ResultStore:
         from repro.machine.model import get_model
 
         specs: list[RunSpec] = []
-        seen: set[tuple[RunKey, str]] = set()
+        seen: set[tuple[RunKey, tuple[str, str]]] = set()
         for entry in self.journalled_failures():
             try:
                 model = get_model(entry.get("machine", _LEGACY_MACHINE))
@@ -269,22 +356,26 @@ class ResultStore:
                     scale=float(entry.get("scale", 1.0)),
                     warm_l2=bool(entry.get("warm_l2", True)),
                     cycle_skip=entry.get("engine", "skip") == "skip",
+                    sampling=str(entry.get("sampling", "")),
                 )
             except Exception:
                 continue
-            if (spec.key, spec.engine) in seen or spec in self:
+            if (spec.key, spec.flavor) in seen or spec in self:
                 continue
-            seen.add((spec.key, spec.engine))
+            seen.add((spec.key, spec.flavor))
             specs.append(spec)
         return specs
 
-    def prune_journal(self, succeeded: set[tuple[RunKey, str]]) -> int:
+    def prune_journal(
+        self, succeeded: set[tuple[RunKey, tuple[str, str]]]
+    ) -> int:
         """Compact the journal: drop entries whose runs have succeeded.
 
-        ``succeeded`` holds ``(run key, engine flavor)`` pairs — the
-        flavor matters because a scheduled-engine success says nothing
-        about a still-failing reference cross-check of the same design
-        point. The rewrite is an explicit, single-operator compaction
+        ``succeeded`` holds ``(run key, (engine, sampling) flavor)``
+        pairs — the flavor matters because a scheduled-engine success
+        says nothing about a still-failing reference cross-check of the
+        same design point, and a sampled success says nothing about the
+        full run. The rewrite is an explicit, single-operator compaction
         (the ``--from-failures`` flow); routine sweeps never rewrite
         the journal, they only append, so concurrent hosts cannot lose
         each other's entries. The replacement file lands atomically.
@@ -296,14 +387,7 @@ class ResultStore:
         kept: list[str] = []
         dropped = 0
         for entry in self.journalled_failures():
-            key = (
-                str(entry.get("machine", _LEGACY_MACHINE)),
-                str(entry.get("benchmark", "")),
-                str(entry.get("label", "")),
-                int(entry.get("seed", 0)),
-                float(entry.get("scale", 1.0)),
-            )
-            if (key, entry.get("engine", "skip")) in succeeded:
+            if _entry_identity(entry) in succeeded:
                 dropped += 1
             else:
                 kept.append(json.dumps(entry))
@@ -313,3 +397,91 @@ class ResultStore:
             tmp.write_text(text + "\n" if text else "")
             tmp.replace(path)  # atomic within one filesystem
         return dropped
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one store-tree merge."""
+
+    copied: int = 0
+    replaced: int = 0
+    skipped: int = 0
+    journal_entries: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.copied} entries copied, {self.replaced} replaced "
+            f"(newer), {self.skipped} kept (destination newer or equal), "
+            f"{self.journal_entries} journal entries merged"
+        )
+
+
+def merge_stores(
+    sources: list[str | Path], destination: str | Path
+) -> MergeReport:
+    """Union sharded store trees into one (``newest wins`` on collision).
+
+    The multi-host flow: several machines sweep disjoint shards into
+    local trees (or one NFS tree splits), and a merge folds them back
+    together. Entries are matched by their store path — the sanitised
+    key plus flavor suffixes — and on a collision the file with the
+    newer modification time wins, so a re-run of a previously-failed
+    design point supersedes the stale entry regardless of which tree it
+    landed in. Failure journals are unioned line-wise (duplicates
+    dropped); :meth:`ResultStore.failed_specs` already ignores entries
+    whose run has since landed, so merged journals stay usable as
+    resume manifests.
+    """
+    import shutil
+
+    destination_store = ResultStore(destination)
+    report = MergeReport()
+    journal_lines: list[str] = []
+    seen_lines: set[str] = set()
+    destination_journal = destination_store.journal_path
+    if destination_journal.exists():
+        for line in destination_journal.read_text().splitlines():
+            if line.strip():
+                seen_lines.add(line.strip())
+    # Validate every source before copying anything: failing halfway
+    # through would leave a partially-merged tree whose journal lines
+    # (written only after the loop) were silently dropped.
+    for source in sources:
+        source_root = Path(source)
+        if not source_root.is_dir():
+            raise ConfigurationError(
+                f"merge source {source_root} is not a directory"
+            )
+        if source_root.resolve() == destination_store.root.resolve():
+            raise ConfigurationError(
+                f"merge source {source_root} is the destination itself"
+            )
+    for source in sources:
+        source_store = ResultStore(Path(source))
+        for path in source_store._entry_paths():
+            relative = path.relative_to(source_store.root)
+            target = destination_store.root / relative
+            if target.exists():
+                if target.stat().st_mtime >= path.stat().st_mtime:
+                    report.skipped += 1
+                    continue
+                report.replaced += 1
+            else:
+                report.copied += 1
+            target.parent.mkdir(parents=True, exist_ok=True)
+            # copy2 preserves mtimes, keeping newest-wins transitive
+            # across repeated merges.
+            shutil.copy2(path, target)
+        source_journal = source_store.journal_path
+        if source_journal.exists():
+            for line in source_journal.read_text().splitlines():
+                line = line.strip()
+                if line and line not in seen_lines:
+                    seen_lines.add(line)
+                    journal_lines.append(line)
+    if journal_lines:
+        with destination_journal.open("a") as journal:
+            for line in journal_lines:
+                journal.write(line + "\n")
+        report.journal_entries = len(journal_lines)
+    return report

@@ -96,6 +96,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "cross-checks; results are bit-identical either way)",
     )
     parser.add_argument(
+        "--sampling",
+        type=str,
+        default="none",
+        help="interval-sampled simulation: none (full detail, default), "
+        "fast (~1/8 coverage), precise (~1/3 coverage), or a plan spec "
+        "like d20000:s140000:w140000:r0; sampled figures carry "
+        "per-metric error estimates and cache separately from full runs",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-run campaign progress on stderr",
@@ -141,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         cycle_skip=not args.no_cycle_skip,
         progress=print_progress if show_progress else None,
         machine=args.machine,
+        sampling=args.sampling if args.sampling != "none" else "",
     )
     started = time.time()
     if args.experiment == "all":

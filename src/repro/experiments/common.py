@@ -21,7 +21,6 @@ machine-parametric drivers (fig07-fig09) build their sweeps from.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,21 +32,10 @@ from repro.errors import ConfigurationError
 from repro.machine.config import BaseMachineConfig
 from repro.machine.model import MachineModel, get_model, model_for_config
 from repro.machine.results import SimulationResult
-from repro.machine.simulator import simulate
 from repro.trace.stream import TraceSet
 from repro.trace.synthesis import synthesize
+from repro.utils.stats import mean_halfwidth95
 from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
-
-#: Two-sided 95 % Student-t critical values by degrees of freedom; the
-#: normal value is used beyond the table (seed sweeps are small).
-_T95 = {
-    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
-    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
-    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042,
-}
-_Z95 = 1.960
-
 
 @dataclass(frozen=True)
 class MeanCI:
@@ -72,21 +60,8 @@ def mean_ci(values: Sequence[float]) -> MeanCI:
     samples = [float(value) for value in values]
     if not samples:
         raise ConfigurationError("mean_ci needs at least one sample")
-    n = len(samples)
-    mean = sum(samples) / n
-    if n < 2:
-        return MeanCI(mean=mean, half_width=0.0, n=n)
-    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
-    df = n - 1
-    critical = _T95.get(df)
-    if critical is None:
-        # Between table rows use the nearest smaller df (conservative);
-        # far beyond it, the normal approximation.
-        lower = [d for d in _T95 if d <= df]
-        critical = _T95[max(lower)] if max(lower) < 30 else _Z95
-    return MeanCI(
-        mean=mean, half_width=critical * math.sqrt(variance / n), n=n
-    )
+    mean, half_width = mean_halfwidth95(samples)
+    return MeanCI(mean=mean, half_width=half_width, n=len(samples))
 
 
 @dataclass
@@ -109,12 +84,19 @@ class ExperimentContext:
             with ``seed``; figure drivers then report per-design-point
             mean ± 95 % CI alongside the primary seed's tables.
         machine: registry name of the machine model that
-            machine-parametric drivers (fig07-fig09) build their design
+            machine-parametric drivers (fig07-fig13) build their design
             points from; resolved through :mod:`repro.machine.model`.
             Drivers may still mix in configs of any other registered
             machine (fig01 compares two machines in one run) — the
             machine of each individual run is always derived from its
             config's type.
+        sampling: interval-sampled simulation flavor — empty (full
+            detailed runs), a mode name (``fast``/``precise``) or a
+            plan spec (see :mod:`repro.sampling`). Sampled results are
+            extrapolations with per-metric error estimates; figure
+            drivers surface the aggregate error via
+            :func:`attach_sampling_errors`, and the result store files
+            sampled entries separately from full ones.
     """
 
     scale: float = 1.0
@@ -129,6 +111,7 @@ class ExperimentContext:
     progress: ProgressHook | None = None
     seeds: tuple[int, ...] = ()
     machine: str = "acmp"
+    sampling: str = ""
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
     _results: dict[tuple[str, str, str], SimulationResult] = field(
         default_factory=dict, repr=False
@@ -145,6 +128,11 @@ class ExperimentContext:
         if self.cache_dir is not None:
             self._store = ResultStore(self.cache_dir)
         get_model(self.machine)  # fail fast on unknown machine names
+        if self.sampling:
+            from repro.sampling import resolve_plan
+
+            plan = resolve_plan(self.sampling)  # fail fast on bad specs
+            self.sampling = plan.spec() if plan is not None else ""
 
     @property
     def model(self) -> MachineModel:
@@ -180,6 +168,7 @@ class ExperimentContext:
                 cycle_skip=self.cycle_skip,
                 progress=self.progress,
                 machine=self.machine,
+                sampling=self.sampling,
             )
             self._seed_contexts[seed] = pinned
         return pinned
@@ -242,6 +231,7 @@ class ExperimentContext:
             scale=self.scale,
             warm_l2=self.warm_l2,
             cycle_skip=self.cycle_skip,
+            sampling=self.sampling,
         )
 
     def ensure(self, pairs: Iterable[tuple[str, BaseMachineConfig]]) -> None:
@@ -279,13 +269,18 @@ class ExperimentContext:
             # Trace shape follows the design point's core count, exactly
             # as campaign workers synthesise theirs, so results cannot
             # depend on the execution mode.
+            from repro.sampling import simulate_sampled
+
             for spec in specs:
                 key = (spec.machine, spec.benchmark, spec.config.label())
-                self._results[key] = simulate(
+                # simulate_sampled with a None plan is plain full
+                # simulation, so one call covers both flavors.
+                self._results[key] = simulate_sampled(
                     spec.config,
                     self.traces_for(
                         spec.benchmark, thread_count=spec.config.core_count
                     ),
+                    spec.sampling_plan(),
                     warm_l2=self.warm_l2,
                     cycle_skip=self.cycle_skip,
                 )
@@ -353,4 +348,87 @@ def attach_seed_intervals(
         lines.append(f"  {key} = {interval}")
     result.summary["seed_count"] = float(len(ctx.seed_sweep))
     result.rendered += "\n" + "\n".join(lines)
+    return result
+
+
+def attach_sampling_errors(
+    ctx: ExperimentContext,
+    result: ExperimentResult,
+    pairs: Iterable[tuple[str, BaseMachineConfig]] | None = None,
+) -> ExperimentResult:
+    """Surface sampled-simulation error bars in a driver's output.
+
+    When the context runs in sampled mode, every simulation result the
+    driver consumed carries per-metric relative sampling-error
+    estimates (95 % CI of the across-interval spread). This aggregates
+    the worst case over the figure's own runs — ``pairs`` names them,
+    exactly the ``design_points(ctx)`` list the driver passed to
+    :meth:`ExperimentContext.ensure` — and appends it to the rendered
+    table; ``summary`` gains ``sampling_err_<metric>`` keys and
+    ``sampling_coverage``. Without ``pairs`` every run the (possibly
+    figure-spanning) context has seen is aggregated. No-op for
+    unsampled contexts, so tests and default CLI runs are unchanged.
+    """
+    if not ctx.sampling:
+        return result
+    if pairs is None:
+        run_results = list(ctx._results.values())
+    else:
+        wanted = {
+            (model_for_config(config).name, name, config.label())
+            for name, config in pairs
+        }
+        run_results = [
+            run_result
+            for key, run_result in ctx._results.items()
+            if key in wanted
+        ]
+    estimates: dict[str, list[float]] = {}
+    metrics: set[str] = set()
+    coverages: set[float] = set()
+    sampled_runs = 0
+    for run_result in run_results:
+        info = run_result.sampling
+        if not info:
+            continue
+        sampled_runs += 1
+        if info.get("coverage") is not None:
+            coverages.add(float(info["coverage"]))
+        for metric, relative in (info.get("errors") or {}).items():
+            metrics.add(metric)
+            if relative is not None:
+                estimates.setdefault(metric, []).append(float(relative))
+    if not sampled_runs:
+        return result
+    # Runs of one figure can mix effective coverages (a trace too small
+    # to slice runs exact at 1.0); report the range, not an arbitrary
+    # iteration-order survivor.
+    if not coverages:
+        coverage_text = "?"
+        coverage = None
+    elif len(coverages) == 1:
+        coverage = coverages.pop()
+        coverage_text = f"{coverage}"
+    else:
+        coverage = min(coverages)
+        coverage_text = f"{coverage}..{max(coverages)}"
+    parts = []
+    for metric in sorted(metrics):
+        values = estimates.get(metric)
+        if values:
+            worst = max(values)
+            parts.append(f"{metric} ±{worst:.1%} ({len(values)} runs)")
+            result.summary[f"sampling_err_{metric}"] = worst
+        else:
+            # Too few measured intervals (or a near-zero metric) on
+            # every run: no spread information to report.
+            parts.append(f"{metric} n/a")
+    result.rendered += (
+        f"\nsampled mode {ctx.sampling} (coverage {coverage_text}, "
+        f"{sampled_runs} runs): every value is an extrapolation; "
+        f"worst-case 95% sampling error — "
+        f"{', '.join(parts) if parts else 'n/a'}"
+    )
+    if coverage is not None:
+        result.summary["sampling_coverage"] = float(coverage)
     return result

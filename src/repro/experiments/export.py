@@ -34,11 +34,22 @@ class ShapeCheck:
         text = self.fmt.format(value)
         # Seed sweeps attach a 95 % confidence half-width per summary
         # key (see repro.experiments.common.attach_seed_intervals);
-        # surface it so the report shows seed-to-seed spread.
+        # surface it, and record whether the claim is *CI-stable* — the
+        # whole confidence band, not just the mean, inside the
+        # acceptance interval — so EXPERIMENTS.md distinguishes claims
+        # that hold across trace realisations from ones riding on a
+        # lucky seed.
         half_width = result.summary.get(f"{self.summary_key}_ci95")
         if half_width is not None:
             seeds = int(result.summary.get("seed_count", 0))
-            text += f" ± {half_width:.3f} (95% CI, {seeds} seeds)"
+            text += f" ± {half_width:.3f} (95% CI, {seeds} seeds"
+            if ok:
+                stable = (
+                    self.low <= value - half_width
+                    and value + half_width <= self.high
+                )
+                text += ", CI-stable" if stable else ", CI-fragile"
+            text += ")"
         return text, ok
 
 

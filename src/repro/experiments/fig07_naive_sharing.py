@@ -17,6 +17,7 @@ from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 
@@ -78,4 +79,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "mean_cpc2_ratio": sum(means[2]) / len(means[2]),
         },
     )
-    return attach_seed_intervals(ctx, run, result, ('mean_cpc8_ratio', 'mean_cpc2_ratio', 'worst_cpc8_ratio'))
+    result = attach_seed_intervals(
+        ctx, run, result, ('mean_cpc8_ratio', 'mean_cpc2_ratio', 'worst_cpc8_ratio')
+    )
+    return attach_sampling_errors(ctx, result, design_points(ctx))

@@ -16,6 +16,7 @@ from repro.analysis.report import format_stacked_bars, format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 
@@ -108,4 +109,5 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         rendered=rendered,
         summary={"bus_dominated_count": float(bus_dominated)},
     )
-    return attach_seed_intervals(ctx, run, result, ('bus_dominated_count',))
+    result = attach_seed_intervals(ctx, run, result, ('bus_dominated_count',))
+    return attach_sampling_errors(ctx, result, design_points(ctx))

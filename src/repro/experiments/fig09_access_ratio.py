@@ -18,6 +18,7 @@ from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 
@@ -73,4 +74,5 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "mean_high_ratio_at_4lb": sum(high) / len(high) if high else 0.0,
         },
     )
-    return attach_seed_intervals(ctx, run, result, ('mean_low_ratio_at_4lb', 'mean_high_ratio_at_4lb'))
+    result = attach_seed_intervals(ctx, run, result, ('mean_low_ratio_at_4lb', 'mean_high_ratio_at_4lb'))
+    return attach_sampling_errors(ctx, result, design_points(ctx))

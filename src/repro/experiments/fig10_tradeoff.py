@@ -5,15 +5,19 @@ naive (4 LB, single bus), more line buffers (8 LB, single bus), and more
 bandwidth (4 LB, double bus); all normalised to the private baseline.
 Shape checks: the double bus recovers (nearly) all of the naive-sharing
 loss and beats adding line buffers; CoEVP gains performance outright.
+
+Machine-parametric: the sweep is built from the context's machine model
+(``--machine``), so the same trade-off is measured on the ACMP's worker
+cluster or on a symmetric CMP's banked front-ends.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 
@@ -29,8 +33,8 @@ VARIANTS = (
 
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
-    configs = [baseline_config()] + [
-        worker_shared_config(cores_per_cache=8, icache_kb=16, **overrides)
+    configs = [ctx.model.baseline_config()] + [
+        ctx.model.shared_config(cores_per_cache=8, icache_kb=16, **overrides)
         for _, overrides in VARIANTS
     ]
     return [(name, config) for name in ctx.benchmarks for config in configs]
@@ -44,10 +48,10 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     means = {label: [] for label, _ in VARIANTS}
     coevp_double = 1.0
     for name in ctx.benchmarks:
-        base = ctx.run(name, baseline_config())
+        base = ctx.run(name, ctx.model.baseline_config())
         row: list[object] = [name]
         for label, overrides in VARIANTS:
-            config = worker_shared_config(
+            config = ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=16, **overrides
             )
             ratio = ctx.run(name, config).cycles / base.cycles
@@ -80,4 +84,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "coevp_double_bus": coevp_double,
         },
     )
-    return attach_seed_intervals(ctx, run, result, ('mean_naive', 'mean_more_lb', 'mean_double_bus'))
+    result = attach_seed_intervals(
+        ctx, run, result, ('mean_naive', 'mean_more_lb', 'mean_double_bus')
+    )
+    return attach_sampling_errors(ctx, result, design_points(ctx))

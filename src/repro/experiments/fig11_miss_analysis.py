@@ -6,15 +6,18 @@ baseline MPKI values the paper prints above the bars. Shape checks:
 sharing cuts misses by ~50 % on average (up to ~90 %); even the 16 KB
 shared cache beats 8x32 KB private; botsalgn/smithwa show extra capacity
 misses at 16 KB; CoEVP's absolute baseline MPKI is the only one above 1.
+
+Machine-parametric: the sweep is built from the context's machine model
+(``--machine``), like fig07-fig10.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import baseline_config, worker_shared_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 
@@ -25,11 +28,11 @@ TITLE = "Worker I-cache MPKI, shared vs private (cpc=8)"
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
     configs = [
-        baseline_config(),
-        worker_shared_config(
+        ctx.model.baseline_config(),
+        ctx.model.shared_config(
             cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
         ),
-        worker_shared_config(
+        ctx.model.shared_config(
             cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=4
         ),
     ]
@@ -49,16 +52,16 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     ratios_32: list[float] = []
     ratios_16: list[float] = []
     for name in ctx.benchmarks:
-        base = ctx.run(name, baseline_config())
+        base = ctx.run(name, ctx.model.baseline_config())
         shared_32 = ctx.run(
             name,
-            worker_shared_config(
+            ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
             ),
         )
         shared_16 = ctx.run(
             name,
-            worker_shared_config(
+            ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=4
             ),
         )
@@ -92,4 +95,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             else 0.0,
         },
     )
-    return attach_seed_intervals(ctx, run, result, ('mean_ratio_32kb_percent', 'mean_ratio_16kb_percent'))
+    result = attach_seed_intervals(
+        ctx, run, result, ('mean_ratio_32kb_percent', 'mean_ratio_16kb_percent')
+    )
+    return attach_sampling_errors(ctx, result, design_points(ctx))

@@ -6,15 +6,21 @@ McPAT/CACTI-style models pricing area and energy. Shape checks: the
 4 LB + double-bus point saves ~11 % area and ~5 % energy at ~no
 performance cost; single-bus points save the most area but lose
 performance and keep only modest energy savings.
+
+Machine-parametric: the design points are built from the context's
+machine model (``--machine``) and the power layer resolves each
+configuration's topology through the machine registry, so the same
+trade-off is priced on the ACMP's worker cluster or on a symmetric
+CMP's banked front-ends.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import AcmpConfig, baseline_config, worker_shared_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 from repro.power.energy import evaluate_power
@@ -22,29 +28,23 @@ from repro.power.energy import evaluate_power
 EXPERIMENT_ID = "fig12"
 TITLE = "Normalized execution time / energy / area of the design points"
 
-DESIGN_POINTS: tuple[tuple[str, AcmpConfig], ...] = (
-    (
-        "cpc=8, 4 LB, single bus",
-        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=1, line_buffers=4),
-    ),
-    (
-        "cpc=8, 4 LB, double bus",
-        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=4),
-    ),
-    (
-        "cpc=8, 8 LB, single bus",
-        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=1, line_buffers=8),
-    ),
-    (
-        "cpc=8, 8 LB, double bus",
-        worker_shared_config(cores_per_cache=8, icache_kb=16, bus_count=2, line_buffers=8),
-    ),
+VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("cpc=8, 4 LB, single bus", dict(bus_count=1, line_buffers=4)),
+    ("cpc=8, 4 LB, double bus", dict(bus_count=2, line_buffers=4)),
+    ("cpc=8, 8 LB, single bus", dict(bus_count=1, line_buffers=8)),
+    ("cpc=8, 8 LB, double bus", dict(bus_count=2, line_buffers=8)),
 )
+
+
+def _variant_config(ctx: ExperimentContext, overrides: dict):
+    return ctx.model.shared_config(cores_per_cache=8, icache_kb=16, **overrides)
 
 
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
-    configs = [baseline_config()] + [config for _, config in DESIGN_POINTS]
+    configs = [ctx.model.baseline_config()] + [
+        _variant_config(ctx, overrides) for _, overrides in VARIANTS
+    ]
     return [(name, config) for name in ctx.benchmarks for config in configs]
 
 
@@ -54,8 +54,9 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     headers = ["design point", "exec time", "energy", "area"]
     rows: list[list[object]] = []
     summary: dict[str, float] = {}
-    base_config = baseline_config()
-    for label, config in DESIGN_POINTS:
+    base_config = ctx.model.baseline_config()
+    for label, overrides in VARIANTS:
+        config = _variant_config(ctx, overrides)
         time_ratios = []
         energy_ratios = []
         area_ratio = 0.0
@@ -89,4 +90,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         rendered=rendered,
         summary=summary,
     )
-    return attach_seed_intervals(ctx, run, result, ('time_4_LB_double_bus', 'energy_4_LB_double_bus'))
+    result = attach_seed_intervals(
+        ctx, run, result, ('time_4_LB_double_bus', 'energy_4_LB_double_bus')
+    )
+    return attach_sampling_errors(ctx, result, design_points(ctx))

@@ -8,15 +8,21 @@ fraction (~1 % degradation per 5 % serial code); benchmarks with high
 serial code locality (CoMD) or long serial basic blocks (nab, CoEVP)
 resist the trend; with only a single bus, the bus-saturated codes
 (EP, FT, UA) degrade further (Group 3).
+
+Machine-parametric: the sweep is built from the context's machine model
+(``--machine``). On machines without a private master front-end (the
+symmetric CMP), ``all_shared_config`` coincides with the fully-banked
+``shared_config``, so the ratios are 1.0 by construction — the figure
+then simply confirms that no master-sharing penalty exists to measure.
 """
 
 from __future__ import annotations
 
-from repro.acmp.config import all_shared_config, worker_shared_config
 from repro.analysis.report import format_table
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
+    attach_sampling_errors,
     attach_seed_intervals,
 )
 from repro.workloads.suites import get_benchmark
@@ -30,12 +36,12 @@ GROUP3_CODES = ("EP", "FT", "UA")
 def design_points(ctx: ExperimentContext) -> list[tuple[str, object]]:
     """Every (benchmark, config) pair this figure needs."""
     configs = [
-        worker_shared_config(
+        ctx.model.shared_config(
             cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
         ),
-        all_shared_config(icache_kb=32, bus_count=2),
-        all_shared_config(icache_kb=32, bus_count=1),
-        worker_shared_config(
+        ctx.model.all_shared_config(icache_kb=32, bus_count=2),
+        ctx.model.all_shared_config(icache_kb=32, bus_count=1),
+        ctx.model.shared_config(
             cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
         ),
     ]
@@ -58,15 +64,19 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
         model = get_benchmark(name)
         worker_shared = ctx.run(
             name,
-            worker_shared_config(
+            ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=32, bus_count=2, line_buffers=4
             ),
         )
-        all_shared_double = ctx.run(name, all_shared_config(icache_kb=32, bus_count=2))
-        all_shared_single = ctx.run(name, all_shared_config(icache_kb=32, bus_count=1))
+        all_shared_double = ctx.run(
+            name, ctx.model.all_shared_config(icache_kb=32, bus_count=2)
+        )
+        all_shared_single = ctx.run(
+            name, ctx.model.all_shared_config(icache_kb=32, bus_count=1)
+        )
         worker_single = ctx.run(
             name,
-            worker_shared_config(
+            ctx.model.shared_config(
                 cores_per_cache=8, icache_kb=32, bus_count=1, line_buffers=4
             ),
         )
@@ -81,10 +91,18 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
     rendered = format_table(headers, rows)
 
     # Degradation trend: compare low-serial vs high-serial halves.
+    # A single-benchmark run has no halves to compare: both means
+    # collapse to that one ratio (trend delta 0) instead of dividing
+    # by zero.
     by_serial.sort()
     half = len(by_serial) // 2
-    low_mean = sum(r for _, r in by_serial[:half]) / half
-    high_mean = sum(r for _, r in by_serial[half:]) / (len(by_serial) - half)
+    if half:
+        low_mean = sum(r for _, r in by_serial[:half]) / half
+        high_mean = sum(r for _, r in by_serial[half:]) / (
+            len(by_serial) - half
+        )
+    else:
+        low_mean = high_mean = by_serial[0][1]
     mean_group3 = (
         sum(group3_single) / len(group3_single) if group3_single else 0.0
     )
@@ -107,4 +125,7 @@ def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
             "group3_single_bus_mean_ratio": mean_group3,
         },
     )
-    return attach_seed_intervals(ctx, run, result, ('trend_delta', 'group3_single_bus_mean_ratio'))
+    result = attach_seed_intervals(
+        ctx, run, result, ('trend_delta', 'group3_single_bus_mean_ratio')
+    )
+    return attach_sampling_errors(ctx, result, design_points(ctx))

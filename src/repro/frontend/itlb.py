@@ -87,3 +87,30 @@ class InstructionTlb:
 
     def resident_pages(self) -> set[int]:
         return set(self._translations)
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def warm_state(self) -> dict:
+        """JSON-ready snapshot: resident translations plus the pages ever
+        seen (the compulsory-miss classifier)."""
+        return {
+            "clock": self._clock,
+            "pages": [
+                [page, last_use]
+                for page, last_use in self._translations.items()
+            ],
+            "seen": self._seen_pages,
+        }
+
+    def load_warm_state(self, state) -> None:
+        pages = state["pages"]
+        if len(pages) > self.entries:
+            raise ValueError(
+                f"iTLB snapshot holds {len(pages)} translations but the "
+                f"TLB has only {self.entries} entries"
+            )
+        self._translations = {page: last_use for page, last_use in pages}
+        # Adopt live sets by reference; JSON round trips hand back lists.
+        seen = state["seen"]
+        self._seen_pages = seen if isinstance(seen, set) else set(seen)
+        self._clock = int(state["clock"])

@@ -59,10 +59,22 @@ class MachineModel(Protocol):
     ) -> BaseMachineConfig:
         """A shared-front-end design point at the given sharing degree."""
 
+    def all_shared_config(
+        self, icache_kb: int = 32, bus_count: int = 2, **overrides
+    ) -> BaseMachineConfig:
+        """The fully-shared design point: every core, the one running
+        the master thread included, behind one I-cache. On machines
+        whose shared topology already includes core 0 this coincides
+        with ``shared_config`` at full sharing degree."""
+
     def build_system(
         self, config: BaseMachineConfig, traces: TraceSet
     ) -> System:
         """Assemble the simulated machine for one (config, traces) pair."""
+
+    def build_topology(self, config: BaseMachineConfig):
+        """Derive the cache-group topology for a bare configuration
+        (no traces needed); used by the area/energy models."""
 
     def config_space(self) -> dict[str, tuple]:
         """The sweepable dimensions and their standard values."""

@@ -94,6 +94,12 @@ class SimulationResult:
     lock_hand_offs: int = 0
     #: Registry name of the machine model that produced this result.
     machine: str = "acmp"
+    #: Sampled-simulation metadata (``None`` for full detailed runs):
+    #: the plan spec, coverage, measured/total instruction counts and
+    #: per-metric relative sampling-error estimates. Attached by
+    #: :mod:`repro.sampling`; every counter in a sampled result is an
+    #: extrapolation whose confidence this payload quantifies.
+    sampling: dict | None = None
 
     # -- instruction counts -------------------------------------------------
 

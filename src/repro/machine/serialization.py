@@ -25,8 +25,13 @@ _LEGACY_MACHINE = "acmp"
 
 
 def result_to_dict(result: SimulationResult) -> dict:
-    """Convert a result to JSON-serialisable primitives."""
-    return {
+    """Convert a result to JSON-serialisable primitives.
+
+    The ``sampling`` key is present only on sampled (extrapolated)
+    results, so full-run payloads are byte-identical to pre-sampling
+    ones and a sampled payload is recognisable at a glance.
+    """
+    payload = {
         "version": _FORMAT_VERSION,
         "machine": result.machine,
         "benchmark": result.benchmark,
@@ -72,6 +77,9 @@ def result_to_dict(result: SimulationResult) -> dict:
             for group in result.cache_groups
         ],
     }
+    if result.sampling is not None:
+        payload["sampling"] = result.sampling
+    return payload
 
 
 def result_from_dict(data: dict, expect_machine: str | None = None) -> SimulationResult:
@@ -104,6 +112,7 @@ def result_from_dict(data: dict, expect_machine: str | None = None) -> Simulatio
             dram_accesses=data.get("dram_accesses", 0),
             lock_hand_offs=data.get("lock_hand_offs", 0),
             machine=machine,
+            sampling=data.get("sampling"),
         )
         for core_data in data["cores"]:
             core_data = dict(core_data)

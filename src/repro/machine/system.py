@@ -14,7 +14,7 @@ thin wirings over this class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.backend.backend import CommitEngine
 from repro.branch.fetch_predictor import FetchPredictor
@@ -46,6 +46,9 @@ from repro.runtime.coordinator import RuntimeCoordinator
 from repro.runtime.threads import ThreadContext, ThreadState
 from repro.trace.records import SyncKind, SyncRecord, TraceRecord
 from repro.trace.stream import TraceSet, TraceStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.warm import WarmState
 
 __all__ = ["Core", "System", "scale_serial_ipc"]
 
@@ -427,6 +430,120 @@ class System:
             for line in lines:
                 hardware.hierarchy.l2.fill(line)
         return len(lines)
+
+    # -- warm-state checkpoints --------------------------------------------
+
+    def capture_warm_state(self) -> "WarmState":
+        """Snapshot the warm microarchitectural structures.
+
+        Covers the state sampled simulation must carry across skipped
+        regions — L1I/L2 tags and replacement state, line buffers, iTLB
+        translations, branch-predictor tables — and none of the
+        transient timing state (FTQ/IQ occupancy, in-flight requests),
+        which drains at interval boundaries. Group-shared predictors
+        and iTLBs are captured once and referenced by index from every
+        member core. Large tables are captured by reference; see
+        :mod:`repro.machine.warm` for the sharing contract.
+        """
+        from repro.machine.warm import WarmState
+
+        state = WarmState(
+            machine=self.machine_name, config_label=self.config.label()
+        )
+        predictor_index: dict[int, int] = {}
+        itlb_index: dict[int, int] = {}
+        for core in self.cores:
+            frontend = core.frontend
+            pred_ref = predictor_index.get(id(frontend.predictor))
+            if pred_ref is None:
+                pred_ref = len(state.predictors)
+                predictor_index[id(frontend.predictor)] = pred_ref
+                state.predictors.append(frontend.predictor.warm_state())
+            itlb_ref = None
+            if frontend.itlb is not None:
+                itlb_ref = itlb_index.get(id(frontend.itlb))
+                if itlb_ref is None:
+                    itlb_ref = len(state.itlbs)
+                    itlb_index[id(frontend.itlb)] = itlb_ref
+                    state.itlbs.append(frontend.itlb.warm_state())
+            state.cores.append(
+                {
+                    "line_buffers": frontend.line_buffers.warm_state(),
+                    "predictor": pred_ref,
+                    "itlb": itlb_ref,
+                }
+            )
+        for hardware in self.group_hardware:
+            state.groups.append(
+                {
+                    "icache": hardware.cache.warm_state(),
+                    "l2": hardware.hierarchy.l2.warm_state(),
+                }
+            )
+        return state
+
+    def restore_warm_state(self, state: "WarmState") -> None:
+        """Install a warm-state snapshot captured on the same design point.
+
+        The target must be a freshly-built (or otherwise identically
+        shaped) system of the same machine model and configuration
+        label; structure shapes are validated as they are adopted.
+        Shared predictors/iTLBs are restored once per unique structure,
+        in the same discovery order capture used — identical wiring on
+        both sides, since the configuration is identical.
+        """
+        state.check_compatible(self.machine_name, self.config.label())
+        if len(state.cores) != len(self.cores) or len(state.groups) != len(
+            self.group_hardware
+        ):
+            raise ConfigurationError(
+                f"warm state shape ({len(state.cores)} cores, "
+                f"{len(state.groups)} groups) does not match this system "
+                f"({len(self.cores)} cores, {len(self.group_hardware)} "
+                f"groups)"
+            )
+        try:
+            predictor_seen: dict[int, int] = {}
+            itlb_seen: dict[int, int] = {}
+            for core, core_state in zip(self.cores, state.cores):
+                frontend = core.frontend
+                frontend.line_buffers.load_warm_state(
+                    core_state["line_buffers"]
+                )
+                pred_ref = core_state["predictor"]
+                if id(frontend.predictor) not in predictor_seen:
+                    predictor_seen[id(frontend.predictor)] = pred_ref
+                    frontend.predictor.load_warm_state(
+                        state.predictors[pred_ref]
+                    )
+                elif predictor_seen[id(frontend.predictor)] != pred_ref:
+                    raise ConfigurationError(
+                        "warm state predictor sharing does not match the "
+                        "system's wiring"
+                    )
+                itlb_ref = core_state["itlb"]
+                if (frontend.itlb is None) != (itlb_ref is None):
+                    raise ConfigurationError(
+                        "warm state iTLB presence does not match the system"
+                    )
+                if frontend.itlb is not None:
+                    if id(frontend.itlb) not in itlb_seen:
+                        itlb_seen[id(frontend.itlb)] = itlb_ref
+                        frontend.itlb.load_warm_state(state.itlbs[itlb_ref])
+                    elif itlb_seen[id(frontend.itlb)] != itlb_ref:
+                        raise ConfigurationError(
+                            "warm state iTLB sharing does not match the "
+                            "system's wiring"
+                        )
+            for hardware, group_state in zip(
+                self.group_hardware, state.groups
+            ):
+                hardware.cache.load_warm_state(group_state["icache"])
+                hardware.hierarchy.l2.load_warm_state(group_state["l2"])
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            raise ConfigurationError(
+                f"warm state does not fit this system: {exc}"
+            ) from exc
 
     # -- result collection --------------------------------------------------
 

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.acmp.config import AcmpConfig
-from repro.acmp.results import SimulationResult
+from repro.machine.config import BaseMachineConfig
+from repro.machine.results import SimulationResult
 from repro.power.bus_area import (
     interconnect_area_mm2,
     interconnect_transaction_energy_nj,
@@ -75,7 +75,7 @@ class PowerReport:
 
 def evaluate_power(
     result: SimulationResult,
-    config: AcmpConfig,
+    config: BaseMachineConfig,
     tech: TechnologyParams = DEFAULT_TECH,
 ) -> PowerReport:
     """Price one simulation run: area, and energy over its execution time."""
@@ -94,9 +94,18 @@ def evaluate_power(
         config.line_buffers, tech
     )
     if counts.bus_transactions:
+        from repro.machine.model import model_for_config
+
+        # Requester count of the widest shared group, straight from the
+        # machine's topology (machine-neutral: an all-shared ACMP group
+        # includes the master, a banked symmetric group includes core 0).
+        topology = model_for_config(config).build_topology(config)
+        requesters = max(
+            len(group.core_ids) for group in topology.groups if group.shared
+        )
         bus_area = interconnect_area_mm2(
             config.bus_width_bytes,
-            config.cores_per_cache + (1 if config.all_shared else 0),
+            requesters,
             config.bus_count,
             crossbar=config.interconnect == "crossbar",
             tech=tech,

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.acmp.config import AcmpConfig
-from repro.acmp.topology import build_topology
+from repro.machine.config import BaseMachineConfig
 from repro.power.bus_area import interconnect_area_mm2
 from repro.power.cacti import cache_area_mm2, line_buffer_area_mm2
 from repro.power.params import DEFAULT_TECH, TechnologyParams
@@ -41,7 +40,7 @@ class AreaBreakdown:
 
 
 def worker_cluster_area(
-    config: AcmpConfig, tech: TechnologyParams = DEFAULT_TECH
+    config: BaseMachineConfig, tech: TechnologyParams = DEFAULT_TECH
 ) -> AreaBreakdown:
     """Area of the worker cores and their instruction-supply hardware.
 
@@ -49,7 +48,9 @@ def worker_cluster_area(
     from the core budget), the worker I-caches (private set or shared),
     the per-core line buffers, and the shared I-interconnect when present.
     """
-    topology = build_topology(config)
+    from repro.machine.model import model_for_config
+
+    topology = model_for_config(config).build_topology(config)
     worker_cores = config.worker_count
     cores = worker_cores * tech.core_area_mm2
     line_buffers = worker_cores * line_buffer_area_mm2(config.line_buffers, tech)
@@ -86,7 +87,7 @@ class ActivityCounts:
     bus_transactions: int = 0
 
     @classmethod
-    def from_result(cls, result, config: AcmpConfig) -> "ActivityCounts":
+    def from_result(cls, result, config: BaseMachineConfig) -> "ActivityCounts":
         """Pull the counts Fig. 12's energy model needs from a run."""
         counts = cls()
         counts.worker_instructions = result.worker_committed

@@ -1,0 +1,30 @@
+"""Interval-sampled simulation with warm-state checkpoints.
+
+Detailed-simulate only systematic measurement intervals, carry warmed
+microarchitectural state between them (functional warming over skipped
+spans), and extrapolate full-run results with per-metric sampling-error
+estimates. See README "Sampled simulation" for the user-facing knobs
+and :mod:`repro.sampling.plan` / :mod:`repro.sampling.slicer` /
+:mod:`repro.sampling.simulator` for the three layers.
+"""
+
+from repro.sampling.plan import SamplingPlan, resolve_plan, sampling_modes
+from repro.sampling.simulator import SampledSimulator, simulate_sampled
+from repro.sampling.slicer import (
+    Interval,
+    IntervalKind,
+    interval_traceset,
+    slice_traces,
+)
+
+__all__ = [
+    "Interval",
+    "IntervalKind",
+    "SampledSimulator",
+    "SamplingPlan",
+    "interval_traceset",
+    "resolve_plan",
+    "sampling_modes",
+    "simulate_sampled",
+    "slice_traces",
+]

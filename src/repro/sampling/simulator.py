@@ -1,0 +1,386 @@
+"""The sampled simulation driver: warm, measure, extrapolate.
+
+:class:`SampledSimulator` runs one design point over one trace set under
+a :class:`~repro.sampling.plan.SamplingPlan`:
+
+* ``DETAIL`` intervals are materialised as standalone trace sets and run
+  through the ordinary :class:`~repro.machine.simulator.SystemSimulator`
+  on a freshly-built system seeded with the current warm state, so the
+  measurement machinery is exactly the full simulator's (both engines,
+  both machine models).
+* ``WARM`` intervals are *functionally warmed* on a long-lived warming
+  system: every basic block's lines are walked through the line
+  buffers, L1I, L2 and iTLB, and every terminating branch trains the
+  fetch predictor — state updates with no timing.
+* ``SKIP`` intervals are fast-forwarded (no work at all).
+
+Warm state flows through :meth:`System.capture_warm_state` /
+:meth:`System.restore_warm_state`: warming system → measurement system
+before each detail interval, and measurement system → warming system
+after it (the detailed run is itself the best warming).
+
+The measured intervals extrapolate to a full-run
+:class:`SimulationResult`: every counter is scaled by
+``total_instructions / measured_instructions``, and the result's
+``sampling`` payload records the plan, the coverage and per-metric 95 %
+relative error estimates from the across-interval spread. A plan with
+``skip = 0`` (coverage 1.0) short-circuits to the plain simulator and
+is bit-identical to an unsampled run by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.cache.line_buffer import LookupState
+from repro.errors import SimulationError
+from repro.machine.config import BaseMachineConfig
+from repro.machine.results import CacheGroupResult, CoreResult, SimulationResult
+from repro.machine.simulator import SystemSimulator, simulate
+from repro.machine.system import System
+from repro.sampling.plan import SamplingPlan
+from repro.sampling.slicer import (
+    Interval,
+    IntervalKind,
+    interval_traceset,
+    slice_traces,
+)
+from repro.trace.records import BasicBlockRecord
+from repro.trace.stream import TraceSet
+
+__all__ = ["SampledSimulator", "simulate_sampled"]
+
+
+def _warm_interval(system: System, traces: TraceSet, interval: Interval) -> None:
+    """Functionally warm one interval's records on ``system``.
+
+    Trace-walks each thread's span through the thread's front-end warm
+    structures and its cache group, in core order: iTLB translation and
+    line-buffer lookup per line, L1I and L2 fills on misses, fetch
+    predictor training per block. No cycles pass and no results are
+    read from this system — only its warm state matters.
+    """
+    hardware_by_group = {
+        id(hardware.group): hardware for hardware in system.group_hardware
+    }
+    line_bytes = system.config.icache_line_bytes
+    for core in system.cores:
+        start, end = interval.spans[core.core_id]
+        if start == end:
+            continue
+        frontend = core.frontend
+        buffers = frontend.line_buffers
+        predictor = frontend.predictor
+        itlb = frontend.itlb
+        hardware = hardware_by_group[id(core.cache_group)]
+        cache = hardware.cache
+        l2 = hardware.hierarchy.l2
+        records = traces.threads[core.core_id].records
+        for record in records[start:end]:
+            if not isinstance(record, BasicBlockRecord):
+                continue
+            line = record.address & ~(line_bytes - 1)
+            end_address = record.end_address
+            while line < end_address:
+                if itlb is not None:
+                    itlb.translate(line)
+                if buffers.lookup(line, count=False) is LookupState.MISS:
+                    buffers.allocate(line)
+                    buffers.fill(line)
+                    if not cache.access(line).hit:
+                        l2.access(line)
+                line += line_bytes
+            predictor.resolve(record.branch_address, record.branch)
+
+
+def _combine(
+    weighted: list[tuple[SimulationResult, float]],
+) -> SimulationResult:
+    """Weighted sum of interval results into one extrapolated result.
+
+    Exhaustively-measured intervals (the serial stratum) enter with
+    weight 1.0; sampled parallel intervals with the stratum's
+    extrapolation factor. Every counter field of the result dataclasses
+    is the rounded weighted sum — fields are enumerated through
+    :func:`dataclasses.fields`, so a counter added to
+    :class:`CoreResult` or :class:`CacheGroupResult` later is
+    extrapolated automatically instead of silently defaulting to 0.
+    """
+    template = weighted[0][0]
+
+    def combine_fields(cls, parts, identity: dict):
+        """Weighted-sum every non-identity field of one dataclass."""
+        kwargs = dict(identity)
+        for field_info in fields(cls):
+            name = field_info.name
+            if name in kwargs:
+                continue
+            first = getattr(parts[0][0], name)
+            if isinstance(first, dict):
+                summed: dict[str, float] = {}
+                for part, factor in parts:
+                    for cause, value in getattr(part, name).items():
+                        summed[cause] = summed.get(cause, 0.0) + value * factor
+                kwargs[name] = {
+                    cause: int(round(value))
+                    for cause, value in summed.items()
+                }
+            else:
+                kwargs[name] = int(
+                    round(
+                        sum(
+                            getattr(part, name) * factor
+                            for part, factor in parts
+                        )
+                    )
+                )
+        return cls(**kwargs)
+
+    combined = SimulationResult(
+        benchmark=template.benchmark,
+        config_label=template.config_label,
+        cycles=int(round(sum(r.cycles * f for r, f in weighted))),
+        dram_accesses=int(
+            round(sum(r.dram_accesses * f for r, f in weighted))
+        ),
+        lock_hand_offs=int(
+            round(sum(r.lock_hand_offs * f for r, f in weighted))
+        ),
+        machine=template.machine,
+    )
+    for core_index, core in enumerate(template.cores):
+        combined.cores.append(
+            combine_fields(
+                CoreResult,
+                [(r.cores[core_index], f) for r, f in weighted],
+                {"core_id": core.core_id},
+            )
+        )
+    for group_index, group in enumerate(template.cache_groups):
+        combined.cache_groups.append(
+            combine_fields(
+                CacheGroupResult,
+                [(r.cache_groups[group_index], f) for r, f in weighted],
+                {
+                    "index": group.index,
+                    "core_ids": group.core_ids,
+                    "size_bytes": group.size_bytes,
+                },
+            )
+        )
+    return combined
+
+
+def _relative_error(samples: list[float], floor: float = 0.0) -> float | None:
+    """95 % relative error of the mean of ordered systematic samples.
+
+    Uses the successive-difference variance estimator — the standard
+    choice for systematic samples, where adjacent measurement intervals
+    are adjacent in time: plain sample variance would count the
+    *deliberate* phase-to-phase trend the schedule strides across as
+    random scatter and wildly overstate the uncertainty. ``None`` when
+    fewer than three intervals were measured (no usable spread
+    information) or the metric's mean sits at/below ``floor`` (a
+    relative error on ~zero is noise, not information).
+    """
+    n = len(samples)
+    if n < 3:
+        return None
+    mean = sum(samples) / n
+    if abs(mean) <= floor:
+        return None
+    successive = sum(
+        (samples[i + 1] - samples[i]) ** 2 for i in range(n - 1)
+    )
+    variance_of_mean = successive / (2.0 * n * (n - 1))
+    from repro.utils.stats import t95
+
+    return abs(t95(n - 1) * variance_of_mean**0.5 / mean)
+
+
+def _error_estimates(results: list[SimulationResult]) -> dict[str, float | None]:
+    """Per-metric relative sampling error from the interval spread.
+
+    ``results`` must be in trace order (the simulator measures
+    intervals in order), which the successive-difference estimator
+    relies on.
+    """
+    cpis = []
+    icache_mpki = []
+    branch_mpki = []
+    for result in results:
+        committed = result.total_committed
+        if committed == 0:
+            continue
+        cpis.append(result.cycles / committed)
+        icache_mpki.append(
+            sum(group.misses for group in result.cache_groups)
+            * 1000.0
+            / committed
+        )
+        branch_mpki.append(
+            sum(core.branch_mispredictions for core in result.cores)
+            * 1000.0
+            / committed
+        )
+    # MPKI floors: below ~0.05 misses per kilo-instruction the metric
+    # is effectively zero and a relative error bar is meaningless.
+    return {
+        "cycles": _relative_error(cpis),
+        "icache_mpki": _relative_error(icache_mpki, floor=0.05),
+        "branch_mpki": _relative_error(branch_mpki, floor=0.05),
+    }
+
+
+class SampledSimulator:
+    """Runs one design point under a sampling plan; machine-agnostic."""
+
+    def __init__(
+        self,
+        config: BaseMachineConfig,
+        traces: TraceSet,
+        plan: SamplingPlan,
+        *,
+        warm_l2: bool = True,
+        cycle_skip: bool = True,
+    ) -> None:
+        from repro.machine.model import model_for_config
+
+        self.config = config
+        self.traces = traces
+        self.plan = plan
+        self.warm_l2 = warm_l2
+        self.cycle_skip = cycle_skip
+        self.model = model_for_config(config)
+
+    def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
+        """Simulate under the plan; return the extrapolated result."""
+        plan = self.plan
+        intervals = slice_traces(self.traces, plan)
+        full_span = len(intervals) == 1 and intervals[0].spans == tuple(
+            (0, len(t.records)) for t in self.traces.threads
+        )
+        if plan.exact or full_span:
+            # Full coverage: the plain simulator is the measurement —
+            # results are bit-identical to an unsampled run.
+            result = simulate(
+                self.config,
+                self.traces,
+                max_cycles=max_cycles,
+                warm_l2=self.warm_l2,
+                cycle_skip=self.cycle_skip,
+            )
+            result.sampling = self._payload(
+                intervals, [result], [], exact=True
+            )
+            return result
+
+        warming = self.model.build_system(self.config, self.traces)
+        if self.warm_l2:
+            warming.warm_instruction_l2s()
+        exhaustive: list[SimulationResult] = []
+        sampled: list[SimulationResult] = []
+        for interval in intervals:
+            if interval.kind is IntervalKind.SKIP:
+                continue
+            if interval.kind is IntervalKind.WARM:
+                _warm_interval(warming, self.traces, interval)
+                continue
+            subset = interval_traceset(self.traces, interval)
+            system = self.model.build_system(self.config, subset)
+            system.restore_warm_state(warming.capture_warm_state())
+            result = SystemSimulator(
+                system, cycle_skip=self.cycle_skip
+            ).run(max_cycles)
+            (exhaustive if interval.exhaustive else sampled).append(result)
+            # The detailed interval is itself the best warming: carry
+            # its state back into the warming machine.
+            warming.restore_warm_state(system.capture_warm_state())
+        sampled_instructions = sum(r.total_committed for r in sampled)
+        if not sampled or sampled_instructions == 0:
+            raise SimulationError(
+                f"sampling plan {plan.spec()} measured no instructions on "
+                f"{self.traces.benchmark!r}; widen detail_instructions"
+            )
+        # Stratified extrapolation: exhaustively-measured intervals (the
+        # serial stretches) count once; the sampled parallel stratum is
+        # scaled so its measured instructions stand in for the whole
+        # stratum.
+        stratum_total = sum(
+            interval.instructions
+            for interval in intervals
+            if not interval.exhaustive
+        )
+        factor = stratum_total / sampled_instructions
+        result = _combine(
+            [(r, 1.0) for r in exhaustive] + [(r, factor) for r in sampled]
+        )
+        result.sampling = self._payload(
+            intervals, exhaustive + sampled, sampled, exact=False
+        )
+        return result
+
+    def _payload(
+        self,
+        intervals: list[Interval],
+        measured: list[SimulationResult],
+        sampled: list[SimulationResult],
+        exact: bool,
+    ) -> dict:
+        plan = self.plan
+        by_kind = {
+            kind: sum(1 for i in intervals if i.kind is kind)
+            for kind in IntervalKind
+        }
+        measured_instructions = sum(r.total_committed for r in measured)
+        if exact:
+            errors: dict[str, float | None] = {
+                "cycles": 0.0, "icache_mpki": 0.0, "branch_mpki": 0.0
+            }
+        else:
+            # Spread across the *sampled* intervals only: the exhaustive
+            # serial stratum contributes no extrapolation uncertainty.
+            errors = _error_estimates(sampled)
+        return {
+            "plan": plan.spec(),
+            # Effective coverage: an exact run (skip=0, or a trace too
+            # small to slice) measured everything regardless of plan.
+            "coverage": 1.0 if exact else round(plan.coverage, 6),
+            "exact": exact,
+            "intervals": {
+                "detail": by_kind[IntervalKind.DETAIL],
+                "warm": by_kind[IntervalKind.WARM],
+                "skip": by_kind[IntervalKind.SKIP],
+            },
+            "measured_instructions": measured_instructions,
+            "total_instructions": self.traces.instruction_count,
+            "errors": errors,
+        }
+
+
+def simulate_sampled(
+    config: BaseMachineConfig,
+    traces: TraceSet,
+    plan: SamplingPlan | None,
+    max_cycles: int = 500_000_000,
+    warm_l2: bool = True,
+    cycle_skip: bool = True,
+) -> SimulationResult:
+    """Sampled counterpart of :func:`repro.machine.simulator.simulate`.
+
+    ``plan=None`` falls through to plain full simulation (no sampling
+    payload); a plan with ``skip = 0`` runs fully detailed but carries
+    an ``exact`` sampling payload; any other plan samples and
+    extrapolates.
+    """
+    if plan is None:
+        return simulate(
+            config,
+            traces,
+            max_cycles=max_cycles,
+            warm_l2=warm_l2,
+            cycle_skip=cycle_skip,
+        )
+    return SampledSimulator(
+        config, traces, plan, warm_l2=warm_l2, cycle_skip=cycle_skip
+    ).run(max_cycles)

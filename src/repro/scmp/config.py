@@ -75,6 +75,12 @@ class ScmpConfig(BaseMachineConfig):
         return self.core_count_total
 
     @property
+    def worker_count(self) -> int:
+        """Cores running worker threads (all but core 0's master); the
+        area/energy models price exactly this set on any machine."""
+        return self.core_count_total - 1
+
+    @property
     def is_baseline(self) -> bool:
         """True for the per-core private front-end baseline."""
         return self.cores_per_cache == 1

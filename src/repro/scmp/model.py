@@ -39,8 +39,44 @@ class ScmpModel:
             **overrides,
         )
 
+    def all_shared_config(
+        self, icache_kb: int = 32, bus_count: int = 2, **overrides
+    ) -> ScmpConfig:
+        """One banked I-cache across every core. The symmetric machine
+        has no private master front-end, so this coincides with
+        ``shared_config`` at full sharing degree (core 0 included).
+
+        The sharing degree follows any core-count override, so the
+        'every core behind one cache' contract holds at any size.
+        """
+        from repro.errors import ConfigurationError
+
+        core_count = overrides.pop("core_count", None)
+        total = overrides.pop("core_count_total", None)
+        if core_count is None:
+            core_count = (
+                total if total is not None else ScmpConfig().core_count_total
+            )
+        elif total is not None and total != core_count:
+            raise ConfigurationError(
+                f"conflicting core-count overrides: core_count="
+                f"{core_count}, core_count_total={total}"
+            )
+        return banked_config(
+            cores_per_cache=core_count,
+            icache_kb=icache_kb,
+            bus_count=bus_count,
+            core_count=core_count,
+            **overrides,
+        )
+
     def build_system(self, config: ScmpConfig, traces: TraceSet) -> ScmpSystem:
         return ScmpSystem(config, traces)
+
+    def build_topology(self, config: ScmpConfig):
+        from repro.scmp.topology import build_topology
+
+        return build_topology(config)
 
     def config_space(self) -> dict[str, tuple]:
         """The per-core-vs-shared front-end sweep dimensions."""

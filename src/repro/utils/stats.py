@@ -73,6 +73,48 @@ class RunningStats:
         )
 
 
+#: Two-sided 95 % Student-t critical values by degrees of freedom; the
+#: normal value is used beyond the table (sample counts are small in
+#: both seed sweeps and sampled-simulation interval sets).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+_Z95 = 1.960
+
+
+def t95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of
+    freedom (nearest smaller tabulated df between rows — conservative —
+    and the normal approximation far beyond the table)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    critical = _T95.get(df)
+    if critical is None:
+        lower = [d for d in _T95 if d <= df]
+        critical = _T95[max(lower)] if max(lower) < 30 else _Z95
+    return critical
+
+
+def mean_halfwidth95(values: Iterable[float]) -> tuple[float, float]:
+    """Sample mean and two-sided 95 % CI half-width (Student t).
+
+    With fewer than two samples the half-width is 0.0 — no spread
+    information, a point estimate only.
+    """
+    samples = [float(value) for value in values]
+    if not samples:
+        raise ValueError("mean_halfwidth95 needs at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
+    return mean, t95(n - 1) * math.sqrt(variance / n)
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values; 0.0 for an empty iterable."""
     log_sum = 0.0

@@ -461,13 +461,13 @@ class TestFromFailuresResume:
             journal.write(json.dumps(self._journal_entry(ref_spec)) + "\n")
         # Only the scheduled flavor recovered: the reference cross-check
         # entry must survive the compaction.
-        assert store.prune_journal({(spec.key, spec.engine)}) == 1
+        assert store.prune_journal({(spec.key, spec.flavor)}) == 1
         remaining = store.journalled_failures()
         assert len(remaining) == 1
         assert remaining[0]["engine"] == "reference"
         # Re-compacting with the same success set is a no-op: an entry
         # is pruned exactly once.
-        assert store.prune_journal({(spec.key, spec.engine)}) == 0
+        assert store.prune_journal({(spec.key, spec.flavor)}) == 0
         assert len(store.journalled_failures()) == 1
 
     def test_failed_specs_skips_entries_already_in_store(self, tmp_path):
@@ -599,3 +599,192 @@ class TestFaultTolerance:
         )
         assert len(report.results) == 1
         assert len(report.failures) == 1
+
+
+class TestStoreMaintenance:
+    """merge / gc / --status: store-tree upkeep without simulation."""
+
+    def _store_with(self, root, specs_and_results):
+        store = ResultStore(root)
+        for spec, result in specs_and_results:
+            store.put(spec, result)
+        return store
+
+    def _result_for(self, spec, cycles=100):
+        from repro.machine.results import SimulationResult
+
+        return SimulationResult(
+            benchmark=spec.benchmark,
+            config_label=spec.config.label(),
+            cycles=cycles,
+            machine=spec.machine,
+        )
+
+    def test_merge_unions_disjoint_trees(self, tmp_path):
+        from repro.campaign import merge_stores
+
+        spec_a = _tiny_spec("CG")
+        spec_b = _tiny_spec("UA")
+        self._store_with(tmp_path / "a", [(spec_a, self._result_for(spec_a))])
+        self._store_with(tmp_path / "b", [(spec_b, self._result_for(spec_b))])
+        report = merge_stores(
+            [tmp_path / "a", tmp_path / "b"], tmp_path / "merged"
+        )
+        assert report.copied == 2 and report.replaced == 0
+        merged = ResultStore(tmp_path / "merged")
+        assert merged.get(spec_a).cycles == 100
+        assert merged.get(spec_b).cycles == 100
+
+    def test_merge_newest_wins_on_collision(self, tmp_path):
+        import os
+
+        from repro.campaign import merge_stores
+
+        spec = _tiny_spec("CG")
+        old = self._store_with(
+            tmp_path / "old", [(spec, self._result_for(spec, cycles=1))]
+        )
+        new = self._store_with(
+            tmp_path / "new", [(spec, self._result_for(spec, cycles=2))]
+        )
+        stale = old.path_for(spec)
+        fresh = new.path_for(spec)
+        os.utime(stale, (1_000_000, 1_000_000))
+        os.utime(fresh, (2_000_000, 2_000_000))
+        merge_stores([tmp_path / "old"], tmp_path / "merged")
+        report = merge_stores([tmp_path / "new"], tmp_path / "merged")
+        assert report.replaced == 1
+        assert ResultStore(tmp_path / "merged").get(spec).cycles == 2
+        # Merging the stale tree back does not regress the entry.
+        report = merge_stores([tmp_path / "old"], tmp_path / "merged")
+        assert report.skipped == 1
+        assert ResultStore(tmp_path / "merged").get(spec).cycles == 2
+
+    def test_merge_unions_failure_journals(self, tmp_path):
+        from repro.campaign import merge_stores
+
+        line = json.dumps({"machine": "acmp", "benchmark": "CG"})
+        for name in ("a", "b"):
+            store = ResultStore(tmp_path / name)
+            store.journal_path.write_text(line + "\n")
+        merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "merged")
+        merged = ResultStore(tmp_path / "merged")
+        assert len(merged.journalled_failures()) == 1  # deduplicated
+
+    def test_merge_rejects_bad_sources(self, tmp_path):
+        from repro.campaign import merge_stores
+
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            merge_stores([tmp_path / "missing"], tmp_path / "merged")
+        (tmp_path / "tree").mkdir()
+        with pytest.raises(ConfigurationError, match="destination itself"):
+            merge_stores([tmp_path / "tree"], tmp_path / "tree")
+
+    def test_gc_drops_unparsable_flavors(self, tmp_path):
+        spec = _tiny_spec("CG")
+        store = self._store_with(
+            tmp_path, [(spec, self._result_for(spec))]
+        )
+        good = store.path_for(spec)
+        sampled = RunSpec(
+            benchmark="CG",
+            config=baseline_config(),
+            scale=0.02,
+            sampling="fast",
+        )
+        store.put(sampled, self._result_for(sampled))
+        # Three kinds of debris: corrupt JSON, a retired machine model,
+        # and an unparsable sampling flavor.
+        corrupt = good.parent / "corrupt.json"
+        corrupt.write_text("{not json")
+        retired = json.loads(good.read_text())
+        retired["key"][0] = "retired-machine"
+        (good.parent / "retired.json").write_text(json.dumps(retired))
+        bad_sampling = json.loads(good.read_text())
+        bad_sampling["sampling"] = "x-not-a-plan"
+        (good.parent / "badsamp.json").write_text(json.dumps(bad_sampling))
+
+        victims = store.gc(dry_run=True)
+        assert len(victims) == 3
+        assert len(store) == 5  # dry run removed nothing
+        assert len(store.gc()) == 3
+        assert len(store) == 2
+        assert store.get(spec) is not None
+        assert store.get(sampled) is not None
+
+    def test_status_reports_done_failed_pending(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+        from repro.machine.model import get_model
+
+        store = ResultStore(tmp_path)
+        model = get_model("acmp")
+        points = model.standard_design_points()
+        specs = [
+            RunSpec(benchmark="CG", config=config, scale=0.02)
+            for config in points
+        ]
+        # Two done, one journalled as failed, the rest pending.
+        for spec in specs[:2]:
+            store.put(spec, self._result_for(spec))
+        failed = specs[2]
+        entry = {
+            "machine": failed.machine,
+            "benchmark": failed.benchmark,
+            "label": failed.config.label(),
+            "seed": failed.seed,
+            "scale": failed.scale,
+            "engine": failed.engine,
+            "sampling": failed.sampling,
+        }
+        with store.journal_path.open("a") as journal:
+            journal.write(json.dumps(entry) + "\n")
+
+        code = main(
+            [
+                "--cache-dir", str(tmp_path), "--status", "--machine",
+                "acmp", "--benchmarks", "CG", "--scale", "0.02",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert (
+            f"acmp: {len(points)} runs — 2 done, 1 failed, "
+            f"{len(points) - 3} pending"
+        ) in out
+        assert "shard 1/2" in out and "shard 2/2" in out
+
+    def test_sampled_campaign_caches_separately(self, tmp_path):
+        full = _tiny_spec("CG", worker_count=2)
+        sampled = RunSpec(
+            benchmark="CG",
+            config=baseline_config(worker_count=2),
+            scale=0.02,
+            sampling="d1000000:s7000000:w7000000:r0",
+        )
+        store = ResultStore(tmp_path)
+        run_specs([full, sampled], store=store, name="both-flavors")
+        assert len(store) == 2
+        # The sampled entry carries its annotation; the full one not.
+        assert store.get(full).sampling is None
+        info = store.get(sampled).sampling
+        assert info is not None and info["plan"] == sampled.sampling
+
+    def test_mixed_flavor_batch_prefers_full_detail(self, tmp_path):
+        """One batch carrying both flavors of a key: results surfaces
+        the full-detail run deterministically, and ``completed`` keeps
+        the flavor-exact record for journal compaction."""
+        full = _tiny_spec("CG", worker_count=2)
+        sampled = RunSpec(
+            benchmark="CG",
+            config=baseline_config(worker_count=2),
+            scale=0.02,
+            sampling="d1000000:s7000000:w7000000:r0",
+        )
+        for batch in ([full, sampled], [sampled, full]):
+            report = run_specs(batch, name="mixed")
+            assert report.results[full.key].sampling is None
+            assert report.completed == {
+                (full.key, full.flavor),
+                (sampled.key, sampled.flavor),
+            }

@@ -65,4 +65,15 @@ class TestRender:
             _result(value=2.0, value_ci95=0.12, seed_count=3.0)
         )
         assert ok
-        assert measured == "2.000 ± 0.120 (95% CI, 3 seeds)"
+        # The whole confidence band sits inside the acceptance
+        # interval: the claim holds across trace realisations.
+        assert measured == "2.000 ± 0.120 (95% CI, 3 seeds, CI-stable)"
+
+    def test_seed_interval_fragility_rendered(self):
+        check = ShapeCheck("claim", "~2", "value", 1.0, 3.0)
+        measured, ok = check.evaluate(
+            _result(value=2.9, value_ci95=0.5, seed_count=3.0)
+        )
+        assert ok  # the mean passes ...
+        # ... but the band crosses the boundary: a lucky-seed pass.
+        assert measured == "2.900 ± 0.500 (95% CI, 3 seeds, CI-fragile)"

@@ -323,7 +323,7 @@ class TestSharding:
         store.put(bad, execute_run(good))
         assert store.failed_specs() == []
         assert store.journalled_failures()  # not rewritten yet
-        assert store.prune_journal({(bad.key, bad.engine)}) == 1
+        assert store.prune_journal({(bad.key, bad.flavor)}) == 1
         assert store.journalled_failures() == []
 
     def test_prune_is_engine_aware(self, tmp_path):
@@ -337,9 +337,9 @@ class TestSharding:
             cycle_skip=False,
         )
         run_specs([bad_ref], store=store, strict=False)
-        assert store.prune_journal({(bad_ref.key, "skip")}) == 0
+        assert store.prune_journal({(bad_ref.key, ("skip", ""))}) == 0
         assert len(store.failed_specs()) == 1
-        assert store.prune_journal({(bad_ref.key, "reference")}) == 1
+        assert store.prune_journal({(bad_ref.key, ("reference", ""))}) == 1
         assert store.failed_specs() == []
 
     def test_cross_check_batch_runs_both_engines(self, tmp_path):

@@ -1,0 +1,63 @@
+"""Coverage=1.0 sampled runs are bit-identical to full runs.
+
+The sampled simulator's exactness contract, enforced per machine model
+and per engine (the CI ``sampling-crosscheck`` job runs this module as
+an acmp/scmp matrix): a plan with ``skip = 0`` covers every instruction,
+and the resulting :class:`SimulationResult` — every cycle count, every
+counter — must equal an unsampled run's bit for bit, with only the
+``sampling`` annotation added.
+"""
+
+import pytest
+
+from repro.machine.model import get_model
+from repro.machine.serialization import result_to_dict
+from repro.machine.simulator import simulate
+from repro.sampling import SamplingPlan, simulate_sampled
+from repro.trace.synthesis import synthesize_benchmark
+
+EXACT_PLAN = SamplingPlan(
+    detail_instructions=1_000, skip_instructions=0, warmup_instructions=0
+)
+
+#: One private and one shared design point per machine: the warm-state
+#: protocol and the interval machinery cover both topologies.
+def _design_points(machine):
+    model = get_model(machine)
+    return [model.baseline_config(), model.shared_config()]
+
+
+@pytest.mark.parametrize("machine", ["acmp", "scmp"])
+@pytest.mark.parametrize(
+    "cycle_skip", [True, False], ids=["skip", "reference"]
+)
+def test_full_coverage_is_bit_identical(machine, cycle_skip):
+    for config in _design_points(machine):
+        traces = synthesize_benchmark(
+            "UA", thread_count=config.core_count, scale=0.1
+        )
+        full = simulate(config, traces, cycle_skip=cycle_skip)
+        sampled = simulate_sampled(
+            config, traces, EXACT_PLAN, cycle_skip=cycle_skip
+        )
+        assert sampled.sampling is not None and sampled.sampling["exact"]
+        sampled_payload = result_to_dict(sampled)
+        annotation = sampled_payload.pop("sampling")
+        assert annotation["coverage"] == 1.0
+        assert sampled_payload == result_to_dict(full), (
+            f"{machine}/{config.label()} under "
+            f"{'skip' if cycle_skip else 'reference'}: coverage=1.0 "
+            f"sampled run diverged from the full run"
+        )
+
+
+@pytest.mark.parametrize("machine", ["acmp", "scmp"])
+def test_exact_annotation_reports_no_error(machine):
+    config = get_model(machine).shared_config()
+    traces = synthesize_benchmark(
+        "CG", thread_count=config.core_count, scale=0.05
+    )
+    sampled = simulate_sampled(config, traces, EXACT_PLAN)
+    assert all(
+        error == 0.0 for error in sampled.sampling["errors"].values()
+    )
