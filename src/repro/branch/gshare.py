@@ -13,13 +13,19 @@ class GsharePredictor(DirectionPredictor):
     ``PC xor global_history`` over 16 bits — the paper's configuration.
     """
 
-    def __init__(self, size_bytes: int = 16 * 1024) -> None:
+    def __init__(
+        self, size_bytes: int = 16 * 1024, allocate: bool = True
+    ) -> None:
         super().__init__()
         require_power_of_two(size_bytes, "gshare size_bytes")
         entries = size_bytes * 4  # 2-bit counters, four per byte
+        self._entries = entries
         self._mask = entries - 1
         self._history_bits = log2_int(entries)
-        self._counters = [2] * entries  # weakly taken
+        # allocate=False builds a hollow predictor whose counter table
+        # arrives via load_warm_state; predicting before a load is a
+        # programming error.
+        self._counters = [2] * entries if allocate else []  # weakly taken
         self._history = 0
         self._index_shift = 2
 
@@ -47,10 +53,10 @@ class GsharePredictor(DirectionPredictor):
     def load_warm_state(self, state) -> None:
         """Adopt a snapshot; the table is shared, not copied."""
         counters = state["counters"]
-        if len(counters) != len(self._counters):
+        if len(counters) != self._entries:
             raise ValueError(
                 f"gshare snapshot has {len(counters)} counters, "
-                f"expected {len(self._counters)}"
+                f"expected {self._entries}"
             )
         self._counters = counters
         self._history = int(state["history"]) & self._mask

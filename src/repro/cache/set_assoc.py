@@ -34,6 +34,11 @@ class SetAssociativeCache:
         line_bytes: cache line size.
         policy: replacement policy name (default the paper's LRU).
         name: label used in diagnostics and reports.
+        allocate: when False, skip allocating the tag array — a *hollow*
+            cache whose storage arrives via :meth:`load_warm_state`
+            (which validates shapes against the constructor parameters,
+            not the allocated storage). Accessing a hollow cache before
+            a load is a programming error.
     """
 
     def __init__(
@@ -43,6 +48,7 @@ class SetAssociativeCache:
         line_bytes: int = 64,
         policy: str = "lru",
         name: str = "cache",
+        allocate: bool = True,
     ) -> None:
         require_power_of_two(size_bytes, "size_bytes")
         require_power_of_two(line_bytes, "line_bytes")
@@ -62,9 +68,9 @@ class SetAssociativeCache:
         self._set_mask = self.set_count - 1
         require_power_of_two(self.set_count, "set count")
         # tags[set][way] holds the line address or None when invalid.
-        self._tags: list[list[int | None]] = [
-            [None] * ways for _ in range(self.set_count)
-        ]
+        self._tags: list[list[int | None]] = (
+            [[None] * ways for _ in range(self.set_count)] if allocate else []
+        )
         self._policy: ReplacementPolicy = make_policy(policy, self.set_count, ways)
         self.stats = CacheStats()
 

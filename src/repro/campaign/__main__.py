@@ -41,11 +41,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.campaign.runner import print_progress, run_specs
 from repro.campaign.spec import Campaign, RunSpec, parse_shard, shard_specs
 from repro.campaign.store import ResultStore, merge_stores
 from repro.machine.model import get_model, model_names
+from repro.sampling.checkpoints import CheckpointStore
 from repro.sampling.plan import resolve_plan, sampling_modes
 from repro.workloads.suites import benchmark_names
 
@@ -117,8 +119,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default="none",
         help=f"interval-sampled simulation: one of {sampling_modes()} or "
-        f"a plan spec like d20000:s140000:w140000:r0 (sampled entries "
+        f"a plan spec like d8000:s152000:w152000:r0 (sampled entries "
         f"are cached separately from full runs)",
+    )
+    parser.add_argument(
+        "--checkpoints",
+        choices=("on", "off", "refresh"),
+        default="on",
+        help="warm-checkpoint store for sampled runs, colocated at "
+        "<cache-dir>/checkpoints: on (read+write, default), off, or "
+        "refresh (ignore existing entries but rewrite them)",
     )
     parser.add_argument(
         "--status",
@@ -179,6 +189,13 @@ def _status(args, store: ResultStore) -> int:
         return done, failed, pending
 
     print(f"store {store.root}: {len(store)} entries")
+    checkpoint_root = store.root / CheckpointStore.SUBDIR
+    if checkpoint_root.is_dir():
+        checkpoint_store = CheckpointStore(checkpoint_root)
+        print(
+            f"checkpoints {checkpoint_root}: {len(checkpoint_store)} "
+            f"warm-state entries, {checkpoint_store.total_bytes()} bytes"
+        )
     for machine in machines:
         specs = _build_specs(args, machine)
         done, failed, pending = bucket(specs)
@@ -225,7 +242,12 @@ def _main_gc(argv: list[str]) -> int:
         help="only report what would be removed",
     )
     args = parser.parse_args(argv)
-    removed = ResultStore(args.store).gc(dry_run=args.dry_run)
+    removed = list(ResultStore(args.store).gc(dry_run=args.dry_run))
+    checkpoint_root = Path(args.store) / CheckpointStore.SUBDIR
+    if checkpoint_root.is_dir():
+        removed.extend(
+            CheckpointStore(checkpoint_root).gc(dry_run=args.dry_run)
+        )
     verb = "would remove" if args.dry_run else "removed"
     print(f"gc {args.store}: {verb} {len(removed)} entr(y/ies)")
     for path in removed:
@@ -267,6 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         name=name,
         strict=False,
         shard=shard,
+        checkpoints=args.checkpoints,
     )
     if args.from_failures and report.completed:
         # Explicit single-operator compaction of the resume manifest;

@@ -66,23 +66,57 @@ def _traces_cached(benchmark: str, thread_count: int, scale: float, seed: int):
     )
 
 
-def execute_run(spec: RunSpec) -> SimulationResult:
+@lru_cache(maxsize=8)
+def _checkpoint_store_cached(root: str):
+    """One :class:`CheckpointStore` per tree per process.
+
+    The store memoises parsed checkpoint payloads in memory; sharing
+    one instance across every run a worker executes is what lets a
+    timing sweep decode each warm-state entry once instead of once per
+    design point.
+    """
+    from repro.sampling import CheckpointStore
+
+    return CheckpointStore(root)
+
+
+def execute_run(
+    spec: RunSpec,
+    checkpoint_root: str | None = None,
+    checkpoint_mode: str = "on",
+) -> SimulationResult:
     """Synthesise traces and simulate one run (worker entry point).
 
     ``simulate_sampled`` with a ``None`` plan is plain full simulation,
-    so one call covers both flavors.
+    so one call covers both flavors. Sampled runs read and write
+    warm-state checkpoints under ``checkpoint_root`` (mode ``"off"``
+    disables the store, ``"refresh"`` ignores existing entries but
+    rewrites them).
     """
-    from repro.sampling import simulate_sampled
+    from repro.sampling import Checkpointing, simulate_sampled
 
     traces = _traces_cached(
         spec.benchmark, spec.config.core_count, spec.scale, spec.seed
     )
+    checkpoints = None
+    if (
+        checkpoint_root is not None
+        and checkpoint_mode != "off"
+        and spec.sampling
+    ):
+        checkpoints = Checkpointing(
+            store=_checkpoint_store_cached(str(checkpoint_root)),
+            seed=spec.seed,
+            scale=spec.scale,
+            refresh=checkpoint_mode == "refresh",
+        )
     return simulate_sampled(
         spec.config,
         traces,
         spec.sampling_plan(),
         warm_l2=spec.warm_l2,
         cycle_skip=spec.cycle_skip,
+        checkpoints=checkpoints,
     )
 
 
@@ -136,13 +170,16 @@ def run_specs(
     name: str = "ad-hoc",
     strict: bool = True,
     shard: tuple[int, int] | None = None,
+    checkpoints: str = "on",
 ) -> CampaignReport:
     """Execute every spec, reusing cached results; return all results.
 
     Args:
         jobs: worker processes; 1 runs in-process (no fork overhead).
         store: persistent result cache, consulted before executing and
-            updated after each run. Also hosts the failure journal.
+            updated after each run. Also hosts the failure journal and
+            the warm-checkpoint tree sampled runs amortise their
+            functional warming through.
         progress: per-completed-run callback.
         strict: when True (default), raise a :class:`SimulationError`
             summarising permanently-failed runs *after* the rest of the
@@ -154,11 +191,33 @@ def run_specs(
             hashes persistent run keys, so every host agrees on the
             assignment without coordination. Sharded-out specs are
             neither executed nor loaded from the cache.
+        checkpoints: warm-checkpoint policy for sampled runs — ``"on"``
+            (read and write, the default), ``"off"``, or ``"refresh"``
+            (ignore existing entries, rewrite them). The tree lives at
+            ``<store>/checkpoints``; without a store there is nowhere
+            durable to put it and the mode is ignored.
 
     Returns:
         A :class:`CampaignReport` whose ``results`` maps every
         successful spec's key to its :class:`SimulationResult`.
     """
+    if checkpoints not in ("on", "off", "refresh"):
+        raise ConfigurationError(
+            f"unknown checkpoint mode {checkpoints!r}: expected one of "
+            f"'on', 'off', 'refresh'"
+        )
+    checkpoint_root = None
+    if (
+        store is not None
+        and checkpoints != "off"
+        and any(spec.sampling for spec in specs)
+    ):
+        from repro.sampling import CheckpointStore
+
+        checkpoint_root = str(store.root / CheckpointStore.SUBDIR)
+    # Only sampled sweeps thread the checkpoint arguments through: a
+    # plain-spec batch keeps the historical one-argument call shape.
+    run_args = () if checkpoint_root is None else (checkpoint_root, checkpoints)
     started = time.perf_counter()
     # Dedup by (key, flavor): the engine flavors of one design point
     # are distinct work units (a cross-check batch must run both), as
@@ -236,7 +295,7 @@ def run_specs(
         for spec in pending:
             for attempt in range(1, MAX_ATTEMPTS + 1):
                 try:
-                    record(spec, execute_run(spec))
+                    record(spec, execute_run(spec, *run_args))
                     break
                 except Exception as exc:
                     if attempt == MAX_ATTEMPTS:
@@ -267,7 +326,10 @@ def run_specs(
         # cap the pool at the CPU count like any parallel build tool.
         workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(execute_run, spec): spec for spec in pending}
+            futures = {
+                pool.submit(execute_run, spec, *run_args): spec
+                for spec in pending
+            }
             attempts = dict.fromkeys(((spec.key, spec.flavor) for spec in pending), 1)
             try:
                 while futures:
@@ -281,7 +343,9 @@ def run_specs(
                             attempt = attempts[(spec.key, spec.flavor)]
                             if attempt < MAX_ATTEMPTS:
                                 attempts[(spec.key, spec.flavor)] = attempt + 1
-                                futures[pool.submit(execute_run, spec)] = spec
+                                futures[
+                                    pool.submit(execute_run, spec, *run_args)
+                                ] = spec
                             else:
                                 record_failure(spec, exc, attempt)
             except BaseException:
@@ -330,6 +394,7 @@ def run_campaign(
     progress: ProgressHook | None = None,
     strict: bool = True,
     shard: tuple[int, int] | None = None,
+    checkpoints: str = "on",
 ) -> CampaignReport:
     """Execute a whole declarative campaign (see :class:`Campaign`)."""
     return run_specs(
@@ -340,4 +405,5 @@ def run_campaign(
         name=campaign.name,
         strict=strict,
         shard=shard,
+        checkpoints=checkpoints,
     )

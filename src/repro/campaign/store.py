@@ -407,12 +407,14 @@ class MergeReport:
     replaced: int = 0
     skipped: int = 0
     journal_entries: int = 0
+    checkpoints: int = 0
 
     def summary(self) -> str:
         return (
             f"{self.copied} entries copied, {self.replaced} replaced "
             f"(newer), {self.skipped} kept (destination newer or equal), "
-            f"{self.journal_entries} journal entries merged"
+            f"{self.journal_entries} journal entries merged, "
+            f"{self.checkpoints} checkpoint(s) merged"
         )
 
 
@@ -430,7 +432,9 @@ def merge_stores(
     landed in. Failure journals are unioned line-wise (duplicates
     dropped); :meth:`ResultStore.failed_specs` already ignores entries
     whose run has since landed, so merged journals stay usable as
-    resume manifests.
+    resume manifests. Warm-checkpoint trees (``checkpoints/`` beside
+    the entries) are unioned the same newest-wins way, so merged trees
+    keep amortising functional warming for every future sampled run.
     """
     import shutil
 
@@ -472,6 +476,20 @@ def merge_stores(
             # copy2 preserves mtimes, keeping newest-wins transitive
             # across repeated merges.
             shutil.copy2(path, target)
+        source_checkpoints = source_store.root / "checkpoints"
+        if source_checkpoints.is_dir():
+            for path in sorted(
+                source_checkpoints.glob("*/*/*/*/*/detail*.json")
+            ):
+                relative = path.relative_to(source_store.root)
+                target = destination_store.root / relative
+                if target.exists() and (
+                    target.stat().st_mtime >= path.stat().st_mtime
+                ):
+                    continue
+                target.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copy2(path, target)
+                report.checkpoints += 1
         source_journal = source_store.journal_path
         if source_journal.exists():
             for line in source_journal.read_text().splitlines():

@@ -100,9 +100,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default="none",
         help="interval-sampled simulation: none (full detail, default), "
-        "fast (~1/8 coverage), precise (~1/3 coverage), or a plan spec "
-        "like d20000:s140000:w140000:r0; sampled figures carry "
+        "fast (~1/20 coverage), precise (~1/3 coverage), or a plan spec "
+        "like d8000:s152000:w152000:r0; sampled figures carry "
         "per-metric error estimates and cache separately from full runs",
+    )
+    parser.add_argument(
+        "--checkpoints",
+        choices=("on", "off", "refresh"),
+        default="on",
+        help="warm-checkpoint store for sampled runs, colocated at "
+        "<cache-dir>/checkpoints: on (read+write, default), off, or "
+        "refresh (ignore existing entries but rewrite them)",
     )
     parser.add_argument(
         "--quiet",
@@ -151,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=print_progress if show_progress else None,
         machine=args.machine,
         sampling=args.sampling if args.sampling != "none" else "",
+        checkpoints=args.checkpoints,
     )
     started = time.time()
     if args.experiment == "all":

@@ -97,6 +97,12 @@ class ExperimentContext:
             drivers surface the aggregate error via
             :func:`attach_sampling_errors`, and the result store files
             sampled entries separately from full ones.
+        checkpoints: warm-checkpoint policy for sampled runs executed
+            against a result store — ``"on"`` (read and write the
+            ``checkpoints/`` tree beside the store, the default),
+            ``"off"``, or ``"refresh"`` (ignore existing entries but
+            rewrite them). In-memory contexts (no ``cache_dir``) have
+            nowhere durable to put the tree and warm from the trace.
     """
 
     scale: float = 1.0
@@ -112,6 +118,7 @@ class ExperimentContext:
     seeds: tuple[int, ...] = ()
     machine: str = "acmp"
     sampling: str = ""
+    checkpoints: str = "on"
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
     _results: dict[tuple[str, str, str], SimulationResult] = field(
         default_factory=dict, repr=False
@@ -128,6 +135,11 @@ class ExperimentContext:
         if self.cache_dir is not None:
             self._store = ResultStore(self.cache_dir)
         get_model(self.machine)  # fail fast on unknown machine names
+        if self.checkpoints not in ("on", "off", "refresh"):
+            raise ConfigurationError(
+                f"unknown checkpoint mode {self.checkpoints!r}: expected "
+                f"one of 'on', 'off', 'refresh'"
+            )
         if self.sampling:
             from repro.sampling import resolve_plan
 
@@ -169,6 +181,7 @@ class ExperimentContext:
                 progress=self.progress,
                 machine=self.machine,
                 sampling=self.sampling,
+                checkpoints=self.checkpoints,
             )
             self._seed_contexts[seed] = pinned
         return pinned
@@ -291,6 +304,7 @@ class ExperimentContext:
             store=self._store,
             progress=self.progress,
             name="experiments",
+            checkpoints=self.checkpoints,
         )
         for (machine, benchmark, label, _seed, _scale), result in report.results.items():
             self._results[(machine, benchmark, label)] = result

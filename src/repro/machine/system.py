@@ -13,6 +13,8 @@ thin wirings over this class.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, ClassVar
 
@@ -50,7 +52,7 @@ from repro.trace.stream import TraceSet, TraceStream
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.machine.warm import WarmState
 
-__all__ = ["Core", "System", "scale_serial_ipc"]
+__all__ = ["Core", "System", "scale_serial_ipc", "warm_shape_digest"]
 
 
 @dataclass
@@ -104,6 +106,46 @@ def scale_serial_ipc(
     return out
 
 
+def warm_shape_digest(config: BaseMachineConfig, topology: Topology) -> str:
+    """Digest of exactly the structural parameters warm state depends on.
+
+    Warm microarchitectural state — cache tags and replacement order,
+    line buffers, iTLB translations, predictor tables — is a function of
+    the executed instruction stream and the *shapes* of those
+    structures, never of timing parameters (latencies, bus widths,
+    arbitration, queue depths). Two design points with equal digests
+    therefore hold interchangeable warm state; the checkpoint store
+    keys on this digest so a whole campaign's timing sweep shares one
+    set of warming checkpoints per trace prefix.
+    """
+    shape = {
+        "core_count": config.core_count,
+        "groups": [
+            [group.size_bytes, list(group.core_ids), bool(group.shared)]
+            for group in topology.groups
+        ],
+        "icache": [
+            config.icache_ways,
+            config.icache_line_bytes,
+            config.icache_policy,
+        ],
+        "line_buffers": config.line_buffers,
+        "itlb": [
+            bool(config.itlb_enabled),
+            config.itlb_entries,
+            bool(config.shared_itlb),
+        ],
+        "predictor": [
+            config.gshare_bytes,
+            config.loop_predictor_entries,
+            bool(config.shared_fetch_predictor),
+        ],
+        "l2": [config.l2_bytes, config.l2_ways],
+    }
+    payload = json.dumps(shape, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 class System:
     """The complete simulated machine for one (config, trace set) pair.
 
@@ -120,7 +162,13 @@ class System:
     #: Registry name of the machine model; stamped into results.
     machine_name: ClassVar[str] = "machine"
 
-    def __init__(self, config: BaseMachineConfig, traces: TraceSet) -> None:
+    def __init__(
+        self,
+        config: BaseMachineConfig,
+        traces: TraceSet,
+        *,
+        hollow: bool = False,
+    ) -> None:
         if traces.thread_count != config.core_count:
             raise ConfigurationError(
                 f"trace set has {traces.thread_count} threads but the "
@@ -128,6 +176,13 @@ class System:
             )
         self.config = config
         self.traces = traces
+        #: Hollow systems skip allocation of the large dense tables
+        #: (cache tag arrays, gshare counters) and are only valid after
+        #: :meth:`restore_warm_state` adopts a snapshot's storage — the
+        #: sampled simulator's short-lived measurement machines, whose
+        #: fresh tables would be overwritten before first use anyway.
+        self.hollow = hollow
+        self._warm_shape: str | None = None
         self.topology: Topology = self._build_topology()
         self.events = EventQueue()
 
@@ -190,7 +245,9 @@ class System:
         is_master = core_id == 0
         context = self.contexts[core_id]
         predictor = FetchPredictor(
-            direction=GsharePredictor(config.gshare_bytes),
+            direction=GsharePredictor(
+                config.gshare_bytes, allocate=not self.hollow
+            ),
             loop=LoopPredictor(config.loop_predictor_entries),
         )
         line_buffers = LineBufferSet(
@@ -232,6 +289,7 @@ class System:
             config.icache_line_bytes,
             policy=config.icache_policy,
             name=f"icache[{group.index}]",
+            allocate=not self.hollow,
         )
         hierarchy = InstructionHierarchy(
             self.memory_controller,
@@ -240,6 +298,7 @@ class System:
             l2_latency=config.l2_latency,
             line_bytes=config.icache_line_bytes,
             name=f"l2[{group.index}]",
+            allocate=not self.hollow,
         )
         hardware = _GroupHardware(group=group, cache=cache, hierarchy=hierarchy)
         if group.shared:
@@ -265,7 +324,9 @@ class System:
                 )
             if config.shared_fetch_predictor:
                 shared_predictor = FetchPredictor(
-                    direction=GsharePredictor(config.gshare_bytes),
+                    direction=GsharePredictor(
+                        config.gshare_bytes, allocate=not self.hollow
+                    ),
                     loop=LoopPredictor(config.loop_predictor_entries),
                 )
                 for core_id in group.core_ids:
@@ -433,6 +494,12 @@ class System:
 
     # -- warm-state checkpoints --------------------------------------------
 
+    def warm_shape(self) -> str:
+        """This system's warm-shape digest (see :func:`warm_shape_digest`)."""
+        if self._warm_shape is None:
+            self._warm_shape = warm_shape_digest(self.config, self.topology)
+        return self._warm_shape
+
     def capture_warm_state(self) -> "WarmState":
         """Snapshot the warm microarchitectural structures.
 
@@ -448,7 +515,9 @@ class System:
         from repro.machine.warm import WarmState
 
         state = WarmState(
-            machine=self.machine_name, config_label=self.config.label()
+            machine=self.machine_name,
+            config_label=self.config.label(),
+            shape=self.warm_shape(),
         )
         predictor_index: dict[int, int] = {}
         itlb_index: dict[int, int] = {}
@@ -492,7 +561,9 @@ class System:
         in the same discovery order capture used — identical wiring on
         both sides, since the configuration is identical.
         """
-        state.check_compatible(self.machine_name, self.config.label())
+        state.check_compatible(
+            self.machine_name, self.config.label(), self.warm_shape()
+        )
         if len(state.cores) != len(self.cores) or len(state.groups) != len(
             self.group_hardware
         ):

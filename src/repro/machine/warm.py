@@ -55,6 +55,14 @@ class WarmState:
         itlbs: unique iTLB snapshots, in core order of first appearance.
         groups: per-cache-group state: L1I and L2 snapshots, in topology
             order.
+        shape: warm-shape digest of the producing system (see
+            :func:`repro.machine.system.warm_shape_digest`): a hash over
+            exactly the structural parameters the snapshot depends on.
+            Two design points with equal digests hold interchangeable
+            warm state even when their timing parameters differ — the
+            property the checkpoint store keys on. Empty on legacy
+            payloads, in which case restore falls back to comparing
+            design-point labels.
     """
 
     machine: str
@@ -63,6 +71,7 @@ class WarmState:
     predictors: list[dict] = field(default_factory=list)
     itlbs: list[dict] = field(default_factory=list)
     groups: list[dict] = field(default_factory=list)
+    shape: str = ""
 
     def to_dict(self) -> dict:
         """Deep-copied, JSON-primitive form of the snapshot.
@@ -87,6 +96,7 @@ class WarmState:
                     "predictors": self.predictors,
                     "itlbs": self.itlbs,
                     "groups": self.groups,
+                    "shape": self.shape,
                 },
                 default=jsonable,
             )
@@ -110,20 +120,38 @@ class WarmState:
                 predictors=list(data["predictors"]),
                 itlbs=list(data["itlbs"]),
                 groups=list(data["groups"]),
+                shape=data.get("shape", ""),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(
                 f"malformed warm-state payload: {exc}"
             ) from exc
 
-    def check_compatible(self, machine: str, config_label: str) -> None:
-        """Refuse to restore into a different machine or design point."""
+    def check_compatible(
+        self, machine: str, config_label: str, shape: str = ""
+    ) -> None:
+        """Refuse to restore into a different machine or design point.
+
+        When both the snapshot and the target carry a warm-shape digest
+        the comparison is structural: any two design points with equal
+        digests are interchangeable (their timing parameters may
+        differ). Legacy snapshots without a digest fall back to the
+        stricter design-point-label comparison.
+        """
         if self.machine != machine:
             raise ConfigurationError(
                 f"warm state was captured on machine {self.machine!r}, "
                 f"cannot restore into {machine!r}"
             )
-        if self.config_label != config_label:
+        if self.shape and shape:
+            if self.shape != shape:
+                raise ConfigurationError(
+                    f"warm state was captured on design point "
+                    f"{self.config_label!r} (shape {self.shape}), "
+                    f"cannot restore into {config_label!r} "
+                    f"(shape {shape})"
+                )
+        elif self.config_label != config_label:
             raise ConfigurationError(
                 f"warm state was captured on design point "
                 f"{self.config_label!r}, cannot restore into "

@@ -34,13 +34,19 @@ class InstructionHierarchy:
         l2_latency: int = 20,
         line_bytes: int = 64,
         name: str = "l2",
+        allocate: bool = True,
     ) -> None:
         require_positive(l2_latency, "l2_latency")
         self.controller = controller
         self.l2_latency = l2_latency
         self.line_bytes = line_bytes
         self.l2 = SetAssociativeCache(
-            l2_size_bytes, l2_ways, line_bytes, policy="lru", name=name
+            l2_size_bytes,
+            l2_ways,
+            line_bytes,
+            policy="lru",
+            name=name,
+            allocate=allocate,
         )
 
     def fetch_line(self, line_address: int, now: int) -> MissCompletion:

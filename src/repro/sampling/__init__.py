@@ -1,13 +1,21 @@
 """Interval-sampled simulation with warm-state checkpoints.
 
 Detailed-simulate only systematic measurement intervals, carry warmed
-microarchitectural state between them (functional warming over skipped
-spans), and extrapolate full-run results with per-metric sampling-error
-estimates. See README "Sampled simulation" for the user-facing knobs
-and :mod:`repro.sampling.plan` / :mod:`repro.sampling.slicer` /
-:mod:`repro.sampling.simulator` for the three layers.
+microarchitectural state between them (pure functional warming over
+skipped spans, persisted across runs by a checkpoint store), and
+extrapolate full-run results with per-metric sampling-error estimates.
+See README "Sampled simulation" / "Warm-checkpoint store" for the
+user-facing knobs and :mod:`repro.sampling.plan` /
+:mod:`repro.sampling.slicer` / :mod:`repro.sampling.simulator` /
+:mod:`repro.sampling.checkpoints` for the layers.
 """
 
+from repro.sampling.checkpoints import (
+    CheckpointKey,
+    Checkpointing,
+    CheckpointStore,
+    trace_fingerprint,
+)
 from repro.sampling.plan import SamplingPlan, resolve_plan, sampling_modes
 from repro.sampling.simulator import SampledSimulator, simulate_sampled
 from repro.sampling.slicer import (
@@ -16,8 +24,13 @@ from repro.sampling.slicer import (
     interval_traceset,
     slice_traces,
 )
+from repro.sampling.warmer import BatchedWarmer
 
 __all__ = [
+    "BatchedWarmer",
+    "CheckpointKey",
+    "Checkpointing",
+    "CheckpointStore",
     "Interval",
     "IntervalKind",
     "SampledSimulator",
@@ -27,4 +40,5 @@ __all__ = [
     "sampling_modes",
     "simulate_sampled",
     "slice_traces",
+    "trace_fingerprint",
 ]

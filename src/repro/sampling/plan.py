@@ -140,13 +140,13 @@ class SamplingPlan:
 #: Named presets accepted by the CLIs (``--sampling``). ``none`` maps
 #: to no plan (full detailed simulation).
 _PRESETS = {
-    # 1/8 coverage, fully-warmed skip spans: the wall-time lever.
-    # Interval sizes are large enough to amortise the per-interval
-    # startup transient (cold pipeline, simultaneous thread release).
+    # 1/20 coverage, fully-warmed skip spans: the wall-time lever.
+    # The sampled simulator measures and subtracts the per-interval
+    # startup transient, so detail units this small stay unbiased.
     "fast": SamplingPlan(
-        detail_instructions=20_000,
-        skip_instructions=140_000,
-        warmup_instructions=140_000,
+        detail_instructions=8_000,
+        skip_instructions=152_000,
+        warmup_instructions=152_000,
     ),
     # 1/3 coverage for tighter extrapolation error (and enough
     # measured intervals for across-interval error estimates).

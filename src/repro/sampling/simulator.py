@@ -5,27 +5,44 @@ a :class:`~repro.sampling.plan.SamplingPlan`:
 
 * ``DETAIL`` intervals are materialised as standalone trace sets and run
   through the ordinary :class:`~repro.machine.simulator.SystemSimulator`
-  on a freshly-built system seeded with the current warm state, so the
-  measurement machinery is exactly the full simulator's (both engines,
-  both machine models).
+  on a freshly-built *hollow* system (no dense tables of its own) seeded
+  with the warm state entering the interval, so the measurement
+  machinery is exactly the full simulator's (both engines, both machine
+  models).
 * ``WARM`` intervals are *functionally warmed* on a long-lived warming
-  system: every basic block's lines are walked through the line
-  buffers, L1I, L2 and iTLB, and every terminating branch trains the
-  fetch predictor — state updates with no timing.
+  system via :class:`~repro.sampling.warmer.BatchedWarmer` — state
+  updates with no timing.
 * ``SKIP`` intervals are fast-forwarded (no work at all).
 
-Warm state flows through :meth:`System.capture_warm_state` /
-:meth:`System.restore_warm_state`: warming system → measurement system
-before each detail interval, and measurement system → warming system
-after it (the detailed run is itself the best warming).
+Warming is **pure**: the state entering a detail interval is a function
+of the trace prefix alone, never of any timing behaviour. The warming
+machine functionally walks every non-``SKIP`` interval's span in trace
+order — measurement intervals included — and each detail interval's
+measurement run is seeded with the pure entry state. That purity is
+what makes warm state *shareable*: an entry snapshot depends only on
+the trace prefix and the structural shape of the warm structures
+(:func:`repro.machine.system.warm_shape_digest`), so a persistent
+:class:`~repro.sampling.checkpoints.CheckpointStore` can hand the same
+checkpoints to every design point of a timing sweep and to resumed
+shard hosts. A run whose checkpoints all hit never builds a warming
+machine at all — the dominant cost of sampled simulation disappears.
+
+Each measured interval pays a fixed startup transient (pipeline fill,
+parallel-phase bring-up) that a contiguous full run pays only once; the
+driver measures that constant once per run on a minimal probe trace and
+subtracts it from every sampled interval's cycle count, so shrinking the
+detail unit does not bias cycles upward.
 
 The measured intervals extrapolate to a full-run
-:class:`SimulationResult`: every counter is scaled by
-``total_instructions / measured_instructions``, and the result's
-``sampling`` payload records the plan, the coverage and per-metric 95 %
-relative error estimates from the across-interval spread. A plan with
-``skip = 0`` (coverage 1.0) short-circuits to the plain simulator and
-is bit-identical to an unsampled run by construction.
+:class:`SimulationResult` *per stratum*: sampled counters scale by
+their stratum's ``stratum_instructions / measured_instructions`` factor
+(serial and parallel CPI differ by roughly the core count, so the
+estimate never crosses strata), exhaustively-measured intervals enter
+with weight 1, and the result's ``sampling`` payload records the plan,
+the coverage, checkpoint hit/miss counters and per-metric 95 % relative
+error estimates from the across-interval spread. A plan with ``skip =
+0`` (coverage 1.0) short-circuits to the plain simulator and is
+bit-identical to an unsampled run by construction.
 """
 
 from __future__ import annotations
@@ -37,7 +54,14 @@ from repro.errors import SimulationError
 from repro.machine.config import BaseMachineConfig
 from repro.machine.results import CacheGroupResult, CoreResult, SimulationResult
 from repro.machine.simulator import SystemSimulator, simulate
-from repro.machine.system import System
+from repro.machine.system import System, warm_shape_digest
+from repro.sampling.checkpoints import (
+    CheckpointKey,
+    Checkpointing,
+    decode_state,
+    encode_state,
+    trace_fingerprint,
+)
 from repro.sampling.plan import SamplingPlan
 from repro.sampling.slicer import (
     Interval,
@@ -45,20 +69,36 @@ from repro.sampling.slicer import (
     interval_traceset,
     slice_traces,
 )
-from repro.trace.records import BasicBlockRecord
-from repro.trace.stream import TraceSet
+from repro.sampling.warmer import BatchedWarmer
+from repro.trace.records import (
+    BasicBlockRecord,
+    IpcRecord,
+    SyncKind,
+    SyncRecord,
+)
+from repro.trace.stream import ThreadTrace, TraceSet
 
 __all__ = ["SampledSimulator", "simulate_sampled"]
+
+#: Per-process memo of measured startup transients: the probe is a pure
+#: function of (machine, design point, trace content, engine flags), and
+#: a campaign worker runs many sampled plans over the same few
+#: identities.
+_TRANSIENT_MEMO: dict[tuple, int] = {}
+_TRANSIENT_MEMO_LIMIT = 256
 
 
 def _warm_interval(system: System, traces: TraceSet, interval: Interval) -> None:
     """Functionally warm one interval's records on ``system``.
 
-    Trace-walks each thread's span through the thread's front-end warm
-    structures and its cache group, in core order: iTLB translation and
-    line-buffer lookup per line, L1I and L2 fills on misses, fetch
-    predictor training per block. No cycles pass and no results are
-    read from this system — only its warm state matters.
+    The *scalar reference walk*: trace-walks each thread's span through
+    the thread's front-end warm structures and its cache group, in core
+    order — iTLB translation and line-buffer lookup per line, L1I and
+    L2 fills on misses, fetch predictor training per block. No cycles
+    pass and no results are read from this system — only its warm state
+    matters. Production warming goes through the bit-identical (and
+    much faster) :class:`~repro.sampling.warmer.BatchedWarmer`; this
+    walk is the specification the warmer is tested against.
     """
     hardware_by_group = {
         id(hardware.group): hardware for hardware in system.group_hardware
@@ -93,15 +133,52 @@ def _warm_interval(system: System, traces: TraceSet, interval: Interval) -> None
             predictor.resolve(record.branch_address, record.branch)
 
 
+def _transient_probe(traces: TraceSet, copies: int) -> TraceSet:
+    """A minimal trace exposing the per-interval startup transient.
+
+    Every materialised detail interval pays a fixed overhead a
+    contiguous run pays once: parallel-phase bring-up, pipeline and
+    fetch-queue fill, end-of-trace drain. The probe reproduces exactly
+    that skeleton — one re-issued parallel phase, the thread's entry
+    commit rate, ``copies`` repetitions of a representative basic block
+    — measured with the same engine and flags as the intervals it
+    corrects. Two probe sizes let the caller cancel the block's own
+    steady-state cost (see :meth:`SampledSimulator._transient_cycles`).
+    """
+    threads = []
+    for thread in traces.threads:
+        records: list = [SyncRecord(SyncKind.PARALLEL_START, 0)]
+        ipc = next(
+            (r for r in thread.records if isinstance(r, IpcRecord)), None
+        )
+        if ipc is not None:
+            records.append(IpcRecord(ipc.ipc))
+        depth = 0
+        for record in thread.records:
+            if isinstance(record, SyncRecord):
+                if record.kind is SyncKind.PARALLEL_START:
+                    depth += 1
+                elif record.kind is SyncKind.PARALLEL_END:
+                    depth = max(0, depth - 1)
+            elif isinstance(record, BasicBlockRecord) and depth > 0:
+                records.extend([record] * copies)
+                break
+        records.append(SyncRecord(SyncKind.PARALLEL_END, 0))
+        threads.append(
+            ThreadTrace(thread_id=thread.thread_id, records=records)
+        )
+    return TraceSet(benchmark=traces.benchmark, threads=threads)
+
+
 def _combine(
     weighted: list[tuple[SimulationResult, float]],
 ) -> SimulationResult:
     """Weighted sum of interval results into one extrapolated result.
 
     Exhaustively-measured intervals (the serial stratum) enter with
-    weight 1.0; sampled parallel intervals with the stratum's
-    extrapolation factor. Every counter field of the result dataclasses
-    is the rounded weighted sum — fields are enumerated through
+    weight 1.0; sampled intervals with their stratum's extrapolation
+    factor. Every counter field of the result dataclasses is the
+    rounded weighted sum — fields are enumerated through
     :func:`dataclasses.fields`, so a counter added to
     :class:`CoreResult` or :class:`CacheGroupResult` later is
     extrapolated automatically instead of silently defaulting to 0.
@@ -232,6 +309,27 @@ def _error_estimates(results: list[SimulationResult]) -> dict[str, float | None]
     }
 
 
+def _merge_errors(
+    per_stratum: list[dict[str, float | None]],
+) -> dict[str, float | None]:
+    """Combine per-stratum error estimates: worst case over strata.
+
+    Each stratum extrapolates independently, so the conservative
+    full-run bar for a metric is the largest stratum bar; strata with
+    too few intervals for an estimate contribute nothing.
+    """
+    merged: dict[str, float | None] = {
+        "cycles": None, "icache_mpki": None, "branch_mpki": None
+    }
+    for errors in per_stratum:
+        for metric, value in errors.items():
+            if value is None:
+                continue
+            current = merged[metric]
+            merged[metric] = value if current is None else max(current, value)
+    return merged
+
+
 class SampledSimulator:
     """Runs one design point under a sampling plan; machine-agnostic."""
 
@@ -243,6 +341,7 @@ class SampledSimulator:
         *,
         warm_l2: bool = True,
         cycle_skip: bool = True,
+        checkpoints: Checkpointing | None = None,
     ) -> None:
         from repro.machine.model import model_for_config
 
@@ -251,7 +350,79 @@ class SampledSimulator:
         self.plan = plan
         self.warm_l2 = warm_l2
         self.cycle_skip = cycle_skip
+        self.checkpoints = checkpoints
         self.model = model_for_config(config)
+
+    def _checkpoint_key(self) -> CheckpointKey:
+        """The identity of this run's warm-state checkpoints.
+
+        The shape digest comes from the topology alone — no system is
+        built — so a run whose checkpoints all hit never constructs a
+        warming machine.
+        """
+        policy = self.checkpoints
+        return CheckpointKey(
+            machine=self.model.name,
+            benchmark=self.traces.benchmark,
+            seed=policy.seed,
+            scale=policy.scale,
+            threads=self.traces.thread_count,
+            fingerprint=trace_fingerprint(self.traces),
+            plan=self.plan.spec(),
+            warm_l2=self.warm_l2,
+            shape=warm_shape_digest(
+                self.config, self.model.build_topology(self.config)
+            ),
+        )
+
+    def _transient_cycles(self, max_cycles: int) -> int:
+        """Measure the fixed per-interval startup transient once.
+
+        Runs the probe skeleton at two sizes (one and two copies of the
+        representative block) on *functionally pre-warmed* systems — a
+        real measurement interval enters with restored warm state, so
+        the probe must not charge compulsory misses to the transient —
+        and extrapolates to zero blocks: ``2·c1 − c2`` cancels the
+        block's own steady-state cost, leaving exactly the bring-up and
+        drain overhead a materialised interval pays on top of its share
+        of the contiguous run.
+        """
+        memo_key = (
+            self.model.name,
+            self.config.label(),
+            trace_fingerprint(self.traces),
+            self.warm_l2,
+            self.cycle_skip,
+        )
+        cached = _TRANSIENT_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+
+        def probe_cycles(copies: int) -> int:
+            probe = _transient_probe(self.traces, copies)
+            system = self.model.build_system(self.config, probe)
+            if self.warm_l2:
+                system.warm_instruction_l2s()
+            full = Interval(
+                kind=IntervalKind.WARM,
+                index=0,
+                spans=tuple(
+                    (0, len(t.records)) for t in probe.threads
+                ),
+                entry_phases=tuple(() for _ in probe.threads),
+                entry_ipc=tuple(None for _ in probe.threads),
+                instructions=0,
+            )
+            _warm_interval(system, probe, full)
+            return SystemSimulator(
+                system, cycle_skip=self.cycle_skip
+            ).run(max_cycles).cycles
+
+        transient = max(0, 2 * probe_cycles(1) - probe_cycles(2))
+        if len(_TRANSIENT_MEMO) >= _TRANSIENT_MEMO_LIMIT:
+            _TRANSIENT_MEMO.clear()
+        _TRANSIENT_MEMO[memo_key] = transient
+        return transient
 
     def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
         """Simulate under the plan; return the extrapolated result."""
@@ -271,52 +442,154 @@ class SampledSimulator:
                 cycle_skip=self.cycle_skip,
             )
             result.sampling = self._payload(
-                intervals, [result], [], exact=True
+                intervals,
+                [result],
+                errors={
+                    "cycles": 0.0, "icache_mpki": 0.0, "branch_mpki": 0.0
+                },
+                exact=True,
             )
             return result
 
-        warming = self.model.build_system(self.config, self.traces)
-        if self.warm_l2:
-            warming.warm_instruction_l2s()
+        policy = self.checkpoints
+        store = policy.store if policy is not None else None
+        key = self._checkpoint_key() if store is not None else None
+
+        # Pure functional warming: `warming` tracks the warm state at
+        # the entry of interval `walk_cursor`, except when
+        # `pending_restore` holds the encoded state that must be
+        # restored first (after a measurement run mutated the shared
+        # storage, or after a checkpoint hit advanced the cursor without
+        # walking). The machine — and its batched walker — are built
+        # lazily: a run served entirely from checkpoints never pays for
+        # either.
+        warming: System | None = None
+        warmer: BatchedWarmer | None = None
+        pending_restore: dict | None = None
+        walk_cursor = 0
+        hits = misses = writes = 0
+
+        def ensure_warming_through(target: int) -> None:
+            """Advance warming to the entry of interval ``target``."""
+            nonlocal warming, warmer, pending_restore, walk_cursor
+            if warming is None:
+                warming = self.model.build_system(self.config, self.traces)
+                if self.warm_l2 and pending_restore is None:
+                    # A truly cold start; a restored checkpoint already
+                    # contains the warmed (or unwarmed) L2 content.
+                    warming.warm_instruction_l2s()
+                warmer = BatchedWarmer(warming, self.traces)
+            if pending_restore is not None:
+                warming.restore_warm_state(decode_state(pending_restore))
+                pending_restore = None
+            for position in range(walk_cursor, target):
+                interval = intervals[position]
+                if interval.kind is IntervalKind.SKIP:
+                    continue
+                warmer.warm_interval(interval)
+            walk_cursor = target
+
         exhaustive: list[SimulationResult] = []
-        sampled: list[SimulationResult] = []
-        for interval in intervals:
-            if interval.kind is IntervalKind.SKIP:
+        sampled: list[tuple[Interval, SimulationResult]] = []
+        detail_ordinal = 0
+        for position, interval in enumerate(intervals):
+            if interval.kind is not IntervalKind.DETAIL:
                 continue
-            if interval.kind is IntervalKind.WARM:
-                _warm_interval(warming, self.traces, interval)
-                continue
+            ordinal = detail_ordinal
+            detail_ordinal += 1
+            payload = None
+            if store is not None and not policy.refresh:
+                payload = store.get(key, ordinal)
+            if payload is not None:
+                hits += 1
+                entry_state = decode_state(payload)
+            else:
+                misses += 1
+                ensure_warming_through(position)
+                # Hand the warm state to the measurement system by
+                # reference (copying the dense tables per interval
+                # would erase the sampling speedup); the encoded
+                # snapshot repairs the warming machine afterwards.
+                entry_state = warming.capture_warm_state()
+                payload = encode_state(entry_state)
+                if store is not None:
+                    store.put(key, ordinal, payload, self.config.label())
+                    writes += 1
+            pending_restore = payload
+            walk_cursor = position
             subset = interval_traceset(self.traces, interval)
-            system = self.model.build_system(self.config, subset)
-            system.restore_warm_state(warming.capture_warm_state())
+            system = self.model.build_system(
+                self.config, subset, hollow=True
+            )
+            system.restore_warm_state(entry_state)
             result = SystemSimulator(
                 system, cycle_skip=self.cycle_skip
             ).run(max_cycles)
-            (exhaustive if interval.exhaustive else sampled).append(result)
-            # The detailed interval is itself the best warming: carry
-            # its state back into the warming machine.
-            warming.restore_warm_state(system.capture_warm_state())
-        sampled_instructions = sum(r.total_committed for r in sampled)
+            if interval.exhaustive:
+                exhaustive.append(result)
+            else:
+                sampled.append((interval, result))
+
+        sampled_results = [result for _, result in sampled]
+        sampled_instructions = sum(
+            r.total_committed for r in sampled_results
+        )
         if not sampled or sampled_instructions == 0:
             raise SimulationError(
                 f"sampling plan {plan.spec()} measured no instructions on "
                 f"{self.traces.benchmark!r}; widen detail_instructions"
             )
-        # Stratified extrapolation: exhaustively-measured intervals (the
-        # serial stretches) count once; the sampled parallel stratum is
-        # scaled so its measured instructions stand in for the whole
-        # stratum.
-        stratum_total = sum(
-            interval.instructions
-            for interval in intervals
-            if not interval.exhaustive
-        )
-        factor = stratum_total / sampled_instructions
-        result = _combine(
-            [(r, 1.0) for r in exhaustive] + [(r, factor) for r in sampled]
-        )
+        # Materialised intervals pay a fixed startup transient a
+        # contiguous run pays once; subtract it from every sampled
+        # interval so small detail units don't bias cycles upward.
+        # Exhaustive intervals are measured, not extrapolated, and keep
+        # their true cost.
+        transient = self._transient_cycles(max_cycles)
+        for result in sampled_results:
+            result.cycles = max(1, result.cycles - transient)
+        # Stratified extrapolation: exhaustively-measured intervals
+        # count once; each sampled stratum is scaled so its measured
+        # instructions stand in for the stratum's whole non-exhaustive
+        # population — the estimate never crosses strata.
+        weighted = [(r, 1.0) for r in exhaustive]
+        factors: dict[str, float] = {}
+        per_stratum_errors: list[dict[str, float | None]] = []
+        for stratum in sorted({i.stratum for i, _ in sampled}):
+            stratum_results = [
+                result
+                for interval, result in sampled
+                if interval.stratum == stratum
+            ]
+            committed = sum(r.total_committed for r in stratum_results)
+            if committed == 0:
+                raise SimulationError(
+                    f"sampling plan {plan.spec()} measured no "
+                    f"instructions in the {stratum!r} stratum of "
+                    f"{self.traces.benchmark!r}; widen "
+                    f"detail_instructions"
+                )
+            stratum_total = sum(
+                interval.instructions
+                for interval in intervals
+                if not interval.exhaustive and interval.stratum == stratum
+            )
+            factor = stratum_total / committed
+            factors[stratum] = round(factor, 6)
+            weighted.extend((r, factor) for r in stratum_results)
+            per_stratum_errors.append(_error_estimates(stratum_results))
+        result = _combine(weighted)
         result.sampling = self._payload(
-            intervals, exhaustive + sampled, sampled, exact=False
+            intervals,
+            exhaustive + sampled_results,
+            errors=_merge_errors(per_stratum_errors),
+            exact=False,
+            factors=factors,
+            transient=transient,
+            counters=(
+                {"hits": hits, "misses": misses, "writes": writes}
+                if policy is not None
+                else None
+            ),
         )
         return result
 
@@ -324,24 +597,18 @@ class SampledSimulator:
         self,
         intervals: list[Interval],
         measured: list[SimulationResult],
-        sampled: list[SimulationResult],
+        errors: dict[str, float | None],
         exact: bool,
+        factors: dict[str, float] | None = None,
+        transient: int = 0,
+        counters: dict[str, int] | None = None,
     ) -> dict:
         plan = self.plan
         by_kind = {
             kind: sum(1 for i in intervals if i.kind is kind)
             for kind in IntervalKind
         }
-        measured_instructions = sum(r.total_committed for r in measured)
-        if exact:
-            errors: dict[str, float | None] = {
-                "cycles": 0.0, "icache_mpki": 0.0, "branch_mpki": 0.0
-            }
-        else:
-            # Spread across the *sampled* intervals only: the exhaustive
-            # serial stratum contributes no extrapolation uncertainty.
-            errors = _error_estimates(sampled)
-        return {
+        payload = {
             "plan": plan.spec(),
             # Effective coverage: an exact run (skip=0, or a trace too
             # small to slice) measured everything regardless of plan.
@@ -352,10 +619,17 @@ class SampledSimulator:
                 "warm": by_kind[IntervalKind.WARM],
                 "skip": by_kind[IntervalKind.SKIP],
             },
-            "measured_instructions": measured_instructions,
+            "measured_instructions": sum(
+                r.total_committed for r in measured
+            ),
             "total_instructions": self.traces.instruction_count,
+            "factors": factors or {},
+            "transient_cycles": transient,
             "errors": errors,
         }
+        if counters is not None:
+            payload["checkpoints"] = counters
+        return payload
 
 
 def simulate_sampled(
@@ -365,13 +639,15 @@ def simulate_sampled(
     max_cycles: int = 500_000_000,
     warm_l2: bool = True,
     cycle_skip: bool = True,
+    checkpoints: Checkpointing | None = None,
 ) -> SimulationResult:
     """Sampled counterpart of :func:`repro.machine.simulator.simulate`.
 
     ``plan=None`` falls through to plain full simulation (no sampling
     payload); a plan with ``skip = 0`` runs fully detailed but carries
     an ``exact`` sampling payload; any other plan samples and
-    extrapolates.
+    extrapolates, reading and writing warm-state checkpoints when a
+    :class:`~repro.sampling.checkpoints.Checkpointing` policy is given.
     """
     if plan is None:
         return simulate(
@@ -382,5 +658,10 @@ def simulate_sampled(
             cycle_skip=cycle_skip,
         )
     return SampledSimulator(
-        config, traces, plan, warm_l2=warm_l2, cycle_skip=cycle_skip
+        config,
+        traces,
+        plan,
+        warm_l2=warm_l2,
+        cycle_skip=cycle_skip,
+        checkpoints=checkpoints,
     ).run(max_cycles)

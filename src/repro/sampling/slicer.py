@@ -25,15 +25,16 @@ Within a window, each thread cuts at the record boundary closest to the
 same *fraction* of its window work, so intervals line up across threads
 even though threads progress at different rates.
 
-The systematic detail/warm/skip schedule applies to the *parallel*
-windows only. Serial windows — stretches where only the master thread
-executes — are always measured in detail: they are a tiny fraction of
-the instruction stream but their aggregate CPI differs from the
-parallel bulk by roughly the core count, so extrapolating them from
-parallel-phase measurements would bias the cycle estimate far more than
-their size suggests. Measuring the rare, heterogeneous serial stratum
-exactly and sampling only the homogeneous parallel bulk is the
-stratification that keeps the extrapolation error small.
+The systematic detail/warm/skip schedule applies *per stratum*. Serial
+windows — stretches where only the master thread executes — have an
+aggregate CPI that differs from the parallel bulk by roughly the core
+count, so extrapolating them from parallel-phase measurements would
+bias the cycle estimate far more than their size suggests. Small serial
+strata (most codes) are measured exhaustively; a serial stratum big
+enough to hold at least two full sampling periods (serial-heavy codes
+like CoMD) gets its own systematic schedule over the serial instruction
+line, and the extrapolation runs per stratum. Either way the sampled
+estimate never crosses strata.
 
 Slicing is a pure function of (records, plan): every host, every
 process and every run agrees on the boundaries.
@@ -88,6 +89,12 @@ class Interval:
             than by the systematic schedule (serial stretches, degenerate
             whole-trace slices); their counts enter the extrapolation
             with weight 1 instead of the sampling factor.
+        stratum: which stratification stratum the interval belongs to —
+            ``"parallel"`` (the worker bulk) or ``"serial"`` (master-only
+            stretches). Sampled intervals extrapolate within their own
+            stratum only: serial CPI differs from parallel CPI by
+            roughly the core count, so cross-stratum extrapolation would
+            bias cycles badly.
     """
 
     kind: IntervalKind
@@ -97,6 +104,7 @@ class Interval:
     entry_ipc: tuple[float | None, ...]
     instructions: int
     exhaustive: bool = False
+    stratum: str = "parallel"
 
 
 @dataclass
@@ -283,18 +291,73 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
             cuts.append(min(position, limit))
         return tuple(cuts)
 
-    # Build the boundary-event list: (cut vector, kind of the interval
-    # that starts there). Serial windows are always DETAIL; parallel
-    # windows follow the systematic schedule over the parallel-only
-    # instruction line.
+    # Serial-heavy codes (CoMD): when the master-only stratum is large
+    # enough to hold a full sampling period with a guaranteed DETAIL
+    # segment, sample it with its own systematic schedule instead of
+    # simulating every serial instruction in detail. Small serial
+    # strata stay exhaustively measured — sampling a stratum that fits
+    # inside one period would extrapolate from a sliver.
+    serial_total = sum(
+        insts
+        for insts, serial in zip(window_insts, window_serial)
+        if serial
+    )
+    serial_segments: list[tuple[IntervalKind, int, int]] | None = None
+    if serial_total >= 2 * plan.period:
+        candidate = _plan_segments(serial_total, plan)
+        if any(kind is IntervalKind.DETAIL for kind, _, _ in candidate):
+            serial_segments = candidate
+
+    # Build the boundary-event list: (cut vector, kind, exhaustive,
+    # stratum) of the interval that starts there. Serial windows are
+    # exhaustively DETAIL (or follow their own schedule, above);
+    # parallel windows follow the systematic schedule over the
+    # parallel-only instruction line.
     segments = _plan_segments(parallel_total, plan)
-    events: list[tuple[tuple[int, ...], IntervalKind, bool]] = []
+    events: list[tuple[tuple[int, ...], IntervalKind, bool, str]] = []
     parallel_position = 0
     segment_index = 0
+    serial_position = 0
+    serial_index = 0
     for w in range(window_count):
         window_start = tuple(thread_bounds[w] for thread_bounds in bounds)
         if window_serial[w]:
-            events.append((window_start, IntervalKind.DETAIL, True))
+            if serial_segments is None:
+                events.append(
+                    (window_start, IntervalKind.DETAIL, True, "serial")
+                )
+                continue
+            window_end_position = serial_position + window_insts[w]
+            while (
+                serial_index < len(serial_segments)
+                and serial_segments[serial_index][2] <= serial_position
+            ):
+                serial_index += 1
+            events.append(
+                (
+                    window_start,
+                    serial_segments[serial_index][0],
+                    False,
+                    "serial",
+                )
+            )
+            probe = serial_index + 1
+            while (
+                probe < len(serial_segments)
+                and serial_segments[probe][1] < window_end_position
+            ):
+                g = serial_segments[probe][1]
+                fraction = (g - serial_position) / window_insts[w]
+                events.append(
+                    (
+                        in_window_cut(w, fraction),
+                        serial_segments[probe][0],
+                        False,
+                        "serial",
+                    )
+                )
+                probe += 1
+            serial_position = window_end_position
             continue
         window_end_position = parallel_position + window_insts[w]
         while (
@@ -302,13 +365,20 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
             and segments[segment_index][2] <= parallel_position
         ):
             segment_index += 1
-        events.append((window_start, segments[segment_index][0], False))
+        events.append(
+            (window_start, segments[segment_index][0], False, "parallel")
+        )
         probe = segment_index + 1
         while probe < len(segments) and segments[probe][1] < window_end_position:
             g = segments[probe][1]
             fraction = (g - parallel_position) / window_insts[w]
             events.append(
-                (in_window_cut(w, fraction), segments[probe][0], False)
+                (
+                    in_window_cut(w, fraction),
+                    segments[probe][0],
+                    False,
+                    "parallel",
+                )
             )
             probe += 1
         parallel_position = window_end_position
@@ -316,7 +386,7 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
     end_vector = tuple(len(t.records) for t in traces.threads)
     intervals: list[Interval] = []
     previous = tuple(0 for _ in traces.threads)
-    for number, (vector, kind, exhaustive) in enumerate(events):
+    for number, (vector, kind, exhaustive, stratum) in enumerate(events):
         current = (
             end_vector
             if number + 1 == len(events)
@@ -338,6 +408,7 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
             last is not None
             and last.kind is kind
             and last.exhaustive == exhaustive
+            and last.stratum == stratum
         ):
             # Merge contiguous intervals of the same flavor (a phase
             # boundary inside one skip span, two warm spans meeting).
@@ -351,6 +422,7 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
                 entry_ipc=last.entry_ipc,
                 instructions=last.instructions + instructions,
                 exhaustive=exhaustive,
+                stratum=stratum,
             )
             previous = current
             continue
@@ -369,6 +441,7 @@ def slice_traces(traces: TraceSet, plan: SamplingPlan) -> list[Interval]:
                 ),
                 instructions=instructions,
                 exhaustive=exhaustive,
+                stratum=stratum,
             )
         )
         previous = current

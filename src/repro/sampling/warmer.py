@@ -1,0 +1,302 @@
+"""Batched functional warming: the scalar trace walk, vectorized.
+
+Functional warming is pure bookkeeping — no cycles pass, no results are
+read — so its cost is entirely Python dispatch: per walked line, the
+scalar walk (`repro.sampling.simulator._warm_interval`) pays an iTLB
+method call, a line-buffer probe with per-entry attribute access, and on
+misses a cache access that threads through policy objects and stats
+counters. :class:`BatchedWarmer` flattens all of that into one tight
+loop over each thread's span with every table bound to a local:
+
+* line buffers become two flat lists (lines, last-use clocks) written
+  back once per span;
+* the gshare/loop/BTB updates are inlined (prediction *reads* touch only
+  stats counters, which are not warm state, so the warmer skips them
+  entirely and replicates just the state-mutating updates);
+* L1I/L2 accesses operate on the tag rows and LRU order lists directly,
+  with non-LRU policies falling back to their policy-object methods;
+* stats counters are not maintained — except the compulsory-miss
+  classifier sets (lines/pages ever seen), which are warm state.
+
+Bit-identity with the scalar walk is a contract, enforced by tests: the
+first-minimum victim tie-breaks, clock-bump counts and dict insertion
+orders all replicate the scalar structures exactly. The warmer wraps a
+*real* warming :class:`~repro.machine.system.System` (holding only
+references to its structures and re-reading the inner tables each span,
+so a ``restore_warm_state`` — which adopts new storage — never leaves
+the warmer stale), which keeps capture/restore and every policy variant
+working without a parallel implementation.
+"""
+
+from __future__ import annotations
+
+from repro.branch.gshare import GsharePredictor
+from repro.cache.replacement import LruPolicy
+from repro.machine.system import System
+from repro.sampling.slicer import Interval
+from repro.trace.records import BasicBlockRecord, BranchKind
+from repro.trace.stream import TraceSet
+
+__all__ = ["BatchedWarmer"]
+
+_CONDITIONAL = BranchKind.CONDITIONAL
+_INDIRECT = BranchKind.INDIRECT
+
+
+class BatchedWarmer:
+    """Walks intervals through a warming system's warm structures."""
+
+    def __init__(self, system: System, traces: TraceSet) -> None:
+        self.system = system
+        self.traces = traces
+        self._line_bytes = system.config.icache_line_bytes
+        hardware_by_group = {
+            id(hardware.group): hardware
+            for hardware in system.group_hardware
+        }
+        #: Per-core structure tuples. Only the *objects* are cached —
+        #: their inner tables are re-read every span, because restores
+        #: adopt snapshot storage and would strand deeper references.
+        self._contexts = []
+        for core in system.cores:
+            frontend = core.frontend
+            hardware = hardware_by_group[id(core.cache_group)]
+            self._contexts.append(
+                (
+                    frontend.line_buffers,
+                    frontend.predictor,
+                    frontend.itlb,
+                    hardware.cache,
+                    hardware.hierarchy.l2,
+                )
+            )
+
+    def warm_interval(self, interval: Interval) -> int:
+        """Functionally warm one interval; returns basic blocks walked."""
+        blocks = 0
+        for core_id, context in enumerate(self._contexts):
+            start, end = interval.spans[core_id]
+            if start == end:
+                continue
+            blocks += self._walk_span(
+                context, self.traces.threads[core_id].records, start, end
+            )
+        return blocks
+
+    def _walk_span(self, context, records, start, end) -> int:
+        buffers, predictor, itlb, l1, l2 = context
+        line_bytes = self._line_bytes
+        line_mask = -line_bytes  # ~(line_bytes - 1) for powers of two
+
+        # Line buffers: flatten to parallel lists, write back at the end.
+        lb_entries = buffers._entries
+        lb_lines = [entry.line for entry in lb_entries]
+        lb_uses = [entry.last_use for entry in lb_entries]
+        lb_clock = buffers._clock
+        lb_range = range(len(lb_entries))
+        lb_uses_get = lb_uses.__getitem__
+
+        # Branch structures. Prediction reads only move stats counters
+        # (not warm state); the inlined updates below replicate exactly
+        # the state mutations of FetchPredictor.resolve.
+        direction = predictor.direction
+        # Strict type checks: a subclass overriding update() must take
+        # the method-call path to keep bit-identity with the scalar walk.
+        inline_gshare = type(direction) is GsharePredictor
+        if inline_gshare:
+            g_counters = direction._counters
+            g_mask = direction._mask
+            g_history = direction._history
+            g_shift = direction._index_shift
+        loop = predictor.loop
+        lp_tags = loop._tags
+        lp_trips = loop._trips
+        lp_currents = loop._currents
+        lp_conf = loop._confidences
+        lp_mask = loop._mask
+        lp_shift = loop._index_shift
+        btb = predictor.btb
+        b_tags = btb._tags
+        b_targets = btb._targets
+        b_mask = btb._mask
+        b_shift = btb._index_shift
+
+        have_itlb = itlb is not None
+        if have_itlb:
+            t_map = itlb._translations
+            t_map_get = t_map.__getitem__
+            t_seen = itlb._seen_pages
+            t_clock = itlb._clock
+            t_shift = itlb._page_shift
+            t_capacity = itlb.entries
+
+        # L1I: inline the LRU fast path, fall back to the policy object
+        # for fifo/plru/random. The instruction-side L2 is always LRU.
+        l1_tags = l1._tags
+        l1_policy = l1._policy
+        l1_shift = l1._line_shift
+        l1_set_mask = l1._set_mask
+        l1_seen = l1.stats._seen_lines
+        l1_ways = l1.ways
+        l1_lru = type(l1_policy) is LruPolicy
+        l1_order = l1_policy._order if l1_lru else None
+        l2_tags = l2._tags
+        l2_order = l2._policy._order
+        l2_shift = l2._line_shift
+        l2_set_mask = l2._set_mask
+        l2_seen = l2.stats._seen_lines
+        l2_ways = l2.ways
+
+        blocks = 0
+        for record in records[start:end]:
+            if type(record) is not BasicBlockRecord:
+                continue
+            blocks += 1
+            line = record.address & line_mask
+            end_address = record.end_address
+            while line < end_address:
+                if have_itlb:
+                    page = line >> t_shift
+                    t_clock += 1
+                    if page in t_map:
+                        t_map[page] = t_clock
+                    else:
+                        t_seen.add(page)
+                        if len(t_map) >= t_capacity:
+                            del t_map[min(t_map, key=t_map_get)]
+                        t_map[page] = t_clock
+                lb_clock += 1
+                for slot in lb_range:
+                    if lb_lines[slot] == line:
+                        lb_uses[slot] = lb_clock
+                        break
+                else:
+                    # Buffer miss: allocate the first least-recently-used
+                    # slot (nothing is ever pending during warming), then
+                    # access L1, and L2 on an L1 miss.
+                    victim = min(lb_range, key=lb_uses_get)
+                    lb_clock += 1
+                    lb_lines[victim] = line
+                    lb_uses[victim] = lb_clock
+                    set_index = (line >> l1_shift) & l1_set_mask
+                    row = l1_tags[set_index]
+                    try:
+                        way = row.index(line)
+                        hit = True
+                    except ValueError:
+                        hit = False
+                    if hit:
+                        if l1_lru:
+                            order = l1_order[set_index]
+                            if order is None:
+                                order = list(range(l1_ways))
+                                l1_order[set_index] = order
+                            order.remove(way)
+                            order.append(way)
+                        else:
+                            l1_policy.on_access(set_index, way)
+                    else:
+                        try:
+                            way = row.index(None)
+                        except ValueError:
+                            if l1_lru:
+                                order = l1_order[set_index]
+                                if order is None:
+                                    order = list(range(l1_ways))
+                                    l1_order[set_index] = order
+                                way = order[0]
+                            else:
+                                way = l1_policy.victim(set_index)
+                        row[way] = line
+                        if l1_lru:
+                            order = l1_order[set_index]
+                            if order is None:
+                                order = list(range(l1_ways))
+                                l1_order[set_index] = order
+                            order.remove(way)
+                            order.append(way)
+                        else:
+                            l1_policy.on_fill(set_index, way)
+                        l1_seen.add(line)
+                        # L1 miss: walk the line through the L2 (LRU).
+                        l2_set = (line >> l2_shift) & l2_set_mask
+                        l2_row = l2_tags[l2_set]
+                        try:
+                            l2_way = l2_row.index(line)
+                            l2_hit = True
+                        except ValueError:
+                            l2_hit = False
+                        if not l2_hit:
+                            try:
+                                l2_way = l2_row.index(None)
+                            except ValueError:
+                                order = l2_order[l2_set]
+                                if order is None:
+                                    order = list(range(l2_ways))
+                                    l2_order[l2_set] = order
+                                l2_way = order[0]
+                            l2_row[l2_way] = line
+                            l2_seen.add(line)
+                        order = l2_order[l2_set]
+                        if order is None:
+                            order = list(range(l2_ways))
+                            l2_order[l2_set] = order
+                        order.remove(l2_way)
+                        order.append(l2_way)
+                line += line_bytes
+            branch = record.branch
+            if branch is not None:
+                kind = branch.kind
+                if kind is _CONDITIONAL:
+                    address = record.branch_address
+                    taken = branch.taken
+                    if inline_gshare:
+                        index = ((address >> g_shift) ^ g_history) & g_mask
+                        counter = g_counters[index]
+                        if taken:
+                            if counter < 3:
+                                g_counters[index] = counter + 1
+                        elif counter > 0:
+                            g_counters[index] = counter - 1
+                        g_history = (
+                            (g_history << 1) | (1 if taken else 0)
+                        ) & g_mask
+                    else:
+                        direction.update(address, taken)
+                    lp_index = (address >> lp_shift) & lp_mask
+                    tag = address >> lp_shift
+                    if lp_tags[lp_index] != tag:
+                        if not taken:
+                            lp_tags[lp_index] = tag
+                            lp_trips[lp_index] = 0
+                            lp_currents[lp_index] = 0
+                            lp_conf[lp_index] = 0
+                    elif taken:
+                        lp_currents[lp_index] += 1
+                    else:
+                        observed = lp_currents[lp_index] + 1
+                        if observed == lp_trips[lp_index]:
+                            confidence = lp_conf[lp_index]
+                            if confidence < 3:
+                                lp_conf[lp_index] = confidence + 1
+                        else:
+                            lp_trips[lp_index] = observed
+                            lp_conf[lp_index] = 0
+                        lp_currents[lp_index] = 0
+                elif kind is _INDIRECT:
+                    address = record.branch_address
+                    b_index = (address >> b_shift) & b_mask
+                    b_tags[b_index] = address
+                    b_targets[b_index] = branch.target
+
+        # Write back the scalars and flattened tables.
+        for slot in lb_range:
+            entry = lb_entries[slot]
+            entry.line = lb_lines[slot]
+            entry.last_use = lb_uses[slot]
+        buffers._clock = lb_clock
+        if inline_gshare:
+            direction._history = g_history
+        if have_itlb:
+            itlb._clock = t_clock
+        return blocks

@@ -367,6 +367,41 @@ class TestSampledSimulation:
         assert info["total_instructions"] == traces.instruction_count
         assert 0 < info["measured_instructions"] < traces.instruction_count
         assert set(info["errors"]) == {"cycles", "icache_mpki", "branch_mpki"}
+        # Per-stratum extrapolation factors and the measured startup
+        # transient ride along for non-exact runs.
+        assert info["factors"]["parallel"] > 1
+        assert info["transient_cycles"] >= 0
+
+    def test_long_serial_stretches_are_sampled_per_stratum(self):
+        """CoMD's master-only stretches span many sampling periods, so
+        the serial stratum gets the systematic schedule too instead of
+        being exhaustively measured (the Amdahl floor PR 5 left)."""
+        from repro.trace.records import BasicBlockRecord
+
+        traces = synthesize_benchmark("CoMD", thread_count=5, scale=0.3)
+        plan = SamplingPlan(500, 1_500, 1_500)
+        intervals = slice_traces(traces, plan)
+        sampled_serial = [
+            i for i in intervals
+            if i.stratum == "serial" and not i.exhaustive
+        ]
+        assert sampled_serial, "long serial stretches must be sampled"
+        kinds = {interval.kind for interval in sampled_serial}
+        assert IntervalKind.DETAIL in kinds and IntervalKind.WARM in kinds
+        for interval in sampled_serial:
+            # Serial stratum means master-only: worker threads commit
+            # nothing inside these intervals.
+            for thread_id in range(1, traces.thread_count):
+                start, end = interval.spans[thread_id]
+                assert not any(
+                    isinstance(record, BasicBlockRecord)
+                    for record in traces.threads[thread_id].records[start:end]
+                )
+
+        sampled = simulate_sampled(baseline_config(worker_count=4), traces, plan)
+        info = sampled.sampling
+        assert set(info["factors"]) == {"parallel", "serial"}
+        assert info["factors"]["serial"] > 1
 
     def test_tiny_trace_falls_back_to_exact(self):
         traces = synthesize_benchmark("CG", thread_count=3, scale=0.02)

@@ -1,19 +1,34 @@
-"""Coverage=1.0 sampled runs are bit-identical to full runs.
+"""Sampled-run equivalence contracts, cross-checked per machine model.
 
-The sampled simulator's exactness contract, enforced per machine model
-and per engine (the CI ``sampling-crosscheck`` job runs this module as
-an acmp/scmp matrix): a plan with ``skip = 0`` covers every instruction,
-and the resulting :class:`SimulationResult` — every cycle count, every
-counter — must equal an unsampled run's bit for bit, with only the
-``sampling`` annotation added.
+Two contracts, both enforced per machine model and per engine (the CI
+``sampling-crosscheck`` job runs this module as an acmp/scmp/resume
+matrix):
+
+* **Exactness** — a plan with ``skip = 0`` covers every instruction,
+  and the resulting :class:`SimulationResult` — every cycle count,
+  every counter — must equal an unsampled run's bit for bit, with only
+  the ``sampling`` annotation added.
+* **Resume equivalence** — warming is a pure function of the trace
+  prefix, so a run seeded from persisted warm-state checkpoints must
+  reproduce the straight-through run exactly: identical results
+  (modulo the hit/miss counters) and byte-identical rewritten
+  checkpoints.
 """
+
+import json
 
 import pytest
 
 from repro.machine.model import get_model
 from repro.machine.serialization import result_to_dict
 from repro.machine.simulator import simulate
-from repro.sampling import SamplingPlan, simulate_sampled
+from repro.sampling import (
+    Checkpointing,
+    CheckpointKey,
+    CheckpointStore,
+    SamplingPlan,
+    simulate_sampled,
+)
 from repro.trace.synthesis import synthesize_benchmark
 
 EXACT_PLAN = SamplingPlan(
@@ -61,3 +76,120 @@ def test_exact_annotation_reports_no_error(machine):
     assert all(
         error == 0.0 for error in sampled.sampling["errors"].values()
     )
+
+
+TINY_PLAN = SamplingPlan(
+    detail_instructions=2_000,
+    skip_instructions=6_000,
+    warmup_instructions=6_000,
+)
+
+
+def _strip_counters(result):
+    """A result dict with the checkpoint hit/miss counters removed —
+    the only field allowed to differ between cold, hit and store-less
+    runs of the same design point."""
+    payload = result_to_dict(result)
+    payload["sampling"] = dict(payload["sampling"])
+    counters = payload["sampling"].pop("checkpoints", None)
+    return payload, counters
+
+
+class TestCheckpointResume:
+    """Checkpoint-seeded warming reproduces straight-through warming."""
+
+    @pytest.mark.parametrize("machine", ["acmp", "scmp"])
+    @pytest.mark.parametrize(
+        "cycle_skip", [True, False], ids=["skip", "reference"]
+    )
+    def test_resume_from_checkpoints_is_bit_identical(
+        self, machine, cycle_skip, tmp_path
+    ):
+        policy = Checkpointing(
+            store=CheckpointStore(tmp_path / "checkpoints"), seed=0, scale=0.2
+        )
+        for config in _design_points(machine):
+            traces = synthesize_benchmark(
+                "UA", thread_count=config.core_count, scale=0.2
+            )
+            plain = simulate_sampled(
+                config, traces, TINY_PLAN, cycle_skip=cycle_skip
+            )
+            assert not plain.sampling["exact"]  # the plan really samples
+            cold = simulate_sampled(
+                config, traces, TINY_PLAN,
+                cycle_skip=cycle_skip, checkpoints=policy,
+            )
+            hit = simulate_sampled(
+                config, traces, TINY_PLAN,
+                cycle_skip=cycle_skip, checkpoints=policy,
+            )
+            plain_payload = result_to_dict(plain)
+            cold_payload, cold_counters = _strip_counters(cold)
+            hit_payload, hit_counters = _strip_counters(hit)
+            label = f"{machine}/{config.label()}"
+            assert cold_payload == plain_payload, label
+            assert hit_payload == plain_payload, label
+            assert cold_counters["hits"] == 0, label
+            assert cold_counters["writes"] == cold_counters["misses"] > 0
+            assert hit_counters["misses"] == hit_counters["writes"] == 0
+            assert hit_counters["hits"] == cold_counters["misses"], label
+
+    @pytest.mark.parametrize("machine", ["acmp", "scmp"])
+    def test_resume_mid_trace_rewrites_byte_identical_state(
+        self, machine, tmp_path
+    ):
+        """Warm a run cold, drop its *last* checkpoint, and re-run: the
+        earlier intervals hit, the last interval warms forward from the
+        restored mid-trace state, and the rewritten checkpoint must be
+        byte-for-byte the one that was deleted."""
+        store = CheckpointStore(tmp_path / "checkpoints")
+        policy = Checkpointing(store=store, seed=0, scale=0.2)
+        config = get_model(machine).shared_config()
+        traces = synthesize_benchmark(
+            "UA", thread_count=config.core_count, scale=0.2
+        )
+        cold = simulate_sampled(config, traces, TINY_PLAN, checkpoints=policy)
+        entries = sorted(
+            store.root.glob("*/*/*/*/*/detail*.json"),
+            key=lambda path: int(path.stem.removeprefix("detail")),
+        )
+        assert len(entries) >= 2
+        last = entries[-1]
+        original = last.read_bytes()
+        last.unlink()
+        resumed = simulate_sampled(
+            config, traces, TINY_PLAN, checkpoints=policy
+        )
+        assert last.read_bytes() == original
+        resumed_payload, counters = _strip_counters(resumed)
+        cold_payload, _ = _strip_counters(cold)
+        assert resumed_payload == cold_payload
+        assert counters["misses"] == counters["writes"] == 1
+        assert counters["hits"] == len(entries) - 1
+
+    def test_resume_concurrent_writers_never_tear_entries(self, tmp_path):
+        """Two stores sharing one tree (shard hosts warming the same
+        prefix) interleave puts of the same key: every read parses,
+        the newest write wins, and no tmp files are left behind."""
+        key = CheckpointKey(
+            machine="acmp", benchmark="UA", seed=0, scale=1.0, threads=9,
+            fingerprint="a" * 12, plan="d2000:s6000:w6000:r0",
+            warm_l2=True, shape="b" * 12,
+        )
+        writer_a = CheckpointStore(tmp_path / "checkpoints")
+        writer_b = CheckpointStore(tmp_path / "checkpoints")
+        for round_index in range(3):
+            writer_a.put(key, 0, {"round": round_index, "writer": "a"})
+            assert writer_b.get(key, 0) == {
+                "round": round_index, "writer": "a",
+            }
+            writer_b.put(key, 0, {"round": round_index, "writer": "b"})
+            reader = CheckpointStore(tmp_path / "checkpoints")
+            assert reader.get(key, 0) == {
+                "round": round_index, "writer": "b",
+            }
+            payload = json.loads(writer_a.path_for(key, 0).read_text())
+            assert payload["key"] == key.header()
+        assert not list((tmp_path / "checkpoints").rglob("*.tmp"))
+        assert len(writer_a) == 1
