@@ -101,29 +101,43 @@ def test_emit_campaign_timing(tmp_path):
         run_experiment("fig07", ctx)
         return time.perf_counter() - started
 
-    reference_s = regenerate(
-        ExperimentContext(
+    def best_of(context_for, reps=2):
+        """Best-of-N wall time on this 1-CPU container; regeneration is
+        deterministic, only the clock is noisy (same policy as the
+        sampled probes below)."""
+        best = None
+        for rep in range(reps):
+            elapsed = regenerate(context_for(rep))
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    reference_s = best_of(
+        lambda rep: ExperimentContext(
             scale=BENCH_SCALE, benchmarks=list(BENCH_SUBSET), cycle_skip=False
         )
     )
-    skip_serial_s = regenerate(
-        ExperimentContext(scale=BENCH_SCALE, benchmarks=list(BENCH_SUBSET))
-    )
-    cache_dir = tmp_path / "campaign-cache"
-    campaign_s = regenerate(
-        ExperimentContext(
-            scale=BENCH_SCALE,
-            benchmarks=list(BENCH_SUBSET),
-            jobs=4,
-            cache_dir=cache_dir,
+    skip_serial_s = best_of(
+        lambda rep: ExperimentContext(
+            scale=BENCH_SCALE, benchmarks=list(BENCH_SUBSET)
         )
     )
-    cached_s = regenerate(
-        ExperimentContext(
+    # Two store trees: each cold repetition must start from an empty
+    # store, and the cached repetitions read the fully-written last one.
+    cache_dirs = [tmp_path / f"campaign-cache{rep}" for rep in range(2)]
+    campaign_s = best_of(
+        lambda rep: ExperimentContext(
             scale=BENCH_SCALE,
             benchmarks=list(BENCH_SUBSET),
             jobs=4,
-            cache_dir=cache_dir,
+            cache_dir=cache_dirs[rep],
+        )
+    )
+    cached_s = best_of(
+        lambda rep: ExperimentContext(
+            scale=BENCH_SCALE,
+            benchmarks=list(BENCH_SUBSET),
+            jobs=4,
+            cache_dir=cache_dirs[-1],
         )
     )
 
@@ -163,6 +177,7 @@ def test_emit_campaign_timing(tmp_path):
                 "wakes": stats.wakes,
                 "interconnect_busy_batched": stats.interconnect_busy_batched,
                 "commit_cycles_batched": stats.commit_cycles_batched,
+                "redirect_cycles_batched": stats.redirect_cycles_batched,
             }
         )
     kernel_stats = kernel_skip[0]
@@ -310,11 +325,19 @@ def test_emit_campaign_timing(tmp_path):
         "batched_speedup": round(scalar_s / batched_s, 3),
     }
 
+    # The runner's own clamp bookkeeping (an empty batch takes the
+    # serial path but still computes the width the pool would get).
+    from repro import kernels
+    from repro.campaign import run_specs
+
+    jobs_report = run_specs([], jobs=4)
+
     payload = {
         "generated": date.today().isoformat(),
         "host_cpus": os.cpu_count(),
-        "campaign_jobs": 4,
-        "effective_jobs": max(1, min(4, os.cpu_count() or 1)),
+        "campaign_jobs": jobs_report.jobs,
+        "effective_jobs": jobs_report.effective_jobs,
+        "kernel_backend": kernels.backend_name(),
         "scale": BENCH_SCALE,
         "benchmarks": list(BENCH_SUBSET),
         "experiments": ["fig01", "fig07"],
@@ -355,6 +378,9 @@ def test_emit_campaign_timing(tmp_path):
     assert all(
         entry["commit_cycles_batched"] > 0 for entry in kernel_skip
     )
+    # The redirect-replay lever: the UA probe's mispredict redirects
+    # must be batch-settled, not stepped through drain + penalty.
+    assert kernel_stats["redirect_cycles_batched"] > 0
     # The interval-sampling lever: fast mode must cut wall time by at
     # least 3x on the UA probe while keeping the reported shared-vs-
     # baseline speedup within 2% of the full runs' value.

@@ -199,6 +199,38 @@ class CommitEngine:
                     return ahead + 1
         return cap
 
+    def drain_horizon(self, cap: int = 4096) -> int | None:
+        """Relative cycle of the commit that empties the queue.
+
+        The scheduler's redirect-replay lever: a front-end stalled on a
+        mispredict drain cannot push, so the queue's remaining commit
+        trajectory is fully deterministic and the exact drain cycle can
+        be planned ahead. This walks the same float credit trajectory
+        :meth:`step` would produce and returns ``d`` such that the
+        queue's last instructions commit at ``now + d`` (every cycle in
+        ``[now + 1, now + d]`` is a commit or sub-unit pacing step,
+        replayable by :meth:`replay_steps`).
+
+        Returns ``None`` when the queue is already empty, or when it
+        does not drain within ``cap`` cycles — unlike
+        :meth:`replay_horizon`'s capped return, the caller needs an
+        unambiguous drain point to anchor the redirect penalty to.
+        """
+        iq = self._iq_count
+        if iq == 0:
+            return None
+        credit = self._credit
+        ipc = self._ipc
+        for ahead in range(1, cap + 1):
+            credit += ipc
+            commit = min(int(credit), iq)
+            if commit:
+                iq -= commit
+                credit = min(credit - commit, ipc)
+                if iq == 0:
+                    return ahead
+        return None
+
     def replay_steps(self, cycles: int) -> tuple[int, int | None]:
         """Replay ``cycles`` consecutive commit/pacing steps at once.
 

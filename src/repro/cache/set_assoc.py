@@ -10,10 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import kernels
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 from repro.errors import ConfigurationError
 from repro.utils import log2_int, require_power_of_two
+
+#: Compiled tag-row scan, or None on the pure-Python backend (the
+#: methods below then keep their original inline try/except scans, so
+#: the fallback pays no extra call indirection).
+_native_find_way = kernels.find_way if kernels.NATIVE else None
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +72,10 @@ class SetAssociativeCache:
         self.set_count = lines // ways
         self._line_shift = log2_int(line_bytes)
         self._set_mask = self.set_count - 1
+        # Precomputed at construction so the hot lookup paths do one
+        # mask instead of a shift pair (addresses are non-negative, so
+        # ``address & -line_bytes`` equals the shift-down/shift-up).
+        self._line_mask = -line_bytes
         require_power_of_two(self.set_count, "set count")
         # tags[set][way] holds the line address or None when invalid.
         self._tags: list[list[int | None]] = (
@@ -76,15 +86,15 @@ class SetAssociativeCache:
 
     def line_address(self, address: int) -> int:
         """Line-aligned address containing ``address``."""
-        return (address >> self._line_shift) << self._line_shift
+        return address & self._line_mask
 
     def set_index(self, address: int) -> int:
         return (address >> self._line_shift) & self._set_mask
 
     def probe(self, address: int) -> bool:
         """Check residency without updating replacement state or stats."""
-        line = self.line_address(address)
-        return line in self._tags[self.set_index(address)]
+        line = address & self._line_mask
+        return line in self._tags[(line >> self._line_shift) & self._set_mask]
 
     def lookup(self, address: int) -> bool:
         """Timing-path access: update stats/recency but do NOT fill on miss.
@@ -93,12 +103,17 @@ class SetAssociativeCache:
         arrives (via :meth:`fill`), so that other cores' accesses in the
         miss window behave correctly.
         """
-        line = self.line_address(address)
-        set_index = self.set_index(address)
+        line = address & self._line_mask
+        set_index = (line >> self._line_shift) & self._set_mask
         tags = self._tags[set_index]
-        try:
-            way = tags.index(line)
-        except ValueError:
+        if _native_find_way is not None:
+            way = _native_find_way(tags, line)
+        else:
+            try:
+                way = tags.index(line)
+            except ValueError:
+                way = -1
+        if way < 0:
             self.stats.record_miss(line)
             return False
         self._policy.on_access(set_index, way)
@@ -111,13 +126,16 @@ class SetAssociativeCache:
         Returns:
             AccessResult with hit flag and any evicted victim line.
         """
-        line = self.line_address(address)
-        set_index = self.set_index(address)
+        line = address & self._line_mask
+        set_index = (line >> self._line_shift) & self._set_mask
         tags = self._tags[set_index]
-        try:
-            way = tags.index(line)
-        except ValueError:
-            way = -1
+        if _native_find_way is not None:
+            way = _native_find_way(tags, line)
+        else:
+            try:
+                way = tags.index(line)
+            except ValueError:
+                way = -1
         if way >= 0:
             self._policy.on_access(set_index, way)
             self.stats.record_hit()
@@ -131,18 +149,24 @@ class SetAssociativeCache:
 
         Returns the evicted line address, or None.
         """
-        line = self.line_address(address)
-        set_index = self.set_index(address)
+        line = address & self._line_mask
+        set_index = (line >> self._line_shift) & self._set_mask
         if line in self._tags[set_index]:
             return None
         return self._fill(set_index, line)
 
     def _fill(self, set_index: int, line: int) -> int | None:
         tags = self._tags[set_index]
-        try:
-            way = tags.index(None)
+        if _native_find_way is not None:
+            way = _native_find_way(tags, None)
+        else:
+            try:
+                way = tags.index(None)
+            except ValueError:
+                way = -1
+        if way >= 0:
             victim: int | None = None
-        except ValueError:
+        else:
             way = self._policy.victim(set_index)
             victim = tags[way]
             self.stats.record_eviction()

@@ -23,6 +23,7 @@ with :attr:`CampaignReport.failures` populated.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import sys
@@ -44,6 +45,8 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError, SimulationError
 from repro.machine.results import SimulationResult
+
+_LOG = logging.getLogger(__name__)
 
 #: Executions attempted per spec before journalling it as failed.
 MAX_ATTEMPTS = 2
@@ -176,6 +179,9 @@ def run_specs(
 
     Args:
         jobs: worker processes; 1 runs in-process (no fork overhead).
+            Requests beyond the host's CPU count are clamped (with a
+            logged warning); the report records both the requested and
+            the effective width.
         store: persistent result cache, consulted before executing and
             updated after each run. Also hosts the failure journal and
             the warm-checkpoint tree sampled runs amortise their
@@ -291,7 +297,22 @@ def run_specs(
         failures.append(failure)
         _journal_failure(store, failure)
 
-    if jobs <= 1 or len(pending) <= 1:
+    # Oversubscribing a small host only adds fork/scheduling cost: cap
+    # the requested width at the CPU count like any parallel build tool,
+    # and say so — ``--jobs 4`` on a 1-CPU runner silently running
+    # serial is exactly the surprise the warning (and the report's
+    # ``effective_jobs`` field) exists to explain.
+    host_cpus = os.cpu_count() or 1
+    effective_jobs = max(1, min(jobs, host_cpus))
+    if effective_jobs < jobs:
+        _LOG.warning(
+            "campaign %r: clamping --jobs %d to %d host CPU(s)",
+            name,
+            jobs,
+            host_cpus,
+        )
+
+    if effective_jobs <= 1 or len(pending) <= 1:
         for spec in pending:
             for attempt in range(1, MAX_ATTEMPTS + 1):
                 try:
@@ -322,9 +343,7 @@ def run_specs(
                     # Best-effort warm-up only: a bad spec fails (and is
                     # retried/journalled) in its worker, not here.
                     pass
-        # Oversubscribing a small host only adds fork/scheduling cost:
-        # cap the pool at the CPU count like any parallel build tool.
-        workers = max(1, min(jobs, len(pending), os.cpu_count() or 1))
+        workers = max(1, min(effective_jobs, len(pending)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(execute_run, spec, *run_args): spec
@@ -366,6 +385,7 @@ def run_specs(
         cached=cached,
         wall_seconds=time.perf_counter() - started,
         jobs=jobs,
+        effective_jobs=effective_jobs,
         results=results,
         completed=completed_flavors,
         failures=failures,

@@ -238,7 +238,12 @@ class CampaignReport:
     executed: int
     cached: int
     wall_seconds: float
+    #: Worker processes as requested (``--jobs``).
     jobs: int
+    #: Worker processes actually usable after clamping to the host's
+    #: CPU count — on a 1-CPU host ``--jobs 4`` runs 1-wide, and this
+    #: field (plus a logged warning) is the signal.
+    effective_jobs: int = 0
     #: One result per run key. A batch normally carries a single flavor
     #: per key; when it mixes flavors (a ``--from-failures`` resume
     #: replaying full and sampled entries of one design point), the
@@ -265,9 +270,12 @@ class CampaignReport:
         shard = (
             f", {self.sharded_out} on other shards" if self.sharded_out else ""
         )
+        jobs = f"{self.jobs} job(s)"
+        if self.effective_jobs and self.effective_jobs != self.jobs:
+            jobs = f"{self.jobs} job(s) (clamped to {self.effective_jobs})"
         return (
             f"campaign {self.name!r}: {self.total} runs "
             f"({self.executed} executed, {self.cached} cached{failed}"
-            f"{shard}) in {self.wall_seconds:.1f}s with {self.jobs} job(s) "
+            f"{shard}) in {self.wall_seconds:.1f}s with {jobs} "
             f"[{rate:.2f} runs/s]"
         )

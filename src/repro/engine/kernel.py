@@ -132,6 +132,11 @@ class KernelStats:
     #: replay (a sleeping back-end settling a whole deterministic
     #: commit window at once); aggregated by the simulator after the run.
     commit_cycles_batched: int = 0
+    #: Redirect-penalty stall cycles replaced by one batched redirect
+    #: replay (a core sleeping across a mispredict drain + penalty and
+    #: settling the whole span at the fetch-resume cycle); aggregated
+    #: by the simulator after the run.
+    redirect_cycles_batched: int = 0
 
     @property
     def total_cycles(self) -> int:

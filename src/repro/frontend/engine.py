@@ -401,6 +401,43 @@ class FetchEngine:
                 return (None, 0)  # a record would be consumed this cycle
         return (horizon, space_needed)
 
+    # -- redirect replay -------------------------------------------------------
+
+    def redirect_replay_penalty(self) -> int | None:
+        """Penalty length when the redirect trajectory is deterministic.
+
+        The scheduler's redirect-replay window
+        (:class:`repro.machine.components.CoreScheduleState`) may
+        batch-settle this front-end across the whole drain + penalty
+        span when the remaining trajectory is already decided: a
+        mispredict drain is pending and the FTQ is empty, so no fills,
+        extractions or trace records can intervene — the only action
+        left before fetch resumes is the drain-complete transition
+        itself, which :meth:`begin_redirect` replays. Returns the
+        mispredict penalty in that state, ``None`` otherwise (the
+        caller then falls back to the ordinary commit-replay window).
+        """
+        if (
+            self._redirect_drain
+            and not self._ftq
+            and self.context.state is ThreadState.RUNNING
+        ):
+            return self.mispredict_penalty
+        return None
+
+    def begin_redirect(self, now: int) -> None:
+        """Replay the drain-complete transition of a stepped cycle ``now``.
+
+        Exactly what :meth:`_fill_ftq` does on the first cycle it
+        observes a completed drain: clear the drain flag and start the
+        redirect (flush + refill) penalty. The redirect-replay window
+        calls this during settlement for the cycle after the batched
+        drain commit, so fetch resumes at ``now + mispredict_penalty``
+        — the same cycle a stepped run's would.
+        """
+        self._redirect_drain = False
+        self._redirect_until = now + self.mispredict_penalty
+
     # -- stall attribution ------------------------------------------------------
 
     def stall_cause(self, now: int) -> str:

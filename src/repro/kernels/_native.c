@@ -1,0 +1,338 @@
+/* Compiled hot-structure kernels.
+ *
+ * Bit-identical C implementations of repro.kernels.pylib: first-match
+ * scans, first-minimum victim tie-breaks, lazy LRU order-list
+ * materialization. All tables stay ordinary Python lists of ints (or
+ * None for invalid ways), so capture/restore of warm state and every
+ * pure-Python consumer keep working unchanged; the speedup comes from
+ * replacing interpreter dispatch on the innermost loops, not from a
+ * parallel storage format.
+ *
+ * Built by `python -m repro.kernels.build` with the system C compiler;
+ * no third-party packages.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <string.h>
+
+/* First index of `value` in a list of ints/None, or -1. */
+static Py_ssize_t
+list_find_ll(PyObject *list, long long value)
+{
+    Py_ssize_t n = PyList_GET_SIZE(list);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PyList_GET_ITEM(list, i);
+        if (PyLong_Check(item) && PyLong_AsLongLong(item) == value) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+static Py_ssize_t
+list_find_none(PyObject *list)
+{
+    Py_ssize_t n = PyList_GET_SIZE(list);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (PyList_GET_ITEM(list, i) == Py_None) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+/* list[i] = value (a fresh int object; the old item is released). */
+static int
+list_set_ll(PyObject *list, Py_ssize_t i, long long value)
+{
+    PyObject *obj = PyLong_FromLongLong(value);
+    if (obj == NULL) {
+        return -1;
+    }
+    return PyList_SetItem(list, i, obj);
+}
+
+static int
+seen_add_ll(PyObject *seen, long long value)
+{
+    PyObject *obj = PyLong_FromLongLong(value);
+    if (obj == NULL) {
+        return -1;
+    }
+    int rc = PySet_Add(seen, obj);
+    Py_DECREF(obj);
+    return rc;
+}
+
+/* orders[set_index], materializing list(range(ways)) in place of None
+ * exactly like LruPolicy's lazy per-set recency lists. Borrowed ref. */
+static PyObject *
+ensure_order(PyObject *orders, Py_ssize_t set_index, Py_ssize_t ways)
+{
+    PyObject *order = PyList_GET_ITEM(orders, set_index);
+    if (order != Py_None) {
+        return order;
+    }
+    order = PyList_New(ways);
+    if (order == NULL) {
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < ways; i++) {
+        PyObject *v = PyLong_FromSsize_t(i);
+        if (v == NULL) {
+            Py_DECREF(order);
+            return NULL;
+        }
+        PyList_SET_ITEM(order, i, v);
+    }
+    PyList_SetItem(orders, set_index, order); /* steals our reference */
+    return order;
+}
+
+/* order.remove(way); order.append(way) — a pure rotation of the
+ * permutation list, so no reference counts change. */
+static int
+order_touch(PyObject *order, long long way)
+{
+    Py_ssize_t n = PyList_GET_SIZE(order);
+    PyObject **items = ((PyListObject *)order)->ob_item;
+    Py_ssize_t pos = -1;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (PyLong_AsLongLong(items[i]) == way) {
+            pos = i;
+            break;
+        }
+    }
+    if (pos < 0) {
+        PyErr_SetString(PyExc_ValueError, "way not in LRU order list");
+        return -1;
+    }
+    PyObject *moved = items[pos];
+    memmove(&items[pos], &items[pos + 1],
+            (size_t)(n - 1 - pos) * sizeof(PyObject *));
+    items[n - 1] = moved;
+    return 0;
+}
+
+/* find_way(row, target) -> first index or -1; target is int or None. */
+static PyObject *
+kernels_find_way(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2 || !PyList_Check(args[0])) {
+        PyErr_SetString(PyExc_TypeError, "find_way(row: list, target)");
+        return NULL;
+    }
+    if (args[1] == Py_None) {
+        return PyLong_FromSsize_t(list_find_none(args[0]));
+    }
+    long long value = PyLong_AsLongLong(args[1]);
+    if (value == -1 && PyErr_Occurred()) {
+        return NULL;
+    }
+    return PyLong_FromSsize_t(list_find_ll(args[0], value));
+}
+
+/* gshare_update(counters, history, mask, shift, address, taken) -> history */
+static PyObject *
+kernels_gshare_update(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6 || !PyList_Check(args[0])) {
+        PyErr_SetString(
+            PyExc_TypeError,
+            "gshare_update(counters, history, mask, shift, address, taken)");
+        return NULL;
+    }
+    long long history = PyLong_AsLongLong(args[1]);
+    long long mask = PyLong_AsLongLong(args[2]);
+    long long shift = PyLong_AsLongLong(args[3]);
+    long long address = PyLong_AsLongLong(args[4]);
+    int taken = PyObject_IsTrue(args[5]);
+    if (taken < 0 || PyErr_Occurred()) {
+        return NULL;
+    }
+    Py_ssize_t index = (Py_ssize_t)(((address >> shift) ^ history) & mask);
+    long long counter =
+        PyLong_AsLongLong(PyList_GET_ITEM(args[0], index));
+    if (taken) {
+        if (counter < 3 && list_set_ll(args[0], index, counter + 1) < 0) {
+            return NULL;
+        }
+    } else if (counter > 0 && list_set_ll(args[0], index, counter - 1) < 0) {
+        return NULL;
+    }
+    return PyLong_FromLongLong(((history << 1) | (taken ? 1 : 0)) & mask);
+}
+
+/* btb_probe(tags, targets, index, address) -> target or None */
+static PyObject *
+kernels_btb_probe(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4 || !PyList_Check(args[0]) || !PyList_Check(args[1])) {
+        PyErr_SetString(PyExc_TypeError,
+                        "btb_probe(tags, targets, index, address)");
+        return NULL;
+    }
+    Py_ssize_t index = PyLong_AsSsize_t(args[2]);
+    long long address = PyLong_AsLongLong(args[3]);
+    if (PyErr_Occurred()) {
+        return NULL;
+    }
+    PyObject *tag = PyList_GET_ITEM(args[0], index);
+    if (PyLong_Check(tag) && PyLong_AsLongLong(tag) == address) {
+        PyObject *target = PyList_GET_ITEM(args[1], index);
+        Py_INCREF(target);
+        return target;
+    }
+    Py_RETURN_NONE;
+}
+
+/* warm_lines(line, end_address, line_bytes,
+ *            lb_lines, lb_uses, lb_clock,
+ *            l1_tags, l1_order, l1_ways, l1_shift, l1_set_mask, l1_seen,
+ *            l2_tags, l2_order, l2_ways, l2_shift, l2_set_mask, l2_seen)
+ *   -> new lb_clock
+ * Mirrors pylib.warm_lines statement for statement. */
+static PyObject *
+kernels_warm_lines(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 18) {
+        PyErr_SetString(PyExc_TypeError, "warm_lines expects 18 arguments");
+        return NULL;
+    }
+    long long line = PyLong_AsLongLong(args[0]);
+    long long end_address = PyLong_AsLongLong(args[1]);
+    long long line_bytes = PyLong_AsLongLong(args[2]);
+    PyObject *lb_lines = args[3];
+    PyObject *lb_uses = args[4];
+    long long lb_clock = PyLong_AsLongLong(args[5]);
+    PyObject *l1_tags = args[6];
+    PyObject *l1_order = args[7];
+    Py_ssize_t l1_ways = PyLong_AsSsize_t(args[8]);
+    long long l1_shift = PyLong_AsLongLong(args[9]);
+    long long l1_set_mask = PyLong_AsLongLong(args[10]);
+    PyObject *l1_seen = args[11];
+    PyObject *l2_tags = args[12];
+    PyObject *l2_order = args[13];
+    Py_ssize_t l2_ways = PyLong_AsSsize_t(args[14]);
+    long long l2_shift = PyLong_AsLongLong(args[15]);
+    long long l2_set_mask = PyLong_AsLongLong(args[16]);
+    PyObject *l2_seen = args[17];
+    if (PyErr_Occurred()) {
+        return NULL;
+    }
+    if (!PyList_Check(lb_lines) || !PyList_Check(lb_uses) ||
+        !PyList_Check(l1_tags) || !PyList_Check(l1_order) ||
+        !PyList_Check(l2_tags) || !PyList_Check(l2_order) ||
+        !PySet_Check(l1_seen) || !PySet_Check(l2_seen)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "warm_lines table arguments must be lists/sets");
+        return NULL;
+    }
+    Py_ssize_t lb_n = PyList_GET_SIZE(lb_lines);
+
+    for (; line < end_address; line += line_bytes) {
+        lb_clock++;
+        Py_ssize_t slot = list_find_ll(lb_lines, line);
+        if (slot >= 0) {
+            if (list_set_ll(lb_uses, slot, lb_clock) < 0) {
+                return NULL;
+            }
+            continue;
+        }
+        /* Buffer miss: first least-recently-used slot. */
+        Py_ssize_t victim = 0;
+        long long best = PyLong_AsLongLong(PyList_GET_ITEM(lb_uses, 0));
+        for (Py_ssize_t i = 1; i < lb_n; i++) {
+            long long use = PyLong_AsLongLong(PyList_GET_ITEM(lb_uses, i));
+            if (use < best) {
+                best = use;
+                victim = i;
+            }
+        }
+        lb_clock++;
+        if (list_set_ll(lb_lines, victim, line) < 0 ||
+            list_set_ll(lb_uses, victim, lb_clock) < 0) {
+            return NULL;
+        }
+        /* L1I access (LRU; the caller guards on the policy type). */
+        Py_ssize_t set_index = (Py_ssize_t)((line >> l1_shift) & l1_set_mask);
+        PyObject *row = PyList_GET_ITEM(l1_tags, set_index);
+        Py_ssize_t way = list_find_ll(row, line);
+        PyObject *order;
+        if (way >= 0) {
+            order = ensure_order(l1_order, set_index, l1_ways);
+            if (order == NULL || order_touch(order, (long long)way) < 0) {
+                return NULL;
+            }
+            continue;
+        }
+        way = list_find_none(row);
+        if (way < 0) {
+            order = ensure_order(l1_order, set_index, l1_ways);
+            if (order == NULL) {
+                return NULL;
+            }
+            way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
+        }
+        if (list_set_ll(row, way, line) < 0) {
+            return NULL;
+        }
+        order = ensure_order(l1_order, set_index, l1_ways);
+        if (order == NULL || order_touch(order, (long long)way) < 0) {
+            return NULL;
+        }
+        if (seen_add_ll(l1_seen, line) < 0) {
+            return NULL;
+        }
+        /* L1 miss: walk the line through the L2 (always LRU). */
+        Py_ssize_t l2_set = (Py_ssize_t)((line >> l2_shift) & l2_set_mask);
+        PyObject *l2_row = PyList_GET_ITEM(l2_tags, l2_set);
+        Py_ssize_t l2_way = list_find_ll(l2_row, line);
+        if (l2_way < 0) {
+            l2_way = list_find_none(l2_row);
+            if (l2_way < 0) {
+                order = ensure_order(l2_order, l2_set, l2_ways);
+                if (order == NULL) {
+                    return NULL;
+                }
+                l2_way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
+            }
+            if (list_set_ll(l2_row, l2_way, line) < 0 ||
+                seen_add_ll(l2_seen, line) < 0) {
+                return NULL;
+            }
+        }
+        order = ensure_order(l2_order, l2_set, l2_ways);
+        if (order == NULL || order_touch(order, (long long)l2_way) < 0) {
+            return NULL;
+        }
+    }
+    return PyLong_FromLongLong(lb_clock);
+}
+
+static PyMethodDef kernels_methods[] = {
+    {"find_way", (PyCFunction)kernels_find_way, METH_FASTCALL,
+     "First index of target in row, or -1."},
+    {"gshare_update", (PyCFunction)kernels_gshare_update, METH_FASTCALL,
+     "One gshare training step; returns the new history."},
+    {"btb_probe", (PyCFunction)kernels_btb_probe, METH_FASTCALL,
+     "Tagged BTB probe; returns the target or None."},
+    {"warm_lines", (PyCFunction)kernels_warm_lines, METH_FASTCALL,
+     "Warm one basic block's lines through lb/L1/L2."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "_native",
+    "Compiled hot-structure kernels (see repro.kernels.pylib).",
+    -1,
+    kernels_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    return PyModule_Create(&kernels_module);
+}

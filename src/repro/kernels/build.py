@@ -1,0 +1,61 @@
+"""Build the compiled kernel extension with the system C compiler.
+
+``python -m repro.kernels.build`` compiles ``_native.c`` into
+``_native<EXT_SUFFIX>`` next to the source, after which
+:mod:`repro.kernels` selects it automatically on import (override with
+``REPRO_KERNELS=py|compiled``). Only a C compiler and the Python
+headers are required — no pip packages, no build system; the command
+is the whole build.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shlex
+import subprocess
+import sysconfig
+
+__all__ = ["build", "extension_path"]
+
+
+def extension_path(out_dir: pathlib.Path | None = None) -> pathlib.Path:
+    """Where the built extension lands (package dir by default)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    directory = (
+        pathlib.Path(__file__).parent if out_dir is None else out_dir
+    )
+    return directory / f"_native{suffix}"
+
+
+def build(
+    out_dir: pathlib.Path | None = None, verbose: bool = True
+) -> pathlib.Path:
+    """Compile ``_native.c``; returns the built extension's path.
+
+    Raises:
+        subprocess.CalledProcessError: when the compiler fails.
+        FileNotFoundError: when no C compiler is available.
+    """
+    source = pathlib.Path(__file__).with_name("_native.c")
+    target = extension_path(out_dir)
+    compiler = sysconfig.get_config_var("CC") or "cc"
+    command = [
+        *shlex.split(compiler),
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{sysconfig.get_path('include')}",
+        str(source),
+        "-o",
+        str(target),
+    ]
+    if verbose:
+        print(" ".join(command))
+    subprocess.run(command, check=True)
+    if verbose:
+        print(f"built {target}")
+    return target
+
+
+if __name__ == "__main__":
+    build()

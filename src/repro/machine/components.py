@@ -43,6 +43,20 @@ which derives both sleep plans from one decision per cycle:
   queue count *changes* inside the window, so cores whose ``iq_count``
   is observed cross-core (the ICOUNT arbiter's urgency callback) never
   open one — they fall back to the pacing window below.
+* **redirect-replay sleep** — a mispredicted branch is draining and the
+  FTQ is already empty: nothing can fill, issue or extract until fetch
+  resumes, so the remaining trajectory is fully decided — commits to
+  the exact drain cycle (:meth:`~repro.backend.backend.CommitEngine.
+  drain_horizon`), the drain-complete transition the front-end would
+  perform one cycle later (:meth:`~repro.frontend.engine.FetchEngine.
+  begin_redirect` replays it), then pure ``"branch"`` stalls until the
+  mispredict penalty elapses. Both components sleep to the fetch-resume
+  cycle and the whole span settles in one batch, bounded by the same
+  guards as commit replay (shared-ICOUNT observation disables it, the
+  watchdog's firing horizon caps it, the front-end's own wake — iTLB
+  timers — cuts it short). The elided penalty stalls are surfaced
+  through :attr:`~repro.engine.kernel.KernelStats.
+  redirect_cycles_batched`.
 * **unit pacing sleep** — the queue is non-empty but the commit credit
   stays below 1.0 until a known cycle
   (:meth:`~repro.backend.backend.CommitEngine.cycles_to_next_commit`);
@@ -87,6 +101,7 @@ _NO_WINDOW = "none"
 _IDLE = "idle"
 _PACING = "pacing"
 _REPLAY = "replay"
+_REDIRECT = "redirect"
 
 #: Longest commit-replay look-ahead (cycles). Bounds the planning walk;
 #: a window that neither drains nor hits a wake inside it simply ends
@@ -109,11 +124,14 @@ class CoreScheduleState:
         "note_progress",
         "progress_guard",
         "commit_cycles_batched",
+        "redirect_cycles_batched",
         "_plan_cycle",
         "_plans",
         "_pending_window",
         "_pending_cause",
         "_pending_space",
+        "_redirect_boundary",
+        "_pending_redirect_boundary",
     )
 
     def __init__(self, core: Core) -> None:
@@ -147,11 +165,18 @@ class CoreScheduleState:
         self.progress_guard: Callable[[], int] = lambda: NEVER
         #: Back-end steps elided through commit-replay windows.
         self.commit_cycles_batched = 0
+        #: Redirect-penalty stall cycles elided through redirect-replay
+        #: windows (the idle phase past the batched drain commit).
+        self.redirect_cycles_batched = 0
         self._plan_cycle = -1
         self._plans: tuple[int | None, int | None] = (None, None)
         self._pending_window = _NO_WINDOW
         self._pending_cause = "other"
         self._pending_space = 0
+        #: Absolute cycle a redirect-replay window's drain-complete
+        #: transition happens at (the cycle after the drain commit).
+        self._redirect_boundary = 0
+        self._pending_redirect_boundary = 0
 
     # -- sleep decision (once per core per cycle) --------------------------
     # The two plan accessors inline the per-cycle memo: the kernel
@@ -211,6 +236,31 @@ class CoreScheduleState:
                     # firing check).
                     bound = min(wake_at, self.progress_guard()) - now
                     if bound >= MIN_TIMER_NAP:
+                        # Redirect replay: a mispredict drain with an
+                        # empty FTQ pins the whole remaining trajectory
+                        # — commits to the drain, one drain-complete
+                        # transition, then pure "branch" stalls until
+                        # the penalty elapses. Fuse all three into one
+                        # window ending at the fetch-resume cycle; the
+                        # drain must land unambiguously inside the
+                        # bound so the transition (and the batched
+                        # progress note) settles before the watchdog's
+                        # firing check.
+                        penalty = frontend.redirect_replay_penalty()
+                        if penalty is not None:
+                            drain_cap = min(bound - 1 - penalty, REPLAY_CAP)
+                            if drain_cap >= 1:
+                                drain = backend.drain_horizon(cap=drain_cap)
+                                if drain is not None:
+                                    resume = drain + 1 + penalty
+                                    if resume >= MIN_TIMER_NAP:
+                                        self._pending_window = _REDIRECT
+                                        self._pending_space = 0
+                                        self._pending_redirect_boundary = (
+                                            now + drain + 1
+                                        )
+                                        wake = now + resume
+                                        return (wake, wake)
                         # replay_horizon may return cap + 1 (a drain or
                         # space trigger on the last walked cycle), so
                         # the cap stays one short of the bound.
@@ -264,6 +314,7 @@ class CoreScheduleState:
     def commit_slept(self, now: int) -> None:
         self.window = self._pending_window
         self.cause = self._pending_cause
+        self._redirect_boundary = self._pending_redirect_boundary
         self.settled_to = now + 1
 
     def commit_woke(self, now: int) -> None:
@@ -279,6 +330,14 @@ class CoreScheduleState:
             # exactly the cycle a stepped run's would.
             needed = self.front_space_needed
             if self.core.backend.iq_space() >= needed and self.wake_front:
+                self.wake_front()
+        elif window is _REDIRECT:
+            # The window outlived the front-end's own wake promise (the
+            # drain-complete transition was replayed on its behalf), so
+            # on any close — the planned fetch-resume cycle or an early
+            # wake — hand control back to a live front-end and let it
+            # re-plan; a spurious wake is merely a no-op step.
+            if self.front_asleep and self.wake_front:
                 self.wake_front()
 
     def settle(self, now: int) -> None:
@@ -296,6 +355,29 @@ class CoreScheduleState:
                 # elided commit actually happened (a stepped run reset
                 # it there), not at the settlement cycle.
                 self.note_progress(self.settled_to + last_commit - 1)
+        elif self.window is _REDIRECT:
+            # Phase 1 — commits/pacing up to the drain: the boundary is
+            # the cycle after the planned drain commit, so the span up
+            # to it never crosses a stall.
+            boundary = self._redirect_boundary
+            cut = min(now, boundary)
+            if cut > self.settled_to:
+                span = cut - self.settled_to
+                _committed, last_commit = self.core.backend.replay_steps(span)
+                self.commit_cycles_batched += span
+                if last_commit is not None:
+                    self.note_progress(self.settled_to + last_commit - 1)
+                self.settled_to = cut
+            if now >= boundary:
+                # Phase 2 — the drain-complete transition a stepped
+                # front-end performs at the boundary cycle, then pure
+                # "branch" stalls until the penalty elapses (an early
+                # wake settles the prefix; the cause stays pinned).
+                self.core.frontend.begin_redirect(boundary)
+                idle = now - boundary
+                if idle > 0:
+                    self.core.backend.idle_steps(idle, "branch")
+                    self.redirect_cycles_batched += idle
         else:
             self.core.backend.pacing_steps(cycles)
         self.settled_to = now

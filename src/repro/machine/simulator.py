@@ -76,6 +76,10 @@ class SystemSimulator:
                 state.commit_cycles_batched
                 for state in self.system.schedule_states
             )
+            self.kernel.stats.redirect_cycles_batched += sum(
+                state.redirect_cycles_batched
+                for state in self.system.schedule_states
+            )
         return self.system.collect_results(cycles)
 
     # -- error context -----------------------------------------------------

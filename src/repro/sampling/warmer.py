@@ -30,6 +30,7 @@ working without a parallel implementation.
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.branch.gshare import GsharePredictor
 from repro.cache.replacement import LruPolicy
 from repro.machine.system import System
@@ -38,6 +39,12 @@ from repro.trace.records import BasicBlockRecord, BranchKind
 from repro.trace.stream import TraceSet
 
 __all__ = ["BatchedWarmer"]
+
+#: Compiled per-block line walk (lb/L1/L2), or None on the pure-Python
+#: backend — the span walk below then keeps its original inline loop.
+#: Only engaged for LRU L1s; the walk itself requires an LRU L2, which
+#: the instruction-side hierarchy always uses.
+_native_warm = kernels.warm_lines if kernels.NATIVE else None
 
 _CONDITIONAL = BranchKind.CONDITIONAL
 _INDIRECT = BranchKind.INDIRECT
@@ -147,6 +154,12 @@ class BatchedWarmer:
         l2_seen = l2.stats._seen_lines
         l2_ways = l2.ways
 
+        # Compiled fast path: the lb/L1/L2 line walk of each block runs
+        # in one native call. The iTLB walk (independent clocks and
+        # tables, so per-structure ordering is preserved) and the branch
+        # updates stay in this loop either way.
+        native_warm = _native_warm if l1_lru else None
+
         blocks = 0
         for record in records[start:end]:
             if type(record) is not BasicBlockRecord:
@@ -154,6 +167,41 @@ class BatchedWarmer:
             blocks += 1
             line = record.address & line_mask
             end_address = record.end_address
+            if native_warm is not None:
+                if have_itlb:
+                    while line < end_address:
+                        page = line >> t_shift
+                        t_clock += 1
+                        if page in t_map:
+                            t_map[page] = t_clock
+                        else:
+                            t_seen.add(page)
+                            if len(t_map) >= t_capacity:
+                                del t_map[min(t_map, key=t_map_get)]
+                            t_map[page] = t_clock
+                        line += line_bytes
+                    line = record.address & line_mask
+                lb_clock = native_warm(
+                    line,
+                    end_address,
+                    line_bytes,
+                    lb_lines,
+                    lb_uses,
+                    lb_clock,
+                    l1_tags,
+                    l1_order,
+                    l1_ways,
+                    l1_shift,
+                    l1_set_mask,
+                    l1_seen,
+                    l2_tags,
+                    l2_order,
+                    l2_ways,
+                    l2_shift,
+                    l2_set_mask,
+                    l2_seen,
+                )
+                line = end_address
             while line < end_address:
                 if have_itlb:
                     page = line >> t_shift

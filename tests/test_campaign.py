@@ -391,6 +391,26 @@ class TestRunner:
         assert report.total == 1
         assert report.executed == 1
 
+    def test_jobs_clamped_to_host_cpus(self, monkeypatch, caplog):
+        monkeypatch.setattr(campaign_runner.os, "cpu_count", lambda: 2)
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            report = run_specs(
+                [_tiny_spec(), _tiny_spec(benchmark="UA")], jobs=64
+            )
+        assert report.jobs == 64
+        assert report.effective_jobs == 2
+        assert "clamping --jobs 64 to 2 host CPU(s)" in caplog.text
+        assert "(clamped to 2)" in report.summary()
+
+    def test_jobs_within_host_cpus_not_clamped(self, monkeypatch, caplog):
+        monkeypatch.setattr(campaign_runner.os, "cpu_count", lambda: 8)
+        with caplog.at_level("WARNING", logger="repro.campaign.runner"):
+            report = run_specs([_tiny_spec()], jobs=1)
+        assert report.jobs == 1
+        assert report.effective_jobs == 1
+        assert "clamping" not in caplog.text
+        assert "(clamped" not in report.summary()
+
     def test_colliding_specs_in_one_batch_rejected(self):
         with pytest.raises(ConfigurationError, match="share the key"):
             run_specs([_tiny_spec(), _tiny_spec(worker_count=4)])

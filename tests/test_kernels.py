@@ -1,0 +1,413 @@
+"""Kernel backend tests: pylib semantics, compiled equivalence, selection.
+
+``repro.kernels.pylib`` is the specification; the compiled backend must
+be bit-identical on every operation, including tie-breaks and seen-set
+insertion order. The equivalence classes here run both backends over the
+same randomized operation streams and compare final table states. When
+the extension is not already loaded, the fixture builds it into a temp
+directory (skipping if the host has no C compiler), so the pure-Python
+CI leg still exercises everything except the native code itself.
+
+The routing classes cover the *consumer* side with no compiler at all:
+each hot structure's kernel-call path is forced on (bound to ``pylib``)
+and compared against its original inline loop.
+"""
+
+import importlib
+import importlib.util
+import random
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import pylib
+
+# -- pylib semantics --------------------------------------------------------
+
+
+class TestPylib:
+    def test_find_way(self):
+        row = [None, 0x40, 0x80, 0x40]
+        assert pylib.find_way(row, 0x40) == 1  # first match wins
+        assert pylib.find_way(row, None) == 0
+        assert pylib.find_way(row, 0xC0) == -1
+        assert pylib.find_way([], 0x40) == -1
+
+    def test_gshare_update_matches_predictor_inline_path(self, monkeypatch):
+        from repro.branch import gshare as gshare_module
+
+        # Force the predictor onto its inline arithmetic, then replay
+        # the same stream through pylib on a copied table.
+        monkeypatch.setattr(gshare_module, "_native_update", None)
+        predictor = gshare_module.GsharePredictor(size_bytes=1024)
+        counters = list(predictor._counters)
+        history = predictor._history
+        mask = predictor._mask
+        shift = predictor._index_shift
+        rng = random.Random(11)
+        for _ in range(2000):
+            address = rng.randrange(1 << 20)
+            taken = rng.random() < 0.5
+            predictor.update(address, taken)
+            history = pylib.gshare_update(
+                counters, history, mask, shift, address, taken
+            )
+        assert counters == predictor._counters
+        assert history == predictor._history
+
+    def test_gshare_update_saturates(self):
+        counters = [3, 0]
+        assert pylib.gshare_update(counters, 0, 1, 0, 0, True) == 1
+        assert counters == [3, 0]  # saturated high, no write
+        assert pylib.gshare_update(counters, 1, 1, 0, 0, False) == 0
+        assert counters == [3, 0]  # saturated low, no write
+
+    def test_btb_probe(self):
+        tags = [-1, 0x104]
+        targets = [0, 0x9000]
+        assert pylib.btb_probe(tags, targets, 1, 0x104) == 0x9000
+        assert pylib.btb_probe(tags, targets, 1, 0x204) is None
+        assert pylib.btb_probe(tags, targets, 0, -1) == 0  # tag match
+
+
+# -- compiled backend equivalence ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def native(tmp_path_factory):
+    """The compiled module: the loaded one, or a fresh temp-dir build."""
+    from repro import kernels
+
+    if kernels.NATIVE:
+        return importlib.import_module("repro.kernels._native")
+    from repro.kernels.build import build
+
+    out = tmp_path_factory.mktemp("kernels")
+    try:
+        path = build(out_dir=out, verbose=False)
+    except Exception as exc:  # no compiler / headers on this host
+        pytest.skip(f"cannot build the native extension here: {exc}")
+    spec = importlib.util.spec_from_file_location("_native", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _random_warm_tables(rng):
+    """One randomized warm-structure state for a warm_lines trial."""
+    l1_sets, l1_ways = 8, 4
+    l2_sets, l2_ways = 16, 8
+    line = lambda: rng.randrange(1 << 10) * 64  # noqa: E731
+    l1_tags = [
+        [line() if rng.random() < 0.5 else None for _ in range(l1_ways)]
+        for _ in range(l1_sets)
+    ]
+    l1_order = [
+        rng.sample(range(l1_ways), l1_ways) if rng.random() < 0.5 else None
+        for _ in range(l1_sets)
+    ]
+    l2_tags = [
+        [line() if rng.random() < 0.3 else None for _ in range(l2_ways)]
+        for _ in range(l2_sets)
+    ]
+    l2_order = [
+        rng.sample(range(l2_ways), l2_ways) if rng.random() < 0.5 else None
+        for _ in range(l2_sets)
+    ]
+    state = {
+        "lb_lines": [line() for _ in range(4)],
+        "lb_uses": [rng.randrange(64) for _ in range(4)],
+        "lb_clock": rng.randrange(64, 128),
+        "l1_tags": l1_tags,
+        "l1_order": l1_order,
+        "l1_seen": set(rng.sample(range(0, 1 << 16, 64), 20)),
+        "l2_tags": l2_tags,
+        "l2_order": l2_order,
+        "l2_seen": set(rng.sample(range(0, 1 << 16, 64), 20)),
+    }
+    start = rng.randrange(1 << 10) * 64
+    end = start + rng.randrange(1, 40) * 64
+    return state, (l1_ways, l2_ways), (start, end)
+
+
+class TestCompiledEquivalence:
+    def test_find_way(self, native):
+        rng = random.Random(21)
+        for _ in range(300):
+            ways = rng.randrange(1, 9)
+            row = [
+                rng.randrange(16) * 64 if rng.random() < 0.7 else None
+                for _ in range(ways)
+            ]
+            target = (
+                None if rng.random() < 0.3 else rng.randrange(16) * 64
+            )
+            assert native.find_way(row, target) == pylib.find_way(
+                row, target
+            ), (row, target)
+
+    def test_gshare_update(self, native):
+        rng = random.Random(22)
+        mask = (1 << 12) - 1
+        counters_a = [rng.randrange(4) for _ in range(mask + 1)]
+        counters_b = list(counters_a)
+        history_a = history_b = 0
+        for _ in range(5000):
+            address = rng.randrange(1 << 24)
+            taken = rng.random() < 0.5
+            history_a = native.gshare_update(
+                counters_a, history_a, mask, 2, address, taken
+            )
+            history_b = pylib.gshare_update(
+                counters_b, history_b, mask, 2, address, taken
+            )
+        assert history_a == history_b
+        assert counters_a == counters_b
+
+    def test_btb_probe(self, native):
+        rng = random.Random(23)
+        entries = 64
+        tags = [
+            rng.randrange(1 << 16) if rng.random() < 0.5 else -1
+            for _ in range(entries)
+        ]
+        targets = [rng.randrange(1 << 16) for _ in range(entries)]
+        for _ in range(2000):
+            index = rng.randrange(entries)
+            address = (
+                tags[index] if rng.random() < 0.5 else rng.randrange(1 << 16)
+            )
+            assert native.btb_probe(
+                tags, targets, index, address
+            ) == pylib.btb_probe(tags, targets, index, address)
+
+    def test_warm_lines(self, native):
+        for trial in range(30):
+            # Both states are drawn from identically-seeded generators:
+            # a deepcopy would rebuild the seen-sets in iteration order
+            # and silently perturb their internal layout.
+            seed = 2400 + trial
+            state, (l1_ways, l2_ways), span = _random_warm_tables(
+                random.Random(seed)
+            )
+            mirror, _, _ = _random_warm_tables(random.Random(seed))
+            args = (span[0], span[1], 64)
+            shape = (l1_ways, 0, 7, l2_ways, 0, 15)
+
+            def run(impl, s):
+                return impl(
+                    *args,
+                    s["lb_lines"],
+                    s["lb_uses"],
+                    s["lb_clock"],
+                    s["l1_tags"],
+                    s["l1_order"],
+                    shape[0],
+                    shape[1],
+                    shape[2],
+                    s["l1_seen"],
+                    s["l2_tags"],
+                    s["l2_order"],
+                    shape[3],
+                    shape[4],
+                    shape[5],
+                    s["l2_seen"],
+                )
+
+            clock_native = run(native.warm_lines, state)
+            clock_py = run(pylib.warm_lines, mirror)
+            assert clock_native == clock_py, f"trial {trial}"
+            for field in ("lb_lines", "lb_uses", "l1_tags", "l1_order",
+                          "l2_tags", "l2_order"):
+                assert state[field] == mirror[field], (trial, field)
+            # Seen-sets must match including insertion order (identical
+            # insertion sequences yield identical iteration order).
+            assert list(state["l1_seen"]) == list(mirror["l1_seen"]), trial
+            assert list(state["l2_seen"]) == list(mirror["l2_seen"]), trial
+
+
+# -- backend selection ------------------------------------------------------
+
+
+def _fresh_kernels(monkeypatch, value, block_native=False):
+    """Re-import repro.kernels under ``REPRO_KERNELS=value``, leaving
+    the process's real module bindings untouched afterwards."""
+    if value is None:
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_KERNELS", value)
+    saved = {
+        name: sys.modules.pop(name)
+        for name in list(sys.modules)
+        if name == "repro.kernels" or name.startswith("repro.kernels.")
+    }
+
+    class _BlockNative:
+        def find_spec(self, fullname, path=None, target=None):
+            if fullname == "repro.kernels._native":
+                raise ImportError("native extension blocked for this test")
+            return None
+
+    finder = _BlockNative() if block_native else None
+    if finder is not None:
+        sys.meta_path.insert(0, finder)
+    try:
+        return importlib.import_module("repro.kernels")
+    finally:
+        if finder is not None:
+            sys.meta_path.remove(finder)
+        for name in list(sys.modules):
+            if name == "repro.kernels" or name.startswith("repro.kernels."):
+                del sys.modules[name]
+        sys.modules.update(saved)
+
+
+class TestBackendSelection:
+    def test_py_override_forces_fallback(self, monkeypatch):
+        module = _fresh_kernels(monkeypatch, "py")
+        assert module.NATIVE is False
+        assert module.backend_name() == "py"
+        assert module.find_way is module.pylib.find_way
+
+    def test_invalid_value_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="REPRO_KERNELS"):
+            _fresh_kernels(monkeypatch, "fast")
+
+    def test_compiled_without_extension_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="not.*built"):
+            _fresh_kernels(monkeypatch, "compiled", block_native=True)
+
+    def test_default_falls_back_silently(self, monkeypatch):
+        module = _fresh_kernels(monkeypatch, None, block_native=True)
+        assert module.NATIVE is False
+        assert module.backend_name() == "py"
+
+
+# -- consumer routing (works with no compiler: kernel path = pylib) ---------
+
+
+class TestConsumerRouting:
+    def test_set_assoc_kernel_path_matches_inline(self, monkeypatch):
+        from repro.cache import set_assoc
+
+        def build():
+            return set_assoc.SetAssociativeCache(
+                size_bytes=4096, ways=4, line_bytes=64
+            )
+
+        rng = random.Random(31)
+        stream = [rng.randrange(1 << 14) * 4 for _ in range(4000)]
+
+        monkeypatch.setattr(set_assoc, "_native_find_way", None)
+        inline = build()
+        for address in stream:
+            inline.access(address)
+
+        monkeypatch.setattr(
+            set_assoc, "_native_find_way", pylib.find_way
+        )
+        routed = build()
+        for address in stream:
+            routed.access(address)
+
+        assert routed._tags == inline._tags
+        assert routed._policy._order == inline._policy._order
+        assert routed.stats.hits == inline.stats.hits
+        assert routed.stats.misses == inline.stats.misses
+
+    def test_gshare_kernel_path_matches_inline(self, monkeypatch):
+        from repro.branch import gshare as gshare_module
+
+        rng = random.Random(32)
+        stream = [
+            (rng.randrange(1 << 20), rng.random() < 0.5)
+            for _ in range(3000)
+        ]
+
+        monkeypatch.setattr(gshare_module, "_native_update", None)
+        inline = gshare_module.GsharePredictor(size_bytes=1024)
+        for address, taken in stream:
+            inline.update(address, taken)
+
+        monkeypatch.setattr(
+            gshare_module, "_native_update", pylib.gshare_update
+        )
+        routed = gshare_module.GsharePredictor(size_bytes=1024)
+        for address, taken in stream:
+            routed.update(address, taken)
+
+        assert routed._counters == inline._counters
+        assert routed._history == inline._history
+
+    def test_btb_kernel_path_matches_inline(self, monkeypatch):
+        from repro.branch import btb as btb_module
+
+        rng = random.Random(33)
+        stream = [
+            (rng.randrange(1 << 12) * 4, rng.randrange(1 << 16))
+            for _ in range(3000)
+        ]
+
+        monkeypatch.setattr(btb_module, "_native_probe", None)
+        inline = btb_module.BranchTargetBuffer(entries=256)
+        inline_correct = [
+            inline.predict_and_update(a, t) for a, t in stream
+        ]
+
+        monkeypatch.setattr(btb_module, "_native_probe", pylib.btb_probe)
+        routed = btb_module.BranchTargetBuffer(entries=256)
+        routed_correct = [
+            routed.predict_and_update(a, t) for a, t in stream
+        ]
+
+        assert routed_correct == inline_correct
+        assert routed._tags == inline._tags
+        assert routed._targets == inline._targets
+        assert routed.stats == inline.stats
+
+    def test_warmer_kernel_path_matches_inline(self, monkeypatch):
+        from repro.machine.model import get_model
+        from repro.sampling import BatchedWarmer, SamplingPlan
+        from repro.sampling import warmer as warmer_module
+        from repro.sampling.slicer import IntervalKind, slice_traces
+        from repro.trace.synthesis import synthesize_benchmark
+
+        model = get_model("acmp")
+        config = model.shared_config(itlb_enabled=True)
+        traces = synthesize_benchmark(
+            "UA", thread_count=config.core_count, scale=0.2
+        )
+        plan = SamplingPlan(
+            detail_instructions=2_000,
+            skip_instructions=6_000,
+            warmup_instructions=6_000,
+        )
+        intervals = [
+            interval
+            for interval in slice_traces(traces, plan)
+            if interval.kind is not IntervalKind.SKIP
+        ]
+        assert intervals, "probe trace too small to slice"
+
+        monkeypatch.setattr(warmer_module, "_native_warm", None)
+        inline_system = model.build_system(config, traces)
+        inline_warmer = BatchedWarmer(inline_system, traces)
+        inline_blocks = sum(
+            inline_warmer.warm_interval(i) for i in intervals
+        )
+
+        monkeypatch.setattr(
+            warmer_module, "_native_warm", pylib.warm_lines
+        )
+        routed_system = model.build_system(config, traces)
+        routed_warmer = BatchedWarmer(routed_system, traces)
+        routed_blocks = sum(
+            routed_warmer.warm_interval(i) for i in intervals
+        )
+
+        assert routed_blocks == inline_blocks > 0
+        assert (
+            routed_system.capture_warm_state().to_dict()
+            == inline_system.capture_warm_state().to_dict()
+        )
