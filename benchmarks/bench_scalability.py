@@ -178,6 +178,7 @@ def test_emit_campaign_timing(tmp_path):
                 "interconnect_busy_batched": stats.interconnect_busy_batched,
                 "commit_cycles_batched": stats.commit_cycles_batched,
                 "redirect_cycles_batched": stats.redirect_cycles_batched,
+                "replay_walk_engaged": stats.replay_walk_engaged,
             }
         )
     kernel_stats = kernel_skip[0]
@@ -290,8 +291,13 @@ def test_emit_campaign_timing(tmp_path):
 
     # Warming-throughput probe: basic blocks per second through the
     # batched functional warmer versus the scalar reference walk, over
-    # the same probe trace's non-skip intervals.
+    # the same probe trace's non-skip intervals. The batched walk is
+    # measured once per kernel backend (the pure-Python walk always,
+    # the compiled span path only when the extension is loaded) so the
+    # trajectory records both numbers side by side.
+    from repro import kernels
     from repro.machine.model import get_model
+    from repro.sampling import warmer as warmer_module
     from repro.sampling.simulator import _warm_interval
     from repro.sampling.slicer import IntervalKind, slice_traces
     from repro.sampling.warmer import BatchedWarmer
@@ -302,13 +308,26 @@ def test_emit_campaign_timing(tmp_path):
         for interval in slice_traces(probe_traces, plan)
         if interval.kind is not IntervalKind.SKIP
     ]
-    warm_system = model.build_system(base_cfg, probe_traces)
-    warmer = BatchedWarmer(warm_system, probe_traces)
-    started = time.perf_counter()
-    batched_blocks = sum(
-        warmer.warm_interval(interval) for interval in warm_intervals
-    )
-    batched_s = time.perf_counter() - started
+
+    def time_batched():
+        system = model.build_system(base_cfg, probe_traces)
+        warmer = BatchedWarmer(system, probe_traces)
+        started = time.perf_counter()
+        blocks = sum(
+            warmer.warm_interval(interval) for interval in warm_intervals
+        )
+        return blocks, time.perf_counter() - started
+
+    batched_blocks, batched_s = time_batched()  # active backend
+    saved_bindings = (warmer_module._native_span, warmer_module._native_warm)
+    warmer_module._native_span = None
+    warmer_module._native_warm = None
+    try:
+        _, py_batched_s = time_batched()
+    finally:
+        warmer_module._native_span, warmer_module._native_warm = (
+            saved_bindings
+        )
     scalar_system = model.build_system(base_cfg, probe_traces)
     started = time.perf_counter()
     for interval in warm_intervals:
@@ -323,11 +342,14 @@ def test_emit_campaign_timing(tmp_path):
         "batched_blocks_per_s": round(batched_blocks / batched_s),
         "scalar_blocks_per_s": round(batched_blocks / scalar_s),
         "batched_speedup": round(scalar_s / batched_s, 3),
+        "batched_blocks_per_s_py": round(batched_blocks / py_batched_s),
+        "batched_blocks_per_s_compiled": (
+            round(batched_blocks / batched_s) if kernels.NATIVE else None
+        ),
     }
 
     # The runner's own clamp bookkeeping (an empty batch takes the
     # serial path but still computes the width the pool would get).
-    from repro import kernels
     from repro.campaign import run_specs
 
     jobs_report = run_specs([], jobs=4)
@@ -396,6 +418,16 @@ def test_emit_campaign_timing(tmp_path):
     assert cycles["hit_base"] == cycles["cold_base"]
     assert cycles["hit_shared"] == cycles["cold_shared"]
     # The batched-warming lever: the vectorised walk must outpace the
-    # scalar reference walk it is bit-identical to.
+    # scalar reference walk it is bit-identical to, on both backends.
     assert warming_probe["batched_speedup"] >= 1.5
     assert warming_probe["batched_blocks_per_s"] >= 100_000
+    assert warming_probe["batched_blocks_per_s_py"] >= 100_000
+    if kernels.NATIVE:
+        # The span kernel must beat PR 7's per-block compiled walk
+        # (711k blocks/s on this container), not merely the py path.
+        assert warming_probe["batched_blocks_per_s_compiled"] > 711_000
+        # The compiled replay walks must actually engage on every
+        # scheduler probe — the settlement paths all route through it.
+        assert all(
+            entry["replay_walk_engaged"] > 0 for entry in kernel_skip
+        )

@@ -15,8 +15,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import kernels
 from repro.errors import SimulationError
 from repro.utils import require_positive
+
+#: Compiled credit-trajectory walk, or None on the pure-Python backend —
+#: the planning/settlement methods below then keep their inline loops.
+#: One entry point serves all four walks (see repro.kernels.pylib).
+_native_replay = kernels.replay_walk if kernels.NATIVE else None
+_REPLAY_NEXT = kernels.REPLAY_NEXT
+_REPLAY_HORIZON = kernels.REPLAY_HORIZON
+_REPLAY_DRAIN = kernels.REPLAY_DRAIN
+_REPLAY_STEPS = kernels.REPLAY_STEPS
 
 #: Stall categories reported in the CPI stack (Fig. 8).
 STALL_CAUSES = (
@@ -65,6 +75,10 @@ class CommitEngine:
         self._ipc = initial_ipc
         self._credit = 0.0
         self.stats = CommitStats()
+        #: Compiled trajectory walks taken (0 on the pure-Python
+        #: backend); surfaced through the kernel stats so the bench can
+        #: assert the fast path engages.
+        self.replay_walk_engaged = 0
 
     # -- instruction queue --------------------------------------------------
 
@@ -151,6 +165,13 @@ class CommitEngine:
         """
         if self._iq_count == 0:
             return None
+        if _native_replay is not None:
+            self.replay_walk_engaged += 1
+            ahead = _native_replay(
+                _REPLAY_NEXT, self._credit, self._ipc, self._iq_count,
+                cap, -1,
+            )
+            return ahead if ahead else None
         credit = self._credit
         ipc = self._ipc
         for ahead in range(1, cap + 1):
@@ -186,9 +207,15 @@ class CommitEngine:
         iq = self._iq_count
         if iq == 0:
             return None
+        space_limit = self.iq_capacity - space_needed if space_needed else -1
+        if _native_replay is not None:
+            self.replay_walk_engaged += 1
+            return _native_replay(
+                _REPLAY_HORIZON, self._credit, self._ipc, iq, cap,
+                space_limit,
+            )
         credit = self._credit
         ipc = self._ipc
-        space_limit = self.iq_capacity - space_needed if space_needed else -1
         for ahead in range(1, cap + 1):
             credit += ipc
             commit = min(int(credit), iq)
@@ -219,6 +246,12 @@ class CommitEngine:
         iq = self._iq_count
         if iq == 0:
             return None
+        if _native_replay is not None:
+            self.replay_walk_engaged += 1
+            drain = _native_replay(
+                _REPLAY_DRAIN, self._credit, self._ipc, iq, cap, -1,
+            )
+            return drain if drain else None
         credit = self._credit
         ipc = self._ipc
         for ahead in range(1, cap + 1):
@@ -248,6 +281,26 @@ class CommitEngine:
         replayed span (``None`` when the span was pure pacing) — the
         watchdog needs the exact cycle progress was last made.
         """
+        if _native_replay is not None:
+            self.replay_walk_engaged += 1
+            committed_total, base_cycles, last_commit, iq, credit, stalled = (
+                _native_replay(
+                    _REPLAY_STEPS, self._credit, self._ipc, self._iq_count,
+                    cycles, -1,
+                )
+            )
+            # The walk stops on a stall with the prefix state applied —
+            # the stall cycle's credit earned, no base cycle charged —
+            # exactly the state the stepped loop below raises from.
+            self._iq_count = iq
+            self._credit = credit
+            self.stats.committed += committed_total
+            self.stats.base_cycles += base_cycles
+            if stalled:
+                raise SimulationError(
+                    "commit-replay window crossed a stall boundary"
+                )
+            return committed_total, last_commit if last_commit else None
         committed_total = 0
         last_commit = None
         for offset in range(1, cycles + 1):

@@ -44,22 +44,25 @@ class LoopPredictor(DirectionPredictor):
 
     def confident(self, address: int) -> bool:
         """True when this predictor should override the direction predictor."""
-        index = self._index(address)
+        # The tag is the index's unmasked form: one shift serves both.
+        tag = address >> self._index_shift
+        index = tag & self._mask
         return (
-            self._tags[index] == self._tag(address)
+            self._tags[index] == tag
             and self._confidences[index] >= CONFIDENT
         )
 
     def predict(self, address: int) -> bool:
-        index = self._index(address)
-        if self._tags[index] != self._tag(address):
+        tag = address >> self._index_shift
+        index = tag & self._mask
+        if self._tags[index] != tag:
             return True  # unknown loop branch: assume taken (stay in loop)
         trips = self._trips[index]
         return self._currents[index] + 1 < trips or trips == 0
 
     def update(self, address: int, taken: bool) -> None:
-        index = self._index(address)
-        tag = self._tag(address)
+        tag = address >> self._index_shift
+        index = tag & self._mask
         if self._tags[index] != tag:
             # Allocate on a not-taken outcome: that is a potential loop exit.
             if not taken:

@@ -54,6 +54,7 @@ class LineBufferSet:
     count: int
     line_bytes: int = 64
     _entries: list[_Entry] = field(init=False)
+    _line_mask: int = field(init=False)
     _clock: int = field(init=False, default=0)
     stats: LineBufferStats = field(init=False)
 
@@ -61,10 +62,13 @@ class LineBufferSet:
         require_positive(self.count, "line buffer count")
         require_power_of_two(self.line_bytes, "line_bytes")
         self._entries = [_Entry() for _ in range(self.count)]
+        # -line_bytes == ~(line_bytes - 1) for powers of two; computed
+        # once instead of on every probe/allocate/fill.
+        self._line_mask = -self.line_bytes
         self.stats = LineBufferStats()
 
     def line_address(self, address: int) -> int:
-        return address & ~(self.line_bytes - 1)
+        return address & self._line_mask
 
     def lookup(self, address: int, count: bool = True) -> LookupState:
         """Probe for the line containing ``address``.

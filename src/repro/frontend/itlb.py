@@ -69,7 +69,9 @@ class InstructionTlb:
         Returns the extra cycles the fetch must wait: 0 on a hit, the
         page-walk penalty on a miss (the translation is installed).
         """
-        page = self.page_of(address)
+        # One lookup per fetched line: inline page_of (a shift by the
+        # constant page mask captured at construction).
+        page = address >> self._page_shift
         self._clock += 1
         self.stats.lookups += 1
         if page in self._translations:

@@ -42,6 +42,12 @@ __all__ = [
     "gshare_update",
     "btb_probe",
     "warm_lines",
+    "warm_span",
+    "replay_walk",
+    "REPLAY_NEXT",
+    "REPLAY_HORIZON",
+    "REPLAY_DRAIN",
+    "REPLAY_STEPS",
 ]
 
 _REQUESTED = os.environ.get("REPRO_KERNELS", "").strip().lower()
@@ -60,20 +66,42 @@ if _REQUESTED != "py":
                 "REPRO_KERNELS=compiled but the native extension is not "
                 "built; run `python -m repro.kernels.build` first"
             ) from None
+    else:
+        # A stale build from before an entry point was added must not
+        # half-engage: either the whole surface is native or none of it.
+        if not hasattr(_native, "replay_walk"):
+            if _REQUESTED == "compiled":
+                raise ConfigurationError(
+                    "REPRO_KERNELS=compiled but the built extension is "
+                    "stale (missing entry points); rerun "
+                    "`python -m repro.kernels.build` "
+                    "(`--check` shows the staleness)"
+                )
+            _native = None
 
 #: True when the compiled backend is active for this process.
 NATIVE = _native is not None
+
+#: :func:`replay_walk` mode selectors (see :mod:`repro.kernels.pylib`).
+REPLAY_NEXT = pylib.REPLAY_NEXT
+REPLAY_HORIZON = pylib.REPLAY_HORIZON
+REPLAY_DRAIN = pylib.REPLAY_DRAIN
+REPLAY_STEPS = pylib.REPLAY_STEPS
 
 if NATIVE:
     find_way = _native.find_way
     gshare_update = _native.gshare_update
     btb_probe = _native.btb_probe
     warm_lines = _native.warm_lines
+    warm_span = _native.warm_span
+    replay_walk = _native.replay_walk
 else:
     find_way = pylib.find_way
     gshare_update = pylib.gshare_update
     btb_probe = pylib.btb_probe
     warm_lines = pylib.warm_lines
+    warm_span = pylib.warm_span
+    replay_walk = pylib.replay_walk
 
 
 def backend_name() -> str:

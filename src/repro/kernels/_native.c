@@ -187,6 +187,166 @@ kernels_btb_probe(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     Py_RETURN_NONE;
 }
 
+/* The shared lb/L1/L2 warm tables of one core, bound once per call so
+ * the per-line helper below keeps a flat signature. */
+typedef struct {
+    PyObject *lb_lines;
+    PyObject *lb_uses;
+    Py_ssize_t lb_n;
+    long long lb_clock;
+    PyObject *l1_tags;
+    PyObject *l1_order;
+    Py_ssize_t l1_ways;
+    long long l1_shift;
+    long long l1_set_mask;
+    PyObject *l1_seen;
+    PyObject *l2_tags;
+    PyObject *l2_order;
+    Py_ssize_t l2_ways;
+    long long l2_shift;
+    long long l2_set_mask;
+    PyObject *l2_seen;
+} warm_tables;
+
+/* One line through the line buffers, then L1I and L2 on misses —
+ * the per-line body of pylib.warm_lines/warm_span, statement for
+ * statement (first-match scans, first-minimum victims, lazy order
+ * lists). Returns 0, or -1 with an exception set. */
+static int
+warm_one_line(warm_tables *t, long long line)
+{
+    t->lb_clock++;
+    Py_ssize_t slot = list_find_ll(t->lb_lines, line);
+    if (slot >= 0) {
+        return list_set_ll(t->lb_uses, slot, t->lb_clock);
+    }
+    /* Buffer miss: first least-recently-used slot. */
+    Py_ssize_t victim = 0;
+    long long best = PyLong_AsLongLong(PyList_GET_ITEM(t->lb_uses, 0));
+    for (Py_ssize_t i = 1; i < t->lb_n; i++) {
+        long long use = PyLong_AsLongLong(PyList_GET_ITEM(t->lb_uses, i));
+        if (use < best) {
+            best = use;
+            victim = i;
+        }
+    }
+    t->lb_clock++;
+    if (list_set_ll(t->lb_lines, victim, line) < 0 ||
+        list_set_ll(t->lb_uses, victim, t->lb_clock) < 0) {
+        return -1;
+    }
+    /* L1I access (LRU; the caller guards on the policy type). */
+    Py_ssize_t set_index = (Py_ssize_t)((line >> t->l1_shift) & t->l1_set_mask);
+    PyObject *row = PyList_GET_ITEM(t->l1_tags, set_index);
+    Py_ssize_t way = list_find_ll(row, line);
+    PyObject *order;
+    if (way >= 0) {
+        order = ensure_order(t->l1_order, set_index, t->l1_ways);
+        if (order == NULL || order_touch(order, (long long)way) < 0) {
+            return -1;
+        }
+        return 0;
+    }
+    way = list_find_none(row);
+    if (way < 0) {
+        order = ensure_order(t->l1_order, set_index, t->l1_ways);
+        if (order == NULL) {
+            return -1;
+        }
+        way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
+    }
+    if (list_set_ll(row, way, line) < 0) {
+        return -1;
+    }
+    order = ensure_order(t->l1_order, set_index, t->l1_ways);
+    if (order == NULL || order_touch(order, (long long)way) < 0) {
+        return -1;
+    }
+    if (seen_add_ll(t->l1_seen, line) < 0) {
+        return -1;
+    }
+    /* L1 miss: walk the line through the L2 (always LRU). */
+    Py_ssize_t l2_set = (Py_ssize_t)((line >> t->l2_shift) & t->l2_set_mask);
+    PyObject *l2_row = PyList_GET_ITEM(t->l2_tags, l2_set);
+    Py_ssize_t l2_way = list_find_ll(l2_row, line);
+    if (l2_way < 0) {
+        l2_way = list_find_none(l2_row);
+        if (l2_way < 0) {
+            order = ensure_order(t->l2_order, l2_set, t->l2_ways);
+            if (order == NULL) {
+                return -1;
+            }
+            l2_way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
+        }
+        if (list_set_ll(l2_row, l2_way, line) < 0 ||
+            seen_add_ll(t->l2_seen, line) < 0) {
+            return -1;
+        }
+    }
+    order = ensure_order(t->l2_order, l2_set, t->l2_ways);
+    if (order == NULL || order_touch(order, (long long)l2_way) < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+/* One iTLB lookup during warming: clock bump, hit refresh, or
+ * seen-set insert + first-minimum LRU eviction (dict insertion order,
+ * exactly `min(t_map, key=t_map.__getitem__)`) + install. Returns 0,
+ * or -1 with an exception set. */
+static int
+itlb_step(PyObject *t_map, PyObject *t_seen, long long *t_clock,
+          long long page, Py_ssize_t t_capacity)
+{
+    (*t_clock)++;
+    PyObject *key = PyLong_FromLongLong(page);
+    if (key == NULL) {
+        return -1;
+    }
+    int resident = PyDict_Contains(t_map, key);
+    if (resident < 0) {
+        Py_DECREF(key);
+        return -1;
+    }
+    if (!resident) {
+        if (PySet_Add(t_seen, key) < 0) {
+            Py_DECREF(key);
+            return -1;
+        }
+        if (PyDict_GET_SIZE(t_map) >= t_capacity) {
+            /* First minimum over insertion order, like Python's min()
+             * over dict keys. */
+            PyObject *k, *v;
+            Py_ssize_t pos = 0;
+            PyObject *victim = NULL;
+            long long best = 0;
+            while (PyDict_Next(t_map, &pos, &k, &v)) {
+                long long use = PyLong_AsLongLong(v);
+                if (victim == NULL || use < best) {
+                    best = use;
+                    victim = k;
+                }
+            }
+            Py_INCREF(victim);
+            int rc = PyDict_DelItem(t_map, victim);
+            Py_DECREF(victim);
+            if (rc < 0) {
+                Py_DECREF(key);
+                return -1;
+            }
+        }
+    }
+    PyObject *clock_obj = PyLong_FromLongLong(*t_clock);
+    if (clock_obj == NULL) {
+        Py_DECREF(key);
+        return -1;
+    }
+    int rc = PyDict_SetItem(t_map, key, clock_obj);
+    Py_DECREF(key);
+    Py_DECREF(clock_obj);
+    return rc;
+}
+
 /* warm_lines(line, end_address, line_bytes,
  *            lb_lines, lb_uses, lb_clock,
  *            l1_tags, l1_order, l1_ways, l1_shift, l1_set_mask, l1_seen,
@@ -203,112 +363,321 @@ kernels_warm_lines(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     long long line = PyLong_AsLongLong(args[0]);
     long long end_address = PyLong_AsLongLong(args[1]);
     long long line_bytes = PyLong_AsLongLong(args[2]);
-    PyObject *lb_lines = args[3];
-    PyObject *lb_uses = args[4];
-    long long lb_clock = PyLong_AsLongLong(args[5]);
-    PyObject *l1_tags = args[6];
-    PyObject *l1_order = args[7];
-    Py_ssize_t l1_ways = PyLong_AsSsize_t(args[8]);
-    long long l1_shift = PyLong_AsLongLong(args[9]);
-    long long l1_set_mask = PyLong_AsLongLong(args[10]);
-    PyObject *l1_seen = args[11];
-    PyObject *l2_tags = args[12];
-    PyObject *l2_order = args[13];
-    Py_ssize_t l2_ways = PyLong_AsSsize_t(args[14]);
-    long long l2_shift = PyLong_AsLongLong(args[15]);
-    long long l2_set_mask = PyLong_AsLongLong(args[16]);
-    PyObject *l2_seen = args[17];
+    warm_tables t;
+    t.lb_lines = args[3];
+    t.lb_uses = args[4];
+    t.lb_clock = PyLong_AsLongLong(args[5]);
+    t.l1_tags = args[6];
+    t.l1_order = args[7];
+    t.l1_ways = PyLong_AsSsize_t(args[8]);
+    t.l1_shift = PyLong_AsLongLong(args[9]);
+    t.l1_set_mask = PyLong_AsLongLong(args[10]);
+    t.l1_seen = args[11];
+    t.l2_tags = args[12];
+    t.l2_order = args[13];
+    t.l2_ways = PyLong_AsSsize_t(args[14]);
+    t.l2_shift = PyLong_AsLongLong(args[15]);
+    t.l2_set_mask = PyLong_AsLongLong(args[16]);
+    t.l2_seen = args[17];
     if (PyErr_Occurred()) {
         return NULL;
     }
-    if (!PyList_Check(lb_lines) || !PyList_Check(lb_uses) ||
-        !PyList_Check(l1_tags) || !PyList_Check(l1_order) ||
-        !PyList_Check(l2_tags) || !PyList_Check(l2_order) ||
-        !PySet_Check(l1_seen) || !PySet_Check(l2_seen)) {
+    if (!PyList_Check(t.lb_lines) || !PyList_Check(t.lb_uses) ||
+        !PyList_Check(t.l1_tags) || !PyList_Check(t.l1_order) ||
+        !PyList_Check(t.l2_tags) || !PyList_Check(t.l2_order) ||
+        !PySet_Check(t.l1_seen) || !PySet_Check(t.l2_seen)) {
         PyErr_SetString(PyExc_TypeError,
                         "warm_lines table arguments must be lists/sets");
         return NULL;
     }
-    Py_ssize_t lb_n = PyList_GET_SIZE(lb_lines);
+    t.lb_n = PyList_GET_SIZE(t.lb_lines);
 
     for (; line < end_address; line += line_bytes) {
-        lb_clock++;
-        Py_ssize_t slot = list_find_ll(lb_lines, line);
-        if (slot >= 0) {
-            if (list_set_ll(lb_uses, slot, lb_clock) < 0) {
-                return NULL;
-            }
-            continue;
-        }
-        /* Buffer miss: first least-recently-used slot. */
-        Py_ssize_t victim = 0;
-        long long best = PyLong_AsLongLong(PyList_GET_ITEM(lb_uses, 0));
-        for (Py_ssize_t i = 1; i < lb_n; i++) {
-            long long use = PyLong_AsLongLong(PyList_GET_ITEM(lb_uses, i));
-            if (use < best) {
-                best = use;
-                victim = i;
-            }
-        }
-        lb_clock++;
-        if (list_set_ll(lb_lines, victim, line) < 0 ||
-            list_set_ll(lb_uses, victim, lb_clock) < 0) {
-            return NULL;
-        }
-        /* L1I access (LRU; the caller guards on the policy type). */
-        Py_ssize_t set_index = (Py_ssize_t)((line >> l1_shift) & l1_set_mask);
-        PyObject *row = PyList_GET_ITEM(l1_tags, set_index);
-        Py_ssize_t way = list_find_ll(row, line);
-        PyObject *order;
-        if (way >= 0) {
-            order = ensure_order(l1_order, set_index, l1_ways);
-            if (order == NULL || order_touch(order, (long long)way) < 0) {
-                return NULL;
-            }
-            continue;
-        }
-        way = list_find_none(row);
-        if (way < 0) {
-            order = ensure_order(l1_order, set_index, l1_ways);
-            if (order == NULL) {
-                return NULL;
-            }
-            way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
-        }
-        if (list_set_ll(row, way, line) < 0) {
-            return NULL;
-        }
-        order = ensure_order(l1_order, set_index, l1_ways);
-        if (order == NULL || order_touch(order, (long long)way) < 0) {
-            return NULL;
-        }
-        if (seen_add_ll(l1_seen, line) < 0) {
-            return NULL;
-        }
-        /* L1 miss: walk the line through the L2 (always LRU). */
-        Py_ssize_t l2_set = (Py_ssize_t)((line >> l2_shift) & l2_set_mask);
-        PyObject *l2_row = PyList_GET_ITEM(l2_tags, l2_set);
-        Py_ssize_t l2_way = list_find_ll(l2_row, line);
-        if (l2_way < 0) {
-            l2_way = list_find_none(l2_row);
-            if (l2_way < 0) {
-                order = ensure_order(l2_order, l2_set, l2_ways);
-                if (order == NULL) {
-                    return NULL;
-                }
-                l2_way = PyLong_AsSsize_t(PyList_GET_ITEM(order, 0));
-            }
-            if (list_set_ll(l2_row, l2_way, line) < 0 ||
-                seen_add_ll(l2_seen, line) < 0) {
-                return NULL;
-            }
-        }
-        order = ensure_order(l2_order, l2_set, l2_ways);
-        if (order == NULL || order_touch(order, (long long)l2_way) < 0) {
+        if (warm_one_line(&t, line) < 0) {
             return NULL;
         }
     }
-    return PyLong_FromLongLong(lb_clock);
+    return PyLong_FromLongLong(t.lb_clock);
+}
+
+/* warm_span(bstart, bend, line_bytes,
+ *           starts, counts, kinds, keys, targets, takens,
+ *           lb_lines, lb_uses, lb_clock,
+ *           l1_tags, l1_order, l1_ways, l1_shift, l1_set_mask, l1_seen,
+ *           l2_tags, l2_order, l2_ways, l2_shift, l2_set_mask, l2_seen,
+ *           g_counters, g_history, g_mask, g_shift,
+ *           lp_tags, lp_trips, lp_currents, lp_conf, lp_mask, lp_shift,
+ *           b_tags, b_targets, b_mask, b_shift,
+ *           t_map, t_seen, t_clock, t_shift, t_capacity)
+ *   -> (lb_clock, g_history, t_clock)
+ * Mirrors pylib.warm_span statement for statement: the whole encoded
+ * span — iTLB + lb/L1/L2 per line, gshare/loop/BTB per block — in one
+ * call. t_map may be None (no iTLB). */
+static PyObject *
+kernels_warm_span(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 43) {
+        PyErr_SetString(PyExc_TypeError, "warm_span expects 43 arguments");
+        return NULL;
+    }
+    Py_ssize_t bstart = PyLong_AsSsize_t(args[0]);
+    Py_ssize_t bend = PyLong_AsSsize_t(args[1]);
+    long long line_bytes = PyLong_AsLongLong(args[2]);
+    PyObject *starts = args[3];
+    PyObject *counts = args[4];
+    PyObject *kinds = args[5];
+    PyObject *keys = args[6];
+    PyObject *targets = args[7];
+    PyObject *takens = args[8];
+    warm_tables t;
+    t.lb_lines = args[9];
+    t.lb_uses = args[10];
+    t.lb_clock = PyLong_AsLongLong(args[11]);
+    t.l1_tags = args[12];
+    t.l1_order = args[13];
+    t.l1_ways = PyLong_AsSsize_t(args[14]);
+    t.l1_shift = PyLong_AsLongLong(args[15]);
+    t.l1_set_mask = PyLong_AsLongLong(args[16]);
+    t.l1_seen = args[17];
+    t.l2_tags = args[18];
+    t.l2_order = args[19];
+    t.l2_ways = PyLong_AsSsize_t(args[20]);
+    t.l2_shift = PyLong_AsLongLong(args[21]);
+    t.l2_set_mask = PyLong_AsLongLong(args[22]);
+    t.l2_seen = args[23];
+    PyObject *g_counters = args[24];
+    long long g_history = PyLong_AsLongLong(args[25]);
+    long long g_mask = PyLong_AsLongLong(args[26]);
+    long long g_shift = PyLong_AsLongLong(args[27]);
+    PyObject *lp_tags = args[28];
+    PyObject *lp_trips = args[29];
+    PyObject *lp_currents = args[30];
+    PyObject *lp_conf = args[31];
+    long long lp_mask = PyLong_AsLongLong(args[32]);
+    long long lp_shift = PyLong_AsLongLong(args[33]);
+    PyObject *b_tags = args[34];
+    PyObject *b_targets = args[35];
+    long long b_mask = PyLong_AsLongLong(args[36]);
+    long long b_shift = PyLong_AsLongLong(args[37]);
+    PyObject *t_map = args[38];
+    PyObject *t_seen = args[39];
+    long long t_clock = PyLong_AsLongLong(args[40]);
+    long long t_shift = PyLong_AsLongLong(args[41]);
+    Py_ssize_t t_capacity = PyLong_AsSsize_t(args[42]);
+    if (PyErr_Occurred()) {
+        return NULL;
+    }
+    int have_itlb = t_map != Py_None;
+    if (!PyList_Check(starts) || !PyList_Check(counts) ||
+        !PyList_Check(kinds) || !PyList_Check(keys) ||
+        !PyList_Check(targets) || !PyList_Check(takens) ||
+        !PyList_Check(t.lb_lines) || !PyList_Check(t.lb_uses) ||
+        !PyList_Check(t.l1_tags) || !PyList_Check(t.l1_order) ||
+        !PyList_Check(t.l2_tags) || !PyList_Check(t.l2_order) ||
+        !PySet_Check(t.l1_seen) || !PySet_Check(t.l2_seen) ||
+        !PyList_Check(g_counters) || !PyList_Check(lp_tags) ||
+        !PyList_Check(lp_trips) || !PyList_Check(lp_currents) ||
+        !PyList_Check(lp_conf) || !PyList_Check(b_tags) ||
+        !PyList_Check(b_targets) ||
+        (have_itlb && (!PyDict_Check(t_map) || !PySet_Check(t_seen)))) {
+        PyErr_SetString(PyExc_TypeError,
+                        "warm_span table arguments must be lists/sets/dicts");
+        return NULL;
+    }
+    if (bstart < 0 || bend > PyList_GET_SIZE(starts)) {
+        PyErr_SetString(PyExc_IndexError, "warm_span block range out of bounds");
+        return NULL;
+    }
+    t.lb_n = PyList_GET_SIZE(t.lb_lines);
+
+    for (Py_ssize_t index = bstart; index < bend; index++) {
+        long long line = PyLong_AsLongLong(PyList_GET_ITEM(starts, index));
+        long long count = PyLong_AsLongLong(PyList_GET_ITEM(counts, index));
+        for (long long i = 0; i < count; i++) {
+            if (have_itlb &&
+                itlb_step(t_map, t_seen, &t_clock, line >> t_shift,
+                          t_capacity) < 0) {
+                return NULL;
+            }
+            if (warm_one_line(&t, line) < 0) {
+                return NULL;
+            }
+            line += line_bytes;
+        }
+        long long kind = PyLong_AsLongLong(PyList_GET_ITEM(kinds, index));
+        if (kind == 1) {
+            long long address =
+                PyLong_AsLongLong(PyList_GET_ITEM(keys, index));
+            long long taken =
+                PyLong_AsLongLong(PyList_GET_ITEM(takens, index));
+            Py_ssize_t gi =
+                (Py_ssize_t)(((address >> g_shift) ^ g_history) & g_mask);
+            long long counter =
+                PyLong_AsLongLong(PyList_GET_ITEM(g_counters, gi));
+            if (taken) {
+                if (counter < 3 &&
+                    list_set_ll(g_counters, gi, counter + 1) < 0) {
+                    return NULL;
+                }
+            } else if (counter > 0 &&
+                       list_set_ll(g_counters, gi, counter - 1) < 0) {
+                return NULL;
+            }
+            g_history = ((g_history << 1) | (taken ? 1 : 0)) & g_mask;
+            long long tag = address >> lp_shift;
+            Py_ssize_t lp_index = (Py_ssize_t)(tag & lp_mask);
+            long long cur_tag =
+                PyLong_AsLongLong(PyList_GET_ITEM(lp_tags, lp_index));
+            if (cur_tag != tag) {
+                if (!taken &&
+                    (list_set_ll(lp_tags, lp_index, tag) < 0 ||
+                     list_set_ll(lp_trips, lp_index, 0) < 0 ||
+                     list_set_ll(lp_currents, lp_index, 0) < 0 ||
+                     list_set_ll(lp_conf, lp_index, 0) < 0)) {
+                    return NULL;
+                }
+            } else if (taken) {
+                long long current =
+                    PyLong_AsLongLong(PyList_GET_ITEM(lp_currents, lp_index));
+                if (list_set_ll(lp_currents, lp_index, current + 1) < 0) {
+                    return NULL;
+                }
+            } else {
+                long long observed = PyLong_AsLongLong(
+                    PyList_GET_ITEM(lp_currents, lp_index)) + 1;
+                long long trips =
+                    PyLong_AsLongLong(PyList_GET_ITEM(lp_trips, lp_index));
+                if (observed == trips) {
+                    long long confidence =
+                        PyLong_AsLongLong(PyList_GET_ITEM(lp_conf, lp_index));
+                    if (confidence < 3 &&
+                        list_set_ll(lp_conf, lp_index, confidence + 1) < 0) {
+                        return NULL;
+                    }
+                } else if (list_set_ll(lp_trips, lp_index, observed) < 0 ||
+                           list_set_ll(lp_conf, lp_index, 0) < 0) {
+                    return NULL;
+                }
+                if (list_set_ll(lp_currents, lp_index, 0) < 0) {
+                    return NULL;
+                }
+            }
+        } else if (kind == 2) {
+            long long address =
+                PyLong_AsLongLong(PyList_GET_ITEM(keys, index));
+            Py_ssize_t bi = (Py_ssize_t)((address >> b_shift) & b_mask);
+            long long target =
+                PyLong_AsLongLong(PyList_GET_ITEM(targets, index));
+            if (list_set_ll(b_tags, bi, address) < 0 ||
+                list_set_ll(b_targets, bi, target) < 0) {
+                return NULL;
+            }
+        }
+    }
+    return Py_BuildValue("(LLL)", t.lb_clock, g_history, t_clock);
+}
+
+/* replay_walk(mode, credit, ipc, iq, count, space_limit)
+ * Mirrors pylib.replay_walk: the CommitEngine's deterministic float
+ * credit trajectory, one call per planning/settlement walk. Modes 0-2
+ * return an int; mode 3 returns
+ * (committed, base_cycles, last_commit, iq, credit, stalled). */
+static PyObject *
+kernels_replay_walk(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6) {
+        PyErr_SetString(
+            PyExc_TypeError,
+            "replay_walk(mode, credit, ipc, iq, count, space_limit)");
+        return NULL;
+    }
+    long long mode = PyLong_AsLongLong(args[0]);
+    double credit = PyFloat_AsDouble(args[1]);
+    double ipc = PyFloat_AsDouble(args[2]);
+    long long iq = PyLong_AsLongLong(args[3]);
+    long long count = PyLong_AsLongLong(args[4]);
+    long long space_limit = PyLong_AsLongLong(args[5]);
+    if (PyErr_Occurred()) {
+        return NULL;
+    }
+    if (mode == 0) { /* REPLAY_NEXT */
+        for (long long ahead = 1; ahead <= count; ahead++) {
+            credit += ipc;
+            if (credit >= 1.0) {
+                return PyLong_FromLongLong(ahead);
+            }
+        }
+        return PyLong_FromLongLong(0);
+    }
+    if (mode == 1) { /* REPLAY_HORIZON */
+        for (long long ahead = 1; ahead <= count; ahead++) {
+            credit += ipc;
+            long long commit = (long long)credit;
+            if (commit > iq) {
+                commit = iq;
+            }
+            if (commit) {
+                iq -= commit;
+                credit -= (double)commit;
+                if (credit > ipc) {
+                    credit = ipc;
+                }
+                if (iq <= space_limit || iq == 0) {
+                    return PyLong_FromLongLong(ahead + 1);
+                }
+            }
+        }
+        return PyLong_FromLongLong(count);
+    }
+    if (mode == 2) { /* REPLAY_DRAIN */
+        for (long long ahead = 1; ahead <= count; ahead++) {
+            credit += ipc;
+            long long commit = (long long)credit;
+            if (commit > iq) {
+                commit = iq;
+            }
+            if (commit) {
+                iq -= commit;
+                credit -= (double)commit;
+                if (credit > ipc) {
+                    credit = ipc;
+                }
+                if (iq == 0) {
+                    return PyLong_FromLongLong(ahead);
+                }
+            }
+        }
+        return PyLong_FromLongLong(0);
+    }
+    /* REPLAY_STEPS */
+    long long committed = 0;
+    long long base_cycles = 0;
+    long long last_commit = 0;
+    int stalled = 0;
+    for (long long offset = 1; offset <= count; offset++) {
+        credit += ipc;
+        long long commit = (long long)credit;
+        if (commit > iq) {
+            commit = iq;
+        }
+        if (commit > 0) {
+            iq -= commit;
+            credit -= (double)commit;
+            base_cycles++;
+            if (credit > ipc) {
+                credit = ipc;
+            }
+            committed += commit;
+            last_commit = offset;
+        } else if (credit >= 1.0) {
+            stalled = 1;
+            break;
+        } else {
+            base_cycles++;
+        }
+    }
+    return Py_BuildValue("(LLLLdO)", committed, base_cycles, last_commit,
+                         iq, credit, stalled ? Py_True : Py_False);
 }
 
 static PyMethodDef kernels_methods[] = {
@@ -320,6 +689,10 @@ static PyMethodDef kernels_methods[] = {
      "Tagged BTB probe; returns the target or None."},
     {"warm_lines", (PyCFunction)kernels_warm_lines, METH_FASTCALL,
      "Warm one basic block's lines through lb/L1/L2."},
+    {"warm_span", (PyCFunction)kernels_warm_span, METH_FASTCALL,
+     "Warm a whole encoded span: iTLB + lb/L1/L2 + branch structures."},
+    {"replay_walk", (PyCFunction)kernels_replay_walk, METH_FASTCALL,
+     "Walk a deterministic commit/pacing credit trajectory."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -6,16 +6,27 @@
 ``REPRO_KERNELS=py|compiled``). Only a C compiler and the Python
 headers are required — no pip packages, no build system; the command
 is the whole build.
+
+``python -m repro.kernels.build --check`` reports the selected backend,
+the compiler the build would use, and whether the built extension is
+stale (older than ``_native.c``, or missing entry points the current
+spec exports) — the first stop when a run is unexpectedly on the
+pure-Python backend.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import shlex
 import subprocess
 import sysconfig
 
-__all__ = ["build", "extension_path"]
+__all__ = ["build", "check", "extension_path", "BuildError"]
+
+
+class BuildError(RuntimeError):
+    """Compiler failure, carrying the compiler's own diagnostics."""
 
 
 def extension_path(out_dir: pathlib.Path | None = None) -> pathlib.Path:
@@ -27,20 +38,26 @@ def extension_path(out_dir: pathlib.Path | None = None) -> pathlib.Path:
     return directory / f"_native{suffix}"
 
 
+def compiler_command() -> list[str]:
+    """The compiler invocation prefix the build uses."""
+    compiler = sysconfig.get_config_var("CC") or "cc"
+    return shlex.split(compiler)
+
+
 def build(
     out_dir: pathlib.Path | None = None, verbose: bool = True
 ) -> pathlib.Path:
     """Compile ``_native.c``; returns the built extension's path.
 
     Raises:
-        subprocess.CalledProcessError: when the compiler fails.
+        BuildError: when the compiler fails, with its stderr in the
+            message (not just a bare non-zero-exit traceback).
         FileNotFoundError: when no C compiler is available.
     """
     source = pathlib.Path(__file__).with_name("_native.c")
     target = extension_path(out_dir)
-    compiler = sysconfig.get_config_var("CC") or "cc"
     command = [
-        *shlex.split(compiler),
+        *compiler_command(),
         "-O2",
         "-fPIC",
         "-shared",
@@ -51,11 +68,86 @@ def build(
     ]
     if verbose:
         print(" ".join(command))
-    subprocess.run(command, check=True)
+    result = subprocess.run(command, capture_output=True, text=True)
+    if result.returncode != 0:
+        stderr = result.stderr.strip()
+        raise BuildError(
+            f"compiler exited with status {result.returncode}:\n"
+            f"  {' '.join(command)}\n{stderr}"
+        )
+    if result.stderr and verbose:
+        print(result.stderr.rstrip())  # warnings from a successful build
     if verbose:
         print(f"built {target}")
     return target
 
 
-if __name__ == "__main__":
+def staleness(out_dir: pathlib.Path | None = None) -> str | None:
+    """Why the built extension cannot serve the current spec, or None.
+
+    Returns a human-readable reason — missing, older than ``_native.c``,
+    or missing entry points the spec exports — or ``None`` when the
+    build is present and current.
+    """
+    from repro.kernels import pylib
+
+    source = pathlib.Path(__file__).with_name("_native.c")
+    target = extension_path(out_dir)
+    if not target.exists():
+        return f"{target.name} is not built"
+    if target.stat().st_mtime < source.stat().st_mtime:
+        return f"{target.name} is older than {source.name}"
+    try:
+        import repro.kernels._native as native
+    except ImportError as error:
+        return f"{target.name} does not import: {error}"
+    missing = [
+        name
+        for name in pylib.__all__
+        if not name.startswith("REPLAY") and not hasattr(native, name)
+    ]
+    if missing:
+        return f"{target.name} lacks entry points: {', '.join(missing)}"
+    return None
+
+
+def check() -> int:
+    """Print backend/compiler/staleness status; exit 0 when healthy.
+
+    Healthy means the active backend is the one that would be selected
+    with a fresh, current build — a stale or missing extension under
+    ``REPRO_KERNELS=`` (auto) or ``=compiled`` returns 1 so scripts can
+    gate on it.
+    """
+    from repro import kernels
+
+    print(f"backend: {kernels.backend_name()}")
+    print(f"cc: {' '.join(compiler_command())}")
+    print(f"extension: {extension_path()}")
+    reason = staleness()
+    print(f"staleness: {reason if reason else 'current'}")
+    if reason and kernels.backend_name() != "compiled":
+        print("hint: run `python -m repro.kernels.build` to (re)build")
+    return 1 if reason else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.kernels.build",
+        description="Build or inspect the compiled kernel extension.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report selected backend, compiler and extension staleness "
+        "instead of building",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.check:
+        return check()
     build()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

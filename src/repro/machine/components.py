@@ -72,6 +72,15 @@ for it either. Every mode is conservative: a component that cannot
 prove quiescence simply stays on the run list, which is always
 equivalent (its steps are no-ops, exactly as in the reference engine).
 
+The planning walks (``cycles_to_next_commit``, ``replay_horizon``,
+``drain_horizon``) and both batched settlements (commit replay and the
+redirect replay's phase-1 drain, via ``replay_steps``) all reduce to the
+:class:`~repro.backend.backend.CommitEngine`'s deterministic float
+credit trajectory; on the compiled kernel backend each walk runs as one
+``repro.kernels.replay_walk`` call (bit-identical float additions), and
+the calls taken are surfaced through
+:attr:`~repro.engine.kernel.KernelStats.replay_walk_engaged`.
+
 :class:`GroupInterconnectComponent` additionally batches **busy-cycle
 accounting**: a bus occupied by an in-flight transfer does nothing per
 cycle except count itself busy, so the component sleeps across the

@@ -80,6 +80,10 @@ class SystemSimulator:
                 state.redirect_cycles_batched
                 for state in self.system.schedule_states
             )
+            self.kernel.stats.replay_walk_engaged += sum(
+                core.backend.replay_walk_engaged
+                for core in self.system.cores
+            )
         return self.system.collect_results(cycles)
 
     # -- error context -----------------------------------------------------

@@ -413,7 +413,10 @@ class SampledSimulator:
                 entry_ipc=tuple(None for _ in probe.threads),
                 instructions=0,
             )
-            _warm_interval(system, probe, full)
+            # Bit-identical to the scalar _warm_interval reference walk,
+            # but through the batched (and compiled, when built) path —
+            # the same walk production warming takes.
+            BatchedWarmer(system, probe).warm_interval(full)
             return SystemSimulator(
                 system, cycle_skip=self.cycle_skip
             ).run(max_cycles).cycles

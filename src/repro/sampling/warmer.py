@@ -30,6 +30,8 @@ working without a parallel implementation.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro import kernels
 from repro.branch.gshare import GsharePredictor
 from repro.cache.replacement import LruPolicy
@@ -46,8 +48,110 @@ __all__ = ["BatchedWarmer"]
 #: the instruction-side hierarchy always uses.
 _native_warm = kernels.warm_lines if kernels.NATIVE else None
 
+#: Compiled whole-span walk (iTLB + lb/L1/L2 + branch structures in one
+#: call over the flat span encoding), or None on the pure-Python
+#: backend. Engaged per core when the structures match the kernel's
+#: fast path exactly (LRU L1, stock gshare); other cores fall back to
+#: the per-block walk below.
+_native_span = kernels.warm_span if kernels.NATIVE else None
+
 _CONDITIONAL = BranchKind.CONDITIONAL
 _INDIRECT = BranchKind.INDIRECT
+
+
+class _CoreShape(NamedTuple):
+    """Construction-time constants of one core's warm structures.
+
+    Geometry — masks, shifts, way counts, iTLB capacity — is fixed when
+    the structures are built; warm-state restores adopt new *tables*,
+    never new shapes, so these are captured once per core instead of
+    being re-read on every span (the tables themselves still are).
+    """
+
+    g_mask: int
+    g_shift: int
+    lp_mask: int
+    lp_shift: int
+    b_mask: int
+    b_shift: int
+    t_shift: int
+    t_capacity: int
+    l1_ways: int
+    l1_shift: int
+    l1_set_mask: int
+    l2_ways: int
+    l2_shift: int
+    l2_set_mask: int
+
+
+class _SpanEncoding:
+    """One thread's records flattened to parallel span columns.
+
+    Per basic block: the first line address and line count of its fetch
+    walk, and its terminating branch as (kind, key, target, taken) with
+    kind 0 = trains nothing, 1 = conditional, 2 = indirect. ``prefix``
+    maps a record index to the number of encoded blocks before it, so a
+    record span ``[start, end)`` becomes the block range
+    ``[prefix[start], prefix[end])``. ``source`` keeps the records list
+    alive so an identity check can never alias a recycled id.
+    """
+
+    __slots__ = (
+        "source",
+        "length",
+        "prefix",
+        "starts",
+        "counts",
+        "kinds",
+        "keys",
+        "targets",
+        "takens",
+    )
+
+    def __init__(self, records, line_bytes: int) -> None:
+        self.source = records
+        self.length = len(records)
+        prefix = [0] * (self.length + 1)
+        self.starts = starts = []
+        self.counts = counts = []
+        self.kinds = kinds = []
+        self.keys = keys = []
+        self.targets = targets = []
+        self.takens = takens = []
+        line_mask = -line_bytes
+        blocks = 0
+        for index, record in enumerate(records):
+            prefix[index] = blocks
+            if type(record) is not BasicBlockRecord:
+                continue
+            blocks += 1
+            start_line = record.address & line_mask
+            span = record.end_address - start_line
+            starts.append(start_line)
+            counts.append(
+                (span + line_bytes - 1) // line_bytes if span > 0 else 0
+            )
+            kind = 0
+            key = 0
+            target = 0
+            taken = 0
+            branch = record.branch
+            if branch is not None:
+                branch_kind = branch.kind
+                if branch_kind is _CONDITIONAL:
+                    kind = 1
+                    key = record.branch_address
+                    taken = 1 if branch.taken else 0
+                elif branch_kind is _INDIRECT:
+                    kind = 2
+                    key = record.branch_address
+                    target = branch.target
+            kinds.append(kind)
+            keys.append(key)
+            targets.append(target)
+            takens.append(taken)
+        prefix[self.length] = blocks
+        self.prefix = prefix
 
 
 class BatchedWarmer:
@@ -65,18 +169,56 @@ class BatchedWarmer:
         #: their inner tables are re-read every span, because restores
         #: adopt snapshot storage and would strand deeper references.
         self._contexts = []
+        #: Per-core :class:`_CoreShape`, or None when the core's
+        #: structures do not match the compiled span walk (non-LRU L1,
+        #: subclassed direction predictor) and must take the per-block
+        #: fallback.
+        self._shapes = []
+        #: Per-core :class:`_SpanEncoding` cache, built lazily on the
+        #: first compiled span walk and rebuilt when the thread's
+        #: records list is replaced or resized.
+        self._encodings = []
         for core in system.cores:
             frontend = core.frontend
             hardware = hardware_by_group[id(core.cache_group)]
+            predictor = frontend.predictor
+            itlb = frontend.itlb
+            l1 = hardware.cache
+            l2 = hardware.hierarchy.l2
             self._contexts.append(
-                (
-                    frontend.line_buffers,
-                    frontend.predictor,
-                    frontend.itlb,
-                    hardware.cache,
-                    hardware.hierarchy.l2,
-                )
+                (frontend.line_buffers, predictor, itlb, l1, l2)
             )
+            direction = predictor.direction
+            # Strict type checks, like the inline fallback below: a
+            # subclass overriding update() must take the method-call
+            # path to keep bit-identity with the scalar walk.
+            if (
+                type(direction) is GsharePredictor
+                and type(l1._policy) is LruPolicy
+            ):
+                loop = predictor.loop
+                btb = predictor.btb
+                self._shapes.append(
+                    _CoreShape(
+                        g_mask=direction._mask,
+                        g_shift=direction._index_shift,
+                        lp_mask=loop._mask,
+                        lp_shift=loop._index_shift,
+                        b_mask=btb._mask,
+                        b_shift=btb._index_shift,
+                        t_shift=itlb._page_shift if itlb is not None else 0,
+                        t_capacity=itlb.entries if itlb is not None else 0,
+                        l1_ways=l1.ways,
+                        l1_shift=l1._line_shift,
+                        l1_set_mask=l1._set_mask,
+                        l2_ways=l2.ways,
+                        l2_shift=l2._line_shift,
+                        l2_set_mask=l2._set_mask,
+                    )
+                )
+            else:
+                self._shapes.append(None)
+            self._encodings.append(None)
 
     def warm_interval(self, interval: Interval) -> int:
         """Functionally warm one interval; returns basic blocks walked."""
@@ -86,11 +228,119 @@ class BatchedWarmer:
             if start == end:
                 continue
             blocks += self._walk_span(
-                context, self.traces.threads[core_id].records, start, end
+                core_id,
+                context,
+                self.traces.threads[core_id].records,
+                start,
+                end,
             )
         return blocks
 
-    def _walk_span(self, context, records, start, end) -> int:
+    def _walk_span(self, core_id, context, records, start, end) -> int:
+        shape = self._shapes[core_id]
+        if _native_span is not None and shape is not None:
+            return self._walk_span_native(
+                core_id, context, shape, records, start, end
+            )
+        return self._walk_span_py(context, records, start, end)
+
+    def _span_encoding(self, core_id, records) -> _SpanEncoding:
+        """The cached flat encoding of one thread's records.
+
+        Rebuilt when the thread's records list was replaced or resized;
+        the ``source`` reference keeps the identity check sound (a
+        collected list's id can be recycled, a referenced one's never).
+        """
+        encoding = self._encodings[core_id]
+        if (
+            encoding is None
+            or encoding.source is not records
+            or encoding.length != len(records)
+        ):
+            encoding = _SpanEncoding(records, self._line_bytes)
+            self._encodings[core_id] = encoding
+        return encoding
+
+    def _walk_span_native(
+        self, core_id, context, shape, records, start, end
+    ) -> int:
+        """Warm one span in a single compiled call over the encoding."""
+        encoding = self._span_encoding(core_id, records)
+        prefix = encoding.prefix
+        bstart = prefix[start]
+        bend = prefix[end]
+        if bstart == bend:
+            return 0
+        buffers, predictor, itlb, l1, l2 = context
+        lb_entries = buffers._entries
+        lb_lines = [entry.line for entry in lb_entries]
+        lb_uses = [entry.last_use for entry in lb_entries]
+        direction = predictor.direction
+        loop = predictor.loop
+        btb = predictor.btb
+        if itlb is not None:
+            t_map = itlb._translations
+            t_seen = itlb._seen_pages
+            t_clock = itlb._clock
+        else:
+            t_map = None
+            t_seen = None
+            t_clock = 0
+        lb_clock, g_history, t_clock = _native_span(
+            bstart,
+            bend,
+            self._line_bytes,
+            encoding.starts,
+            encoding.counts,
+            encoding.kinds,
+            encoding.keys,
+            encoding.targets,
+            encoding.takens,
+            lb_lines,
+            lb_uses,
+            buffers._clock,
+            l1._tags,
+            l1._policy._order,
+            shape.l1_ways,
+            shape.l1_shift,
+            shape.l1_set_mask,
+            l1.stats._seen_lines,
+            l2._tags,
+            l2._policy._order,
+            shape.l2_ways,
+            shape.l2_shift,
+            shape.l2_set_mask,
+            l2.stats._seen_lines,
+            direction._counters,
+            direction._history,
+            shape.g_mask,
+            shape.g_shift,
+            loop._tags,
+            loop._trips,
+            loop._currents,
+            loop._confidences,
+            shape.lp_mask,
+            shape.lp_shift,
+            btb._tags,
+            btb._targets,
+            shape.b_mask,
+            shape.b_shift,
+            t_map,
+            t_seen,
+            t_clock,
+            shape.t_shift,
+            shape.t_capacity,
+        )
+        for slot, entry in enumerate(lb_entries):
+            entry.line = lb_lines[slot]
+            entry.last_use = lb_uses[slot]
+        buffers._clock = lb_clock
+        direction._history = g_history
+        if itlb is not None:
+            itlb._clock = t_clock
+        return bend - bstart
+
+    def _walk_span_py(self, context, records, start, end) -> int:
         buffers, predictor, itlb, l1, l2 = context
         line_bytes = self._line_bytes
         line_mask = -line_bytes  # ~(line_bytes - 1) for powers of two

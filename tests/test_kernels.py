@@ -390,6 +390,9 @@ class TestConsumerRouting:
         ]
         assert intervals, "probe trace too small to slice"
 
+        # Pin the whole-span kernel off: this test isolates the
+        # per-block warm_lines routing.
+        monkeypatch.setattr(warmer_module, "_native_span", None)
         monkeypatch.setattr(warmer_module, "_native_warm", None)
         inline_system = model.build_system(config, traces)
         inline_warmer = BatchedWarmer(inline_system, traces)
@@ -411,3 +414,505 @@ class TestConsumerRouting:
             routed_system.capture_warm_state().to_dict()
             == inline_system.capture_warm_state().to_dict()
         )
+
+
+# -- whole-span warming kernel ----------------------------------------------
+
+
+def _sampled_warm_setup(scale=0.2, **config_overrides):
+    """A sliced UA trace plus builders for span-walk routing tests."""
+    from repro.machine.model import get_model
+    from repro.sampling import SamplingPlan
+    from repro.sampling.slicer import IntervalKind, slice_traces
+    from repro.trace.synthesis import synthesize_benchmark
+
+    model = get_model("acmp")
+    config = model.shared_config(itlb_enabled=True, **config_overrides)
+    traces = synthesize_benchmark(
+        "UA", thread_count=config.core_count, scale=scale
+    )
+    plan = SamplingPlan(
+        detail_instructions=2_000,
+        skip_instructions=6_000,
+        warmup_instructions=6_000,
+    )
+    intervals = [
+        interval
+        for interval in slice_traces(traces, plan)
+        if interval.kind is not IntervalKind.SKIP
+    ]
+    assert intervals, "probe trace too small to slice"
+    return model, config, traces, intervals
+
+
+class TestWarmerSpanRouting:
+    def test_span_path_matches_inline(self, monkeypatch):
+        from repro.sampling import BatchedWarmer
+        from repro.sampling import warmer as warmer_module
+
+        model, config, traces, intervals = _sampled_warm_setup()
+
+        monkeypatch.setattr(warmer_module, "_native_span", None)
+        monkeypatch.setattr(warmer_module, "_native_warm", None)
+        inline_system = model.build_system(config, traces)
+        inline_blocks = sum(
+            BatchedWarmer(inline_system, traces).warm_interval(i)
+            for i in intervals
+        )
+
+        monkeypatch.setattr(
+            warmer_module, "_native_span", pylib.warm_span
+        )
+        routed_system = model.build_system(config, traces)
+        routed_warmer = BatchedWarmer(routed_system, traces)
+        assert all(shape is not None for shape in routed_warmer._shapes)
+        routed_blocks = sum(
+            routed_warmer.warm_interval(i) for i in intervals
+        )
+
+        assert routed_blocks == inline_blocks > 0
+        assert (
+            routed_system.capture_warm_state().to_dict()
+            == inline_system.capture_warm_state().to_dict()
+        )
+
+    def test_non_lru_l1_takes_fallback(self, monkeypatch):
+        from repro.sampling import BatchedWarmer
+        from repro.sampling import warmer as warmer_module
+
+        model, config, traces, intervals = _sampled_warm_setup(
+            icache_policy="plru"
+        )
+
+        def forbidden(*args):
+            raise AssertionError(
+                "span kernel engaged for a non-LRU L1"
+            )
+
+        monkeypatch.setattr(warmer_module, "_native_span", forbidden)
+        monkeypatch.setattr(warmer_module, "_native_warm", None)
+        routed_system = model.build_system(config, traces)
+        routed_warmer = BatchedWarmer(routed_system, traces)
+        assert all(shape is None for shape in routed_warmer._shapes)
+        routed_blocks = sum(
+            routed_warmer.warm_interval(i) for i in intervals
+        )
+
+        monkeypatch.setattr(warmer_module, "_native_span", None)
+        inline_system = model.build_system(config, traces)
+        inline_blocks = sum(
+            BatchedWarmer(inline_system, traces).warm_interval(i)
+            for i in intervals
+        )
+
+        assert routed_blocks == inline_blocks > 0
+        assert (
+            routed_system.capture_warm_state().to_dict()
+            == inline_system.capture_warm_state().to_dict()
+        )
+
+    def test_span_path_safe_after_restore(self, monkeypatch):
+        """Restores adopt snapshot storage; the span walk must re-read
+        the inner tables and keep warming the adopted ones."""
+        from repro.sampling import BatchedWarmer
+        from repro.sampling import warmer as warmer_module
+
+        model, config, traces, intervals = _sampled_warm_setup()
+        assert len(intervals) >= 2
+
+        def round_trip(span_impl):
+            monkeypatch.setattr(warmer_module, "_native_span", span_impl)
+            monkeypatch.setattr(warmer_module, "_native_warm", None)
+            first = model.build_system(config, traces)
+            BatchedWarmer(first, traces).warm_interval(intervals[0])
+            snapshot = first.capture_warm_state()
+            second = model.build_system(config, traces)
+            warmer = BatchedWarmer(second, traces)
+            second.restore_warm_state(snapshot)
+            warmer.warm_interval(intervals[1])
+            return second.capture_warm_state().to_dict()
+
+        assert round_trip(pylib.warm_span) == round_trip(None)
+
+    def test_span_encoding_cache_invalidation(self):
+        from repro.sampling import BatchedWarmer
+
+        model, config, traces, _ = _sampled_warm_setup()
+        warmer = BatchedWarmer(model.build_system(config, traces), traces)
+        records = traces.threads[0].records
+
+        first = warmer._span_encoding(0, records)
+        assert warmer._span_encoding(0, records) is first  # cached
+
+        replaced = list(records)
+        rebuilt = warmer._span_encoding(0, replaced)
+        assert rebuilt is not first  # new list identity
+        assert rebuilt.prefix == first.prefix
+
+        replaced.append(replaced[0])
+        regrown = warmer._span_encoding(0, replaced)
+        assert regrown is not rebuilt  # same list, new length
+        assert regrown.length == rebuilt.length + 1
+
+
+# -- replay_walk: spec, consumer routing, compiled equivalence ---------------
+
+
+def _random_engine(rng):
+    from repro.backend.backend import CommitEngine
+
+    engine = CommitEngine(
+        iq_capacity=rng.choice([8, 16, 64]),
+        initial_ipc=rng.choice([0.3, 0.6, 0.75, 1.0, 1.6, 2.3]),
+    )
+    engine.iq_push(rng.randrange(0, engine.iq_capacity + 1))
+    engine._credit = rng.uniform(0.0, 0.99)
+    return engine
+
+
+class TestReplayWalkSpec:
+    """pylib.replay_walk against the stepped CommitEngine loops."""
+
+    def test_planning_modes_match_inline_walks(self, monkeypatch):
+        from repro.backend import backend as backend_module
+
+        monkeypatch.setattr(backend_module, "_native_replay", None)
+        rng = random.Random(51)
+        for _ in range(300):
+            engine = _random_engine(rng)
+            cap = rng.choice([5, 64, 4096])
+            space = rng.randrange(0, engine.iq_capacity + 1)
+            credit, ipc = engine._credit, engine._ipc
+            iq = engine._iq_count
+
+            next_commit = pylib.replay_walk(
+                pylib.REPLAY_NEXT, credit, ipc, iq, cap, -1
+            )
+            assert engine.cycles_to_next_commit(cap) == (
+                (next_commit or None) if iq else None
+            )
+
+            space_limit = engine.iq_capacity - space if space else -1
+            horizon = pylib.replay_walk(
+                pylib.REPLAY_HORIZON, credit, ipc, iq, cap, space_limit
+            )
+            assert engine.replay_horizon(space, cap) == (
+                horizon if iq else None
+            )
+
+            drain = pylib.replay_walk(
+                pylib.REPLAY_DRAIN, credit, ipc, iq, cap, -1
+            )
+            assert engine.drain_horizon(cap) == (
+                (drain or None) if iq else None
+            )
+
+    def test_steps_mode_matches_stepped_settlement(self, monkeypatch):
+        from repro.backend import backend as backend_module
+        from repro.errors import SimulationError
+
+        monkeypatch.setattr(backend_module, "_native_replay", None)
+        rng = random.Random(52)
+        stalls = 0
+        for _ in range(400):
+            engine = _random_engine(rng)
+            cycles = rng.randrange(1, 60)
+            committed, base, last, iq, credit, stalled = pylib.replay_walk(
+                pylib.REPLAY_STEPS,
+                engine._credit,
+                engine._ipc,
+                engine._iq_count,
+                cycles,
+                -1,
+            )
+            before = (engine.stats.committed, engine.stats.base_cycles)
+            if stalled:
+                stalls += 1
+                with pytest.raises(SimulationError, match="stall boundary"):
+                    engine.replay_steps(cycles)
+            else:
+                assert engine.replay_steps(cycles) == (
+                    committed,
+                    last if last else None,
+                )
+            # Identical post state either way: the walk stops on the
+            # stall cycle with its credit earned and nothing charged.
+            assert engine._iq_count == iq
+            assert repr(engine._credit) == repr(credit)
+            assert engine.stats.committed == before[0] + committed
+            assert engine.stats.base_cycles == before[1] + base
+        assert stalls > 0, "trial mix never crossed a stall boundary"
+
+
+class TestBackendReplayRouting:
+    """The CommitEngine kernel path (bound to pylib) vs its inline loops."""
+
+    def test_routed_walks_match_inline(self, monkeypatch):
+        from repro.backend import backend as backend_module
+
+        rng = random.Random(53)
+        for _ in range(200):
+            seed = rng.randrange(1 << 30)
+            cap = rng.choice([7, 64, 4096])
+            capacity = _random_engine(random.Random(seed)).iq_capacity
+            space = rng.randrange(0, capacity + 1)
+
+            def walk(engine):
+                results = [
+                    engine.cycles_to_next_commit(cap),
+                    engine.replay_horizon(space, cap),
+                    engine.drain_horizon(cap),
+                ]
+                span = (engine.replay_horizon(0, cap) or 1) - 1
+                if span:
+                    results.append(engine.replay_steps(span))
+                    results.append(engine._iq_count)
+                    results.append(repr(engine._credit))
+                    results.append(engine.stats.committed)
+                    results.append(engine.stats.base_cycles)
+                return results
+
+            # The binding is module-level, so run each engine's full walk
+            # under its own binding before switching.
+            monkeypatch.setattr(backend_module, "_native_replay", None)
+            inline = _random_engine(random.Random(seed))
+            inline_results = walk(inline)
+            assert inline.replay_walk_engaged == 0
+
+            monkeypatch.setattr(
+                backend_module, "_native_replay", pylib.replay_walk
+            )
+            routed = _random_engine(random.Random(seed))
+            occupied = routed._iq_count > 0
+            assert walk(routed) == inline_results
+            # An empty queue short-circuits before the kernel call.
+            assert (routed.replay_walk_engaged > 0) == occupied
+
+    def test_routed_stall_matches_inline(self, monkeypatch):
+        from repro.backend import backend as backend_module
+        from repro.errors import SimulationError
+
+        def drained_engine():
+            engine = backend_module.CommitEngine(
+                iq_capacity=8, initial_ipc=2.0
+            )
+            engine.iq_push(3)
+            return engine
+
+        monkeypatch.setattr(backend_module, "_native_replay", None)
+        inline = drained_engine()
+        with pytest.raises(SimulationError, match="stall boundary"):
+            inline.replay_steps(10)  # drains on cycle 2, stalls on 3
+
+        monkeypatch.setattr(
+            backend_module, "_native_replay", pylib.replay_walk
+        )
+        routed = drained_engine()
+        with pytest.raises(SimulationError, match="stall boundary"):
+            routed.replay_steps(10)
+
+        assert routed._iq_count == inline._iq_count == 0
+        assert repr(routed._credit) == repr(inline._credit)
+        assert routed.stats.committed == inline.stats.committed
+        assert routed.stats.base_cycles == inline.stats.base_cycles
+
+
+def _random_span_columns(rng, blocks):
+    """Flat span columns covering every branch kind and zero-line blocks."""
+    starts, counts, kinds, keys, targets, takens = [], [], [], [], [], []
+    for _ in range(blocks):
+        starts.append(rng.randrange(1 << 16) & -64)
+        counts.append(rng.randrange(0, 6))
+        kind = rng.choice([0, 1, 1, 1, 2])
+        kinds.append(kind)
+        keys.append(rng.randrange(1 << 16))
+        targets.append(rng.randrange(1 << 16))
+        takens.append(rng.randrange(2))
+    return starts, counts, kinds, keys, targets, takens
+
+
+def _random_span_state(rng, have_itlb):
+    """One randomized full warm-structure state for a warm_span trial."""
+    l1_sets, l1_ways = 8, 2
+    l2_sets, l2_ways = 16, 4
+    return {
+        "lb_lines": [None] * 4,
+        "lb_uses": [0] * 4,
+        "lb_clock": rng.randrange(64),
+        "l1_tags": [[None] * l1_ways for _ in range(l1_sets)],
+        "l1_order": [None] * l1_sets,
+        "l1_ways": l1_ways,
+        "l1_shift": 6,
+        "l1_set_mask": l1_sets - 1,
+        "l1_seen": set(),
+        "l2_tags": [[None] * l2_ways for _ in range(l2_sets)],
+        "l2_order": [None] * l2_sets,
+        "l2_ways": l2_ways,
+        "l2_shift": 6,
+        "l2_set_mask": l2_sets - 1,
+        "l2_seen": set(),
+        "g_counters": [rng.randrange(4) for _ in range(64)],
+        "g_history": rng.randrange(64),
+        "g_mask": 63,
+        "g_shift": 2,
+        "lp_tags": [-1] * 16,
+        "lp_trips": [0] * 16,
+        "lp_currents": [0] * 16,
+        "lp_conf": [0] * 16,
+        "lp_mask": 15,
+        "lp_shift": 2,
+        "b_tags": [-1] * 32,
+        "b_targets": [0] * 32,
+        "b_mask": 31,
+        "b_shift": 2,
+        "t_map": {} if have_itlb else None,
+        "t_seen": set() if have_itlb else None,
+        "t_clock": rng.randrange(64),
+        "t_shift": 12,
+        "t_capacity": 4,
+    }
+
+
+_SPAN_ARG_ORDER = (
+    "lb_lines", "lb_uses", "lb_clock",
+    "l1_tags", "l1_order", "l1_ways", "l1_shift", "l1_set_mask", "l1_seen",
+    "l2_tags", "l2_order", "l2_ways", "l2_shift", "l2_set_mask", "l2_seen",
+    "g_counters", "g_history", "g_mask", "g_shift",
+    "lp_tags", "lp_trips", "lp_currents", "lp_conf", "lp_mask", "lp_shift",
+    "b_tags", "b_targets", "b_mask", "b_shift",
+    "t_map", "t_seen", "t_clock", "t_shift", "t_capacity",
+)
+
+
+class TestCompiledSpanEquivalence:
+    def test_warm_span(self, native):
+        for trial in range(60):
+            rng = random.Random(6200 + trial)
+            columns = _random_span_columns(rng, rng.randrange(1, 40))
+            have_itlb = trial % 2 == 0
+            # Identically-seeded states, not deepcopies: a copy would
+            # rebuild seen-sets/dicts in iteration order and silently
+            # perturb their internal layout.
+            state = _random_span_state(random.Random(trial), have_itlb)
+            mirror = _random_span_state(random.Random(trial), have_itlb)
+            bend = len(columns[0])
+            bstart = rng.randrange(0, bend)
+
+            def run(impl, s):
+                return impl(
+                    bstart, bend, 64, *columns,
+                    *(s[name] for name in _SPAN_ARG_ORDER),
+                )
+
+            result_native = run(native.warm_span, state)
+            result_py = run(pylib.warm_span, mirror)
+            assert result_native == result_py, trial
+            for name in _SPAN_ARG_ORDER:
+                value, expected = state[name], mirror[name]
+                if isinstance(value, set):
+                    # Insertion order must match, not just membership.
+                    assert list(value) == list(expected), (trial, name)
+                elif isinstance(value, dict):
+                    assert list(value.items()) == list(expected.items()), (
+                        trial, name,
+                    )
+                else:
+                    assert value == expected, (trial, name)
+
+    def test_replay_walk(self, native):
+        rng = random.Random(63)
+        for trial in range(4000):
+            mode = rng.randrange(4)
+            credit = rng.uniform(0.0, 1.5)
+            ipc = rng.choice(
+                [0.3, 0.6, 0.75, 1.0, 1.6, 2.3, rng.uniform(0.05, 4.0)]
+            )
+            iq = rng.randrange(0, 80)
+            count = rng.randrange(0, 300)
+            space_limit = rng.choice([-1, rng.randrange(0, 80)])
+            result_py = pylib.replay_walk(
+                mode, credit, ipc, iq, count, space_limit
+            )
+            result_native = native.replay_walk(
+                mode, credit, ipc, iq, count, space_limit
+            )
+            assert result_py == result_native, (trial, mode)
+            if mode == pylib.REPLAY_STEPS:
+                # Float credit must match bit for bit, not just ==.
+                assert repr(result_py[4]) == repr(result_native[4]), trial
+
+
+# -- build CLI ---------------------------------------------------------------
+
+
+def _fresh_kernels_with_stale_native(monkeypatch, value):
+    """Re-import repro.kernels against a fake pre-PR native module
+    (old entry points only), restoring real bindings afterwards."""
+    import types
+
+    if value is None:
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_KERNELS", value)
+    saved = {
+        name: sys.modules.pop(name)
+        for name in list(sys.modules)
+        if name == "repro.kernels" or name.startswith("repro.kernels.")
+    }
+    stale = types.ModuleType("repro.kernels._native")
+    stale.find_way = pylib.find_way
+    stale.gshare_update = pylib.gshare_update
+    stale.btb_probe = pylib.btb_probe
+    stale.warm_lines = pylib.warm_lines  # no warm_span / replay_walk
+    sys.modules["repro.kernels._native"] = stale
+    try:
+        return importlib.import_module("repro.kernels")
+    finally:
+        for name in list(sys.modules):
+            if name == "repro.kernels" or name.startswith("repro.kernels."):
+                del sys.modules[name]
+        sys.modules.update(saved)
+
+
+class TestStaleExtension:
+    def test_compiled_with_stale_extension_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="stale"):
+            _fresh_kernels_with_stale_native(monkeypatch, "compiled")
+
+    def test_default_demotes_stale_extension(self, monkeypatch):
+        module = _fresh_kernels_with_stale_native(monkeypatch, None)
+        assert module.NATIVE is False
+        assert module.backend_name() == "py"
+
+
+class TestBuildCli:
+    def test_check_reports_backend_and_staleness(self, capsys):
+        from repro.kernels import build as build_module
+
+        status = build_module.main(["--check"])
+        out = capsys.readouterr().out
+        assert "backend:" in out
+        assert "cc:" in out
+        assert "staleness:" in out
+        assert status in (0, 1)
+        assert (status == 0) == ("staleness: current" in out)
+
+    def test_build_failure_surfaces_compiler_stderr(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.kernels import build as build_module
+
+        class _Failed:
+            returncode = 1
+            stderr = "synthetic-diagnostic: expected ';'"
+            stdout = ""
+
+        monkeypatch.setattr(
+            build_module.subprocess,
+            "run",
+            lambda command, capture_output, text: _Failed(),
+        )
+        with pytest.raises(
+            build_module.BuildError, match="synthetic-diagnostic"
+        ):
+            build_module.build(out_dir=tmp_path, verbose=False)
