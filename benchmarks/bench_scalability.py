@@ -310,13 +310,19 @@ def test_emit_campaign_timing(tmp_path):
     ]
 
     def time_batched():
-        system = model.build_system(base_cfg, probe_traces)
-        warmer = BatchedWarmer(system, probe_traces)
-        started = time.perf_counter()
-        blocks = sum(
-            warmer.warm_interval(interval) for interval in warm_intervals
-        )
-        return blocks, time.perf_counter() - started
+        """Best-of-3: the whole walk is ~15ms, so a single scheduler
+        blip on this 1-CPU container halves the single-shot figure."""
+        best = None
+        for _ in range(3):
+            system = model.build_system(base_cfg, probe_traces)
+            warmer = BatchedWarmer(system, probe_traces)
+            started = time.perf_counter()
+            blocks = sum(
+                warmer.warm_interval(interval) for interval in warm_intervals
+            )
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return blocks, best
 
     batched_blocks, batched_s = time_batched()  # active backend
     saved_bindings = (warmer_module._native_span, warmer_module._native_warm)
@@ -348,6 +354,36 @@ def test_emit_campaign_timing(tmp_path):
         ),
     }
 
+    # Streamed-ingest probe: the chunked on-disk trace path versus the
+    # in-memory synthesis path on the same UA full-detail run. The
+    # streamed leg re-opens the corpus each repetition, so it pays the
+    # whole bill — index read, chunk decode, record construction —
+    # while the in-memory leg starts with records already built.
+    from repro.trace import open_trace_set, write_trace_set
+
+    corpus_dir = tmp_path / "trace-corpus"
+    started = time.perf_counter()
+    write_trace_set(probe_traces, corpus_dir, chunked=True)
+    encode_s = time.perf_counter() - started
+
+    streamed_result, streamed_s = timed(
+        lambda rep: simulate(base_cfg, open_trace_set(corpus_dir))
+    )
+    memory_s = timings["full_base"]
+    ingest_overhead = streamed_s / memory_s - 1.0
+    corpus_bytes = sum(
+        child.stat().st_size for child in corpus_dir.iterdir()
+    )
+    ingest_probe = {
+        "benchmark": "UA",
+        "scale": 1.0,
+        "corpus_bytes": corpus_bytes,
+        "encode_s": round(encode_s, 3),
+        "memory_run_s": round(memory_s, 3),
+        "streamed_run_s": round(streamed_s, 3),
+        "streamed_overhead": round(ingest_overhead, 4),
+    }
+
     # The runner's own clamp bookkeeping (an empty batch takes the
     # serial path but still computes the width the pool would get).
     from repro.campaign import run_specs
@@ -374,6 +410,7 @@ def test_emit_campaign_timing(tmp_path):
         "kernel_skip_per_benchmark": kernel_skip,
         "sampling": sampling_probe,
         "warming": warming_probe,
+        "trace_ingest": ingest_probe,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -417,6 +454,11 @@ def test_emit_campaign_timing(tmp_path):
     assert counters["cold_base"]["writes"] == counters["cold_base"]["misses"]
     assert cycles["hit_base"] == cycles["cold_base"]
     assert cycles["hit_shared"] == cycles["cold_shared"]
+    # The streamed-ingest criterion: reading the chunked corpus must
+    # stay within 10% of the in-memory run's wall time and reproduce
+    # it bit for bit — streaming is a memory lever, not a time trade.
+    assert streamed_result.cycles == cycles["full_base"]
+    assert ingest_probe["streamed_overhead"] < 0.10
     # The batched-warming lever: the vectorised walk must outpace the
     # scalar reference walk it is bit-identical to, on both backends.
     assert warming_probe["batched_speedup"] >= 1.5

@@ -131,6 +131,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "refresh (ignore existing entries but rewrite them)",
     )
     parser.add_argument(
+        "--event-dir",
+        type=str,
+        default=None,
+        help="read traces from this captured corpus (layout written by "
+        "'python -m repro.trace capture' / --capture-traces) instead of "
+        "synthesising; chunked sets stream in O(chunk) memory",
+    )
+    parser.add_argument(
+        "--capture-traces",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist every synthesized trace set into this corpus "
+        "(chunked .trcz) as a side effect of the sweep",
+    )
+    parser.add_argument(
         "--status",
         action="store_true",
         help="no simulation: report done/failed/pending counts for the "
@@ -290,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         strict=False,
         shard=shard,
         checkpoints=args.checkpoints,
+        event_dir=args.event_dir,
+        capture_dir=args.capture_traces,
     )
     if args.from_failures and report.completed:
         # Explicit single-operator compaction of the resume manifest;

@@ -60,11 +60,18 @@ _TRACES_CACHE_SIZE = 32
 
 
 @lru_cache(maxsize=_TRACES_CACHE_SIZE)
-def _traces_cached(benchmark: str, thread_count: int, scale: float, seed: int):
+def _traces_cached(
+    benchmark: str,
+    thread_count: int,
+    scale: float,
+    seed: int,
+    event_dir: str | None = None,
+    capture_dir: str | None = None,
+):
     # Imported lazily so worker processes pay the import cost once.
-    from repro.trace.synthesis import synthesize_benchmark
+    from repro.trace.provider import provider_for
 
-    return synthesize_benchmark(
+    return provider_for(event_dir, capture_dir).trace_set(
         benchmark, thread_count=thread_count, scale=scale, seed=seed
     )
 
@@ -87,19 +94,28 @@ def execute_run(
     spec: RunSpec,
     checkpoint_root: str | None = None,
     checkpoint_mode: str = "on",
+    event_dir: str | None = None,
+    capture_dir: str | None = None,
 ) -> SimulationResult:
-    """Synthesise traces and simulate one run (worker entry point).
+    """Resolve traces and simulate one run (worker entry point).
 
     ``simulate_sampled`` with a ``None`` plan is plain full simulation,
     so one call covers both flavors. Sampled runs read and write
     warm-state checkpoints under ``checkpoint_root`` (mode ``"off"``
     disables the store, ``"refresh"`` ignores existing entries but
-    rewrites them).
+    rewrites them). Traces come from the provider the campaign
+    selected: synthesis (optionally capturing each set to
+    ``capture_dir``), or streamed from an ``event_dir`` corpus.
     """
     from repro.sampling import Checkpointing, simulate_sampled
 
     traces = _traces_cached(
-        spec.benchmark, spec.config.core_count, spec.scale, spec.seed
+        spec.benchmark,
+        spec.config.core_count,
+        spec.scale,
+        spec.seed,
+        event_dir,
+        capture_dir,
     )
     checkpoints = None
     if (
@@ -174,6 +190,8 @@ def run_specs(
     strict: bool = True,
     shard: tuple[int, int] | None = None,
     checkpoints: str = "on",
+    event_dir: str | None = None,
+    capture_dir: str | None = None,
 ) -> CampaignReport:
     """Execute every spec, reusing cached results; return all results.
 
@@ -202,6 +220,10 @@ def run_specs(
             (ignore existing entries, rewrite them). The tree lives at
             ``<store>/checkpoints``; without a store there is nowhere
             durable to put it and the mode is ignored.
+        event_dir: read traces from this captured corpus instead of
+            synthesising (chunked sets stream, O(chunk) per worker).
+        capture_dir: persist every synthesized trace set into this
+            corpus as a side effect (ignored with ``event_dir``).
 
     Returns:
         A :class:`CampaignReport` whose ``results`` maps every
@@ -223,7 +245,17 @@ def run_specs(
         checkpoint_root = str(store.root / CheckpointStore.SUBDIR)
     # Only sampled sweeps thread the checkpoint arguments through: a
     # plain-spec batch keeps the historical one-argument call shape.
+    # A non-default trace source rides behind them (positional, so the
+    # checkpoint slots must then be present even when unused).
+    event_dir = str(event_dir) if event_dir is not None else None
+    capture_dir = str(capture_dir) if capture_dir is not None else None
+    if event_dir is not None:
+        capture_dir = None  # reading from a corpus never re-captures it
     run_args = () if checkpoint_root is None else (checkpoint_root, checkpoints)
+    if event_dir is not None or capture_dir is not None:
+        if checkpoint_root is None:
+            run_args = (None, checkpoints)
+        run_args = (*run_args, event_dir, capture_dir)
     started = time.perf_counter()
     # Dedup by (key, flavor): the engine flavors of one design point
     # are distinct work units (a cross-check batch must run both), as
@@ -338,7 +370,7 @@ def run_specs(
         ):
             for trace_key in sorted(trace_keys):
                 try:
-                    _traces_cached(*trace_key)
+                    _traces_cached(*trace_key, event_dir, capture_dir)
                 except Exception:
                     # Best-effort warm-up only: a bad spec fails (and is
                     # retried/journalled) in its worker, not here.
@@ -415,6 +447,8 @@ def run_campaign(
     strict: bool = True,
     shard: tuple[int, int] | None = None,
     checkpoints: str = "on",
+    event_dir: str | None = None,
+    capture_dir: str | None = None,
 ) -> CampaignReport:
     """Execute a whole declarative campaign (see :class:`Campaign`)."""
     return run_specs(
@@ -426,4 +460,6 @@ def run_campaign(
         strict=strict,
         shard=shard,
         checkpoints=checkpoints,
+        event_dir=event_dir,
+        capture_dir=capture_dir,
     )

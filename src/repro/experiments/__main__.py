@@ -113,6 +113,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "refresh (ignore existing entries but rewrite them)",
     )
     parser.add_argument(
+        "--event-dir",
+        type=str,
+        default=None,
+        help="read traces from this captured corpus (layout written by "
+        "'python -m repro.trace capture' / --capture-traces) instead of "
+        "synthesising; chunked sets stream in O(chunk) memory",
+    )
+    parser.add_argument(
+        "--capture-traces",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist every synthesized trace set into this corpus "
+        "(chunked .trcz) as a side effect of the run",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-run campaign progress on stderr",
@@ -160,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         machine=args.machine,
         sampling=args.sampling if args.sampling != "none" else "",
         checkpoints=args.checkpoints,
+        event_dir=args.event_dir,
+        capture_traces=args.capture_traces,
     )
     started = time.time()
     if args.experiment == "all":

@@ -33,9 +33,8 @@ from repro.machine.config import BaseMachineConfig
 from repro.machine.model import MachineModel, get_model, model_for_config
 from repro.machine.results import SimulationResult
 from repro.trace.stream import TraceSet
-from repro.trace.synthesis import synthesize
 from repro.utils.stats import mean_halfwidth95
-from repro.workloads.suites import ALL_BENCHMARKS, get_benchmark
+from repro.workloads.suites import ALL_BENCHMARKS
 
 @dataclass(frozen=True)
 class MeanCI:
@@ -103,6 +102,11 @@ class ExperimentContext:
             ``"off"``, or ``"refresh"`` (ignore existing entries but
             rewrite them). In-memory contexts (no ``cache_dir``) have
             nowhere durable to put the tree and warm from the trace.
+        event_dir: read traces from this captured corpus (the layout
+            ``python -m repro.trace capture`` writes) instead of
+            synthesising; chunked sets stream in O(chunk) memory.
+        capture_traces: persist every synthesized trace set into this
+            corpus directory (chunked ``.trcz``) as a side effect.
     """
 
     scale: float = 1.0
@@ -119,6 +123,8 @@ class ExperimentContext:
     machine: str = "acmp"
     sampling: str = ""
     checkpoints: str = "on"
+    event_dir: str | Path | None = None
+    capture_traces: str | Path | None = None
     _traces: dict[str, TraceSet] = field(default_factory=dict, repr=False)
     _results: dict[tuple[str, str, str], SimulationResult] = field(
         default_factory=dict, repr=False
@@ -182,6 +188,8 @@ class ExperimentContext:
                 machine=self.machine,
                 sampling=self.sampling,
                 checkpoints=self.checkpoints,
+                event_dir=self.event_dir,
+                capture_traces=self.capture_traces,
             )
             self._seed_contexts[seed] = pinned
         return pinned
@@ -224,11 +232,23 @@ class ExperimentContext:
         """
         key = name if thread_count == 9 else f"{name}@{thread_count}"
         if key not in self._traces:
-            model = get_benchmark(name)
-            self._traces[key] = synthesize(
-                model, thread_count=thread_count, scale=self.scale, seed=self.seed
+            self._traces[key] = self.trace_provider().trace_set(
+                name, thread_count=thread_count, scale=self.scale, seed=self.seed
             )
         return self._traces[key]
+
+    def trace_provider(self):
+        """The trace source this context implies (see :mod:`repro.trace`).
+
+        ``event_dir`` streams captured sets from disk; otherwise the
+        in-process synthesiser, capturing each set to ``capture_traces``
+        when that is set. Both CLI flavors and the in-process path
+        resolve traces through the same provider, so results cannot
+        depend on the execution mode.
+        """
+        from repro.trace.provider import provider_for
+
+        return provider_for(self.event_dir, self.capture_traces)
 
     def spec_for(self, name: str, config: BaseMachineConfig) -> RunSpec:
         """The campaign work unit for one benchmark on one design point.
@@ -305,6 +325,8 @@ class ExperimentContext:
             progress=self.progress,
             name="experiments",
             checkpoints=self.checkpoints,
+            event_dir=str(self.event_dir) if self.event_dir else None,
+            capture_dir=str(self.capture_traces) if self.capture_traces else None,
         )
         for (machine, benchmark, label, _seed, _scale), result in report.results.items():
             self._results[(machine, benchmark, label)] = result

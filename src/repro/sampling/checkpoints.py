@@ -45,7 +45,6 @@ a few tens of KB instead of megabytes.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import re
@@ -56,8 +55,6 @@ from pathlib import Path
 from repro.campaign.store import _UMASK, _format_scale, _sanitize
 from repro.errors import ConfigurationError
 from repro.machine.warm import WarmState
-from repro.trace.records import BasicBlockRecord, IpcRecord, SyncRecord
-from repro.trace.stream import TraceSet
 
 __all__ = [
     "CheckpointKey",
@@ -75,52 +72,10 @@ _NON_DEFAULT_COUNTER = re.compile(rb"[^\x02]")
 
 # -- trace fingerprints ----------------------------------------------------
 
-
-def trace_fingerprint(traces: TraceSet) -> str:
-    """Content digest of a trace set's records.
-
-    Checkpoints are a function of the exact instruction stream; keying
-    them by ``(benchmark, seed, scale)`` alone would serve stale state
-    after any change to the trace synthesizer. The digest covers every
-    record field that drives warming (addresses, counts, branch
-    outcomes, sync events, IPC values) and is memoised on the trace-set
-    object, so campaigns — which cache trace sets per process — pay it
-    once per (benchmark, seed, scale).
-    """
-    cached = getattr(traces, "_warm_fingerprint", None)
-    if cached is not None:
-        return cached
-    digest = hashlib.sha256()
-    digest.update(f"{traces.benchmark}|{traces.thread_count}\n".encode())
-    for thread in traces.threads:
-        parts: list[str] = []
-        for record in thread.records:
-            if isinstance(record, BasicBlockRecord):
-                branch = record.branch
-                if branch is None:
-                    parts.append(
-                        f"B{record.address},{record.instruction_count}"
-                    )
-                else:
-                    parts.append(
-                        f"B{record.address},{record.instruction_count},"
-                        f"{int(branch.kind)},{int(branch.taken)},"
-                        f"{branch.target}"
-                    )
-            elif isinstance(record, SyncRecord):
-                parts.append(f"S{int(record.kind)},{record.object_id}")
-            elif isinstance(record, IpcRecord):
-                parts.append(f"I{record.ipc!r}")
-            else:
-                parts.append("E")
-        parts.append("")
-        digest.update("\n".join(parts).encode())
-    fingerprint = digest.hexdigest()[:16]
-    try:
-        traces._warm_fingerprint = fingerprint
-    except AttributeError:  # frozen/slotted trace sets: skip the memo
-        pass
-    return fingerprint
+# The digest moved to the trace layer so the on-disk codec can stamp
+# manifests without importing sampling; re-exported here because every
+# existing checkpoint-key call site imports it from this module.
+from repro.trace.fingerprint import trace_fingerprint  # noqa: E402, F401
 
 
 # -- sparse warm-state codec -----------------------------------------------

@@ -21,9 +21,24 @@ from repro.trace.encoding import (
     decode_thread_trace,
     encode_thread_trace,
     format_thread_trace,
+    open_trace_set,
     parse_thread_trace,
     read_trace_set,
     write_trace_set,
+)
+from repro.trace.chunked import (
+    ChunkedThreadReader,
+    ChunkedTraceWriter,
+    LazyThreadTrace,
+    StreamedTraceSet,
+)
+from repro.trace.fingerprint import trace_fingerprint
+from repro.trace.provider import (
+    SynthesisProvider,
+    TraceDirectoryProvider,
+    TraceProvider,
+    capture_trace_set,
+    provider_for,
 )
 from repro.trace.validation import TraceReport, validate_thread_trace, validate_trace_set
 
@@ -40,11 +55,22 @@ __all__ = [
     "ThreadTrace",
     "TraceSet",
     "TraceStream",
+    "ChunkedThreadReader",
+    "ChunkedTraceWriter",
+    "LazyThreadTrace",
+    "StreamedTraceSet",
+    "SynthesisProvider",
+    "TraceDirectoryProvider",
+    "TraceProvider",
+    "capture_trace_set",
     "decode_thread_trace",
     "encode_thread_trace",
     "format_thread_trace",
+    "open_trace_set",
     "parse_thread_trace",
+    "provider_for",
     "read_trace_set",
+    "trace_fingerprint",
     "write_trace_set",
     "TraceReport",
     "validate_thread_trace",

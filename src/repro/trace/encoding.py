@@ -12,6 +12,7 @@ Both round-trip exactly (verified by property-based tests).
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
 from pathlib import Path
@@ -134,44 +135,191 @@ def _decode_record(data: bytes, offset: int) -> tuple[TraceRecord, int]:
     raise TraceFormatError(f"unknown record tag {tag}")
 
 
-def write_trace_set(trace_set: TraceSet, directory: str | Path) -> None:
-    """Write one ``.trc`` file per thread plus a ``manifest.txt``.
+# The chunked codec shares the record-level encoding: a ``.trcz`` chunk
+# is a deflate-compressed run of exactly these byte sequences.
+encode_record = _encode_record
+decode_record = _decode_record
+
+
+#: Metadata keys a manifest may carry ahead of its file list. Legacy
+#: manifests (benchmark + threads only) predate ``format`` and
+#: ``fingerprint``; readers treat both as optional.
+_MANIFEST_KEYS = frozenset({"benchmark", "threads", "format", "fingerprint"})
+_SET_FORMATS = ("trc", "trcz", "trct")
+
+
+def write_trace_set(
+    trace_set: TraceSet,
+    directory: str | Path,
+    *,
+    chunked: bool = False,
+    fmt: str | None = None,
+    chunk_records: int | None = None,
+) -> str:
+    """Write one trace file per thread plus a ``manifest.txt``.
 
     Mirrors the paper's "trace per thread / core" layout (Figure 6).
+    ``chunked=True`` (or ``fmt="trcz"``) selects the streamed chunked
+    format; ``fmt`` may also name ``"trc"`` (eager binary, the default)
+    or ``"trct"`` (text). The set's content fingerprint is computed in
+    the same pass as the encode — streaming sources are written and
+    digested without materialising — recorded in the manifest, and
+    returned.
     """
+    from repro.trace.chunked import DEFAULT_CHUNK_RECORDS, ChunkedTraceWriter
+    from repro.trace.fingerprint import thread_digest_parts, trace_fingerprint
+
+    if fmt is None:
+        fmt = "trcz" if chunked else "trc"
+    if fmt not in _SET_FORMATS:
+        raise TraceFormatError(
+            f"unknown trace set format {fmt!r}, expected one of {_SET_FORMATS}"
+        )
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    manifest = [f"benchmark {trace_set.benchmark}", f"threads {trace_set.thread_count}"]
-    for trace in trace_set.threads:
-        file_name = f"thread_{trace.thread_id:03d}.trc"
-        (path / file_name).write_bytes(encode_thread_trace(trace))
-        manifest.append(file_name)
+    file_names: list[str] = []
+    if fmt == "trcz":
+        cached = getattr(trace_set, "_warm_fingerprint", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(
+                f"{trace_set.benchmark}|{trace_set.thread_count}\n".encode()
+            )
+        for trace in trace_set.threads:
+            file_name = f"thread_{trace.thread_id:03d}.trcz"
+            with ChunkedTraceWriter(
+                path / file_name,
+                trace.thread_id,
+                chunk_records=chunk_records or DEFAULT_CHUNK_RECORDS,
+            ) as writer:
+                if cached is not None:
+                    writer.extend(trace.records)
+                else:
+                    # One pass: each record is encoded into the chunk
+                    # buffer and folded into the set digest as it goes by.
+                    def _tee(records, _writer=writer):
+                        for record in records:
+                            _writer.append(record)
+                            yield record
+
+                    for part in thread_digest_parts(_tee(trace.records)):
+                        digest.update(part.encode())
+                        digest.update(b"\n")
+            file_names.append(file_name)
+        fingerprint = cached if cached is not None else digest.hexdigest()[:16]
+        try:
+            trace_set._warm_fingerprint = fingerprint
+        except AttributeError:
+            pass
+    else:
+        fingerprint = trace_fingerprint(trace_set)
+        for trace in trace_set.threads:
+            file_name = f"thread_{trace.thread_id:03d}.{fmt}"
+            if fmt == "trc":
+                (path / file_name).write_bytes(encode_thread_trace(trace))
+            else:
+                (path / file_name).write_text(format_thread_trace(trace))
+            file_names.append(file_name)
+    manifest = [
+        f"benchmark {trace_set.benchmark}",
+        f"threads {trace_set.thread_count}",
+        f"format {fmt}",
+        f"fingerprint {fingerprint}",
+        *file_names,
+    ]
     (path / "manifest.txt").write_text("\n".join(manifest) + "\n")
+    return fingerprint
 
 
-def read_trace_set(directory: str | Path) -> TraceSet:
-    """Read a trace set previously written by :func:`write_trace_set`."""
-    path = Path(directory)
+def _parse_manifest(path: Path) -> tuple[str, int, str, str | None, list[str]]:
+    """Parse ``manifest.txt`` -> (benchmark, threads, fmt, fingerprint, files).
+
+    Tolerates both the legacy two-key form and unknown future keys;
+    anything that is not a ``key value`` metadata line is a file name.
+    """
     manifest_path = path / "manifest.txt"
     if not manifest_path.exists():
         raise TraceFormatError(f"no manifest.txt in {path}")
-    lines = manifest_path.read_text().splitlines()
-    if len(lines) < 2 or not lines[0].startswith("benchmark "):
+    meta: dict[str, str] = {}
+    file_names: list[str] = []
+    for line in manifest_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        key, _, value = line.partition(" ")
+        if not file_names and value and key in _MANIFEST_KEYS:
+            meta[key] = value
+        else:
+            file_names.append(line)
+    if "benchmark" not in meta or "threads" not in meta:
         raise TraceFormatError(f"malformed manifest in {path}")
-    benchmark = lines[0].removeprefix("benchmark ")
     try:
-        thread_count = int(lines[1].removeprefix("threads "))
+        thread_count = int(meta["threads"])
     except ValueError as exc:
         raise TraceFormatError(f"malformed thread count in {manifest_path}") from exc
-    file_names = lines[2:]
     if len(file_names) != thread_count:
         raise TraceFormatError(
             f"manifest lists {len(file_names)} files for {thread_count} threads"
         )
+    fmt = meta.get("format")
+    if fmt is None:  # legacy manifests: infer from the first file name
+        fmt = Path(file_names[0]).suffix.lstrip(".") if file_names else "trc"
+    if fmt not in _SET_FORMATS:
+        raise TraceFormatError(f"unknown trace set format {fmt!r} in {manifest_path}")
+    return meta["benchmark"], thread_count, fmt, meta.get("fingerprint"), file_names
+
+
+def read_trace_set(directory: str | Path) -> TraceSet:
+    """Eagerly read a trace set written by :func:`write_trace_set`.
+
+    Materialises every thread in memory regardless of on-disk format;
+    for large ``.trcz`` corpora use :func:`open_trace_set` instead.
+    """
+    from repro.trace.chunked import ChunkedThreadReader, LazyThreadTrace
+
+    path = Path(directory)
+    benchmark, _, fmt, fingerprint, file_names = _parse_manifest(path)
+    threads: list[ThreadTrace] = []
+    for file_name in file_names:
+        if fmt == "trc":
+            threads.append(decode_thread_trace((path / file_name).read_bytes()))
+        elif fmt == "trct":
+            threads.append(parse_thread_trace((path / file_name).read_text()))
+        else:
+            reader = ChunkedThreadReader(path / file_name)
+            threads.append(LazyThreadTrace(reader).materialize())
+    trace_set = TraceSet(benchmark=benchmark, threads=threads)
+    if fingerprint is not None:
+        trace_set._warm_fingerprint = fingerprint
+    return trace_set
+
+
+def open_trace_set(directory: str | Path) -> TraceSet:
+    """Open a trace set, streaming when the format allows it.
+
+    ``.trcz`` sets come back as a
+    :class:`~repro.trace.chunked.StreamedTraceSet` of lazy file-backed
+    threads (O(chunk) residency); eager formats fall back to
+    :func:`read_trace_set`. Both carry the manifest fingerprint, so
+    checkpoint keys match runs made from the in-memory original.
+    """
+    from repro.trace.chunked import (
+        ChunkedThreadReader,
+        LazyThreadTrace,
+        StreamedTraceSet,
+    )
+
+    path = Path(directory)
+    benchmark, _, fmt, fingerprint, file_names = _parse_manifest(path)
+    if fmt != "trcz":
+        return read_trace_set(path)
     threads = [
-        decode_thread_trace((path / file_name).read_bytes()) for file_name in file_names
+        LazyThreadTrace(ChunkedThreadReader(path / file_name))
+        for file_name in file_names
     ]
-    return TraceSet(benchmark=benchmark, threads=threads)
+    return StreamedTraceSet(
+        benchmark, threads, directory=path, fingerprint=fingerprint
+    )
 
 
 def format_thread_trace(trace: ThreadTrace) -> str:

@@ -1,0 +1,72 @@
+"""Content fingerprints of trace sets.
+
+Warm-state checkpoints, result provenance and the on-disk trace corpus
+all need one answer to "is this the same instruction stream?". The
+digest covers every record field that drives simulation and warming
+(addresses, counts, branch outcomes, sync events, IPC values) and is
+computed in one streaming pass, so file-backed
+:class:`~repro.trace.chunked.LazyThreadTrace` sets fingerprint without
+materialising.
+
+The chunked trace writer stamps the fingerprint into each set's
+manifest; :func:`repro.trace.encoding.open_trace_set` restores it as
+the memoised value, so a streamed set and the in-memory set it was
+captured from share checkpoint identities byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.trace.records import BasicBlockRecord, IpcRecord, SyncRecord
+
+__all__ = ["trace_fingerprint", "thread_digest_parts"]
+
+
+def thread_digest_parts(records):
+    """Yield the canonical digest line for each record, streaming."""
+    for record in records:
+        if isinstance(record, BasicBlockRecord):
+            branch = record.branch
+            if branch is None:
+                yield f"B{record.address},{record.instruction_count}"
+            else:
+                yield (
+                    f"B{record.address},{record.instruction_count},"
+                    f"{int(branch.kind)},{int(branch.taken)},"
+                    f"{branch.target}"
+                )
+        elif isinstance(record, SyncRecord):
+            yield f"S{int(record.kind)},{record.object_id}"
+        elif isinstance(record, IpcRecord):
+            yield f"I{record.ipc!r}"
+        else:
+            yield "E"
+
+
+def trace_fingerprint(traces) -> str:
+    """Content digest of a trace set's records (memoised on the set).
+
+    Checkpoints are a function of the exact instruction stream; keying
+    them by ``(benchmark, seed, scale)`` alone would serve stale state
+    after any change to the trace synthesizer. The walk is one pass per
+    thread — each record contributes one canonical line — so lazy
+    file-backed traces fingerprint in O(chunk) memory; streamed sets
+    normally carry the fingerprint pre-computed from their manifest and
+    never walk at all.
+    """
+    cached = getattr(traces, "_warm_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(f"{traces.benchmark}|{traces.thread_count}\n".encode())
+    for thread in traces.threads:
+        for part in thread_digest_parts(thread.records):
+            digest.update(part.encode())
+            digest.update(b"\n")
+    fingerprint = digest.hexdigest()[:16]
+    try:
+        traces._warm_fingerprint = fingerprint
+    except AttributeError:  # frozen/slotted trace sets: skip the memo
+        pass
+    return fingerprint

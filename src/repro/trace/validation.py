@@ -42,8 +42,21 @@ def validate_thread_trace(trace: ThreadTrace, is_master: bool) -> int:
             blocks outside regions on worker threads, or invalid IPC/sync
             placement.
     """
+    phases, _ = _validate_thread(trace, is_master)
+    return phases
+
+
+def _validate_thread(trace: ThreadTrace, is_master: bool) -> tuple[int, int]:
+    """Single-pass validation: ``(parallel phases, total instructions)``.
+
+    One linear walk over ``trace.records`` with O(1) state — safe for
+    file-backed :class:`~repro.trace.chunked.LazyThreadTrace` streams,
+    where a separate ``instruction_count`` pass would decode every chunk
+    a second time.
+    """
     in_parallel = False
     phases = 0
+    instructions = 0
     held_locks: set[int] = set()
     for position, record in enumerate(trace.records):
         if isinstance(record, SyncRecord):
@@ -82,6 +95,7 @@ def validate_thread_trace(trace: ThreadTrace, is_master: bool) -> int:
                     f"worker thread {trace.thread_id} executes code outside "
                     f"a parallel region at record {position}"
                 )
+            instructions += record.instruction_count
         elif isinstance(record, IpcRecord):
             pass  # always legal
     if in_parallel:
@@ -90,7 +104,7 @@ def validate_thread_trace(trace: ThreadTrace, is_master: bool) -> int:
         raise TraceError(
             f"thread {trace.thread_id}: locks {sorted(held_locks)} never released"
         )
-    return phases
+    return phases, instructions
 
 
 def validate_trace_set(trace_set: TraceSet) -> TraceReport:
@@ -107,9 +121,11 @@ def validate_trace_set(trace_set: TraceSet) -> TraceReport:
     )
     phase_counts = []
     for trace in trace_set.threads:
-        phases = validate_thread_trace(trace, is_master=trace.thread_id == 0)
+        # One pass per thread: the instruction total rides along with the
+        # structural walk instead of re-reading the records.
+        phases, instructions = _validate_thread(trace, is_master=trace.thread_id == 0)
         phase_counts.append(phases)
-        report.instruction_counts.append(trace.instruction_count)
+        report.instruction_counts.append(instructions)
     if len(set(phase_counts)) > 1:
         raise TraceError(
             f"threads disagree on parallel phase count: {phase_counts}"

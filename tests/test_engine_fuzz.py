@@ -239,6 +239,40 @@ def test_redirect_heavy_engines_bit_identical(machine, fuzz_seed):
     assert scheduled.cycles == stepped.cycles
 
 
+# -- streamed-source draws --------------------------------------------------
+#
+# Same spirit, different source: each draw round-trips its workload
+# through the chunked on-disk format and asserts the scheduled engine
+# is bit-identical across sources. This is the fuzzing leg of the
+# trace-ingestion differential battery — random topologies and
+# workloads instead of the fixed grid in test_streamed_differential.
+
+#: Independent salt so the streamed draws never share a trajectory with
+#: the pinned base/redirect families.
+_STREAM_SALT = {"acmp": 0x57AC, "scmp": 0x575C}
+
+STREAM_FUZZ_SEEDS = tuple(range(1, 5))
+
+
+@pytest.mark.parametrize("machine", sorted(_DRAWERS))
+@pytest.mark.parametrize("fuzz_seed", STREAM_FUZZ_SEEDS)
+def test_fuzzed_streamed_source_bit_identical(machine, fuzz_seed, tmp_path):
+    from repro.trace import open_trace_set, write_trace_set
+
+    rng = random.Random((fuzz_seed << 8) ^ _STREAM_SALT[machine])
+    config = _DRAWERS[machine](rng)
+    traces = _draw_workload(rng, config.core_count)
+    write_trace_set(traces, tmp_path / "set", chunked=True, chunk_records=256)
+    streamed = open_trace_set(tmp_path / "set")
+    memory = simulate(config, traces, cycle_skip=True)
+    disk = simulate(config, streamed, cycle_skip=True)
+    assert result_to_dict(memory) == result_to_dict(disk), (
+        f"seed {fuzz_seed}: streamed != in-memory for {machine} "
+        f"{config.label()} on {traces.benchmark}"
+    )
+    assert memory.total_committed == traces.instruction_count
+
+
 def _mispredict_storm(base: int, blocks: int) -> list:
     """Blocks ending in never-before-seen not-taken conditionals.
 
