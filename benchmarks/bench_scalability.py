@@ -384,6 +384,109 @@ def test_emit_campaign_timing(tmp_path):
         "streamed_overhead": round(ingest_overhead, 4),
     }
 
+    # Observability-overhead probe: the recorder must be free when
+    # disabled — instrumented tiers grab the registry/tracer at
+    # construction, so hot paths reduce to one None check — and cheap
+    # with metrics on. Timed on a UA run; the ambient leg measures the
+    # state every other probe in this file ran under.
+    from repro import obs
+    import importlib
+
+    # repro.obs re-exports a recorder() *function* that shadows the
+    # submodule attribute, so `import ... as` would bind the function.
+    obs_recorder = importlib.import_module("repro.obs.recorder")
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import phase_breakdown
+
+    # Twice BENCH_SCALE, legs interleaved round-robin AND rotated: the
+    # disabled-overhead gate is 2% of this run, so the run must be long
+    # enough that container scheduling jitter (a few ms) stays inside
+    # the margin, every leg must see the same load profile — a
+    # background burst during one leg's block would otherwise
+    # masquerade as recorder overhead — and no leg may own a fixed slot
+    # in the round (the first run after a round boundary is
+    # systematically colder). Best-of-6 rotated rounds.
+    obs_traces = synthesize_benchmark(
+        "UA", thread_count=9, scale=BENCH_SCALE * 2
+    )
+
+    def obs_once():
+        import gc
+
+        gc.collect()
+        # CPU time, not wall time: the recorder's cost is instructions
+        # retired, and process_time is blind to the scheduler steal
+        # that dominates wall jitter on a shared 1-CPU host.
+        started = time.process_time()
+        simulate(base_cfg, obs_traces)
+        return time.process_time() - started
+
+    obs_times: dict[str, list[float]] = {}
+    obs_state: dict[str, int] = {"timeline_events": 0}
+
+    def obs_leg(leg):
+        obs_times.setdefault(leg, []).append(obs_once())
+
+    ambient_recorder = obs_recorder.recorder()
+
+    def run_leg(leg):
+        if leg == "ambient":
+            obs_recorder._active = ambient_recorder
+            obs_leg(leg)
+        elif leg == "disabled":
+            obs.disable()
+            obs_leg(leg)
+        elif leg == "metrics":
+            with obs.recording(metrics=True):
+                obs_leg(leg)
+        else:
+            with obs.recording(metrics=True, timeline=True) as obs_rec:
+                obs_leg(leg)
+                obs_state["timeline_events"] = len(obs_rec.tracer)
+
+    obs_legs = ("ambient", "disabled", "metrics", "timeline")
+    try:
+        for round_index in range(7):
+            for slot in range(len(obs_legs)):
+                run_leg(obs_legs[(round_index + slot) % len(obs_legs)])
+        # Per-phase wall attribution of one sampled run with metrics on
+        # (no checkpoint store: a clean warming/measurement/extrapolation
+        # mix with nothing served from disk).
+        with obs.recording(metrics=True):
+            sampled_obs = simulate_sampled(
+                base_cfg, probe_traces, plan, checkpoints=None
+            )
+    finally:
+        obs_recorder._active = ambient_recorder
+    timeline_events = obs_state["timeline_events"]
+
+    def obs_overhead(leg):
+        # Ratio of per-leg minima: the bulk of repeated identical runs
+        # drifts by ±5% even in CPU time (allocator state, frequency
+        # steps), but the floor is reproducible to well under 1% — the
+        # min is the only estimator that makes a 2% gate assertable on
+        # this host, and 7 interleaved rotated rounds give each leg a
+        # fair shot at hitting it.
+        return min(obs_times[leg]) / min(obs_times["disabled"]) - 1.0
+
+    phases = phase_breakdown(
+        MetricsRegistry.from_payload(sampled_obs.metrics)
+    )
+    phase_total = sum(phases.values()) or 1.0
+    obs_probe = {
+        "benchmark": "UA",
+        "scale": BENCH_SCALE * 2,
+        "run_disabled_s": round(min(obs_times["disabled"]), 3),
+        "overhead_disabled": round(obs_overhead("ambient"), 4),
+        "overhead_metrics": round(obs_overhead("metrics"), 4),
+        "overhead_timeline": round(obs_overhead("timeline"), 4),
+        "timeline_events": timeline_events,
+        "phase_fractions": {
+            name: round(seconds / phase_total, 4)
+            for name, seconds in phases.items()
+        },
+    }
+
     # The runner's own clamp bookkeeping (an empty batch takes the
     # serial path but still computes the width the pool would get).
     from repro.campaign import run_specs
@@ -411,6 +514,7 @@ def test_emit_campaign_timing(tmp_path):
         "sampling": sampling_probe,
         "warming": warming_probe,
         "trace_ingest": ingest_probe,
+        "obs": obs_probe,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -459,6 +563,14 @@ def test_emit_campaign_timing(tmp_path):
     # it bit for bit — streaming is a memory lever, not a time trade.
     assert streamed_result.cycles == cycles["full_base"]
     assert ingest_probe["streamed_overhead"] < 0.10
+    # The observability contract: recording machinery must be free when
+    # disabled (< 2% — the two legs run identical code with no recorder
+    # installed, so this is the noise floor the construction-time-grab
+    # design has to stay under) and cheap with metrics on (< 10%).
+    assert obs_probe["overhead_disabled"] < 0.02
+    assert obs_probe["overhead_metrics"] < 0.10
+    assert obs_probe["timeline_events"] > 0
+    assert {"warming", "measurement", "extrapolation"} <= set(phases)
     # The batched-warming lever: the vectorised walk must outpace the
     # scalar reference walk it is bit-identical to, on both backends.
     assert warming_probe["batched_speedup"] >= 1.5

@@ -40,6 +40,7 @@ the same campaign agrees on the partition without coordination; the
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -47,9 +48,16 @@ from repro.campaign.runner import print_progress, run_specs
 from repro.campaign.spec import Campaign, RunSpec, parse_shard, shard_specs
 from repro.campaign.store import ResultStore, merge_stores
 from repro.machine.model import get_model, model_names
+from repro.obs.log import add_log_arguments, setup_from_args
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import phase_breakdown
 from repro.sampling.checkpoints import CheckpointStore
 from repro.sampling.plan import resolve_plan, sampling_modes
 from repro.workloads.suites import benchmark_names
+
+# Not __name__: under `python -m` this module IS "__main__",
+# which would fall outside the configured "repro" logger tree.
+_LOG = logging.getLogger("repro.campaign.cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -161,10 +169,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "hash-partitioned shards (the same partition --shard K/N uses)",
     )
     parser.add_argument(
+        "-q",
         "--quiet",
         action="store_true",
         help="suppress per-run progress on stderr",
     )
+    add_log_arguments(parser)
     return parser
 
 
@@ -212,6 +222,20 @@ def _status(args, store: ResultStore) -> int:
             f"checkpoints {checkpoint_root}: {len(checkpoint_store)} "
             f"warm-state entries, {checkpoint_store.total_bytes()} bytes"
         )
+    phases = phase_breakdown(
+        MetricsRegistry.rollup(
+            entry.get("metrics") for entry in store.payloads()
+        )
+    )
+    if phases:
+        total = sum(phases.values()) or 1.0
+        parts = ", ".join(
+            f"{name} {seconds:.2f}s ({seconds / total:.0%})"
+            for name, seconds in sorted(
+                phases.items(), key=lambda item: -item[1]
+            )
+        )
+        print(f"phase time across stored runs: {parts}")
     for machine in machines:
         specs = _build_specs(args, machine)
         done, failed, pending = bucket(specs)
@@ -278,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "gc":
         return _main_gc(argv[1:])
     args = _build_parser().parse_args(argv)
+    setup_from_args(args)
     if args.sampling != "none":
         resolve_plan(args.sampling)  # fail fast on malformed plans
     store = ResultStore(args.cache_dir)
@@ -291,7 +316,7 @@ def main(argv: list[str] | None = None) -> int:
         specs = store.failed_specs()
         name = "resume-failures"
         if not specs:
-            print("failures.jsonl is empty: nothing to resume", file=sys.stderr)
+            _LOG.warning("failures.jsonl is empty: nothing to resume")
             return 0
     else:
         specs = _build_specs(args, machine)
@@ -319,10 +344,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"pruned {pruned} recovered run(s) from failures.jsonl")
     print(report.summary())
     if report.failures:
-        print(
-            f"{len(report.failures)} run(s) journalled to "
-            f"{store.journal_path}; rerun with --from-failures to retry",
-            file=sys.stderr,
+        _LOG.warning(
+            "%d run(s) journalled to %s; rerun with --from-failures to retry",
+            len(report.failures),
+            store.journal_path,
         )
         return 1
     return 0

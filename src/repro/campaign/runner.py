@@ -26,12 +26,13 @@ import json
 import logging
 import multiprocessing
 import os
-import sys
+import socket
 import time
 import traceback
 from collections.abc import Callable, Iterable
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import asdict
+from datetime import datetime, timezone
 from functools import lru_cache
 
 from repro.campaign.spec import (
@@ -45,8 +46,17 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError, SimulationError
 from repro.machine.results import SimulationResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseTimer
+from repro.obs.recorder import metrics_registry as _active_metrics
+from repro.obs.recorder import tracer as _active_tracer
 
 _LOG = logging.getLogger(__name__)
+
+#: Per-run progress lines (the CLIs enable INFO on this logger; library
+#: callers without logging setup simply don't see progress, as before
+#: they would opt out of the hook).
+_PROGRESS_LOG = logging.getLogger(__name__ + ".progress")
 
 #: Executions attempted per spec before journalling it as failed.
 MAX_ATTEMPTS = 2
@@ -109,6 +119,8 @@ def execute_run(
     """
     from repro.sampling import Checkpointing, simulate_sampled
 
+    timer = PhaseTimer() if _active_metrics() is not None else None
+    phase_started = time.perf_counter()
     traces = _traces_cached(
         spec.benchmark,
         spec.config.core_count,
@@ -117,6 +129,8 @@ def execute_run(
         event_dir,
         capture_dir,
     )
+    if timer is not None:
+        timer.add("trace_load", time.perf_counter() - phase_started)
     checkpoints = None
     if (
         checkpoint_root is not None
@@ -129,7 +143,8 @@ def execute_run(
             scale=spec.scale,
             refresh=checkpoint_mode == "refresh",
         )
-    return simulate_sampled(
+    phase_started = time.perf_counter()
+    result = simulate_sampled(
         spec.config,
         traces,
         spec.sampling_plan(),
@@ -137,14 +152,22 @@ def execute_run(
         cycle_skip=spec.cycle_skip,
         checkpoints=checkpoints,
     )
+    if timer is not None:
+        timer.add("simulate", time.perf_counter() - phase_started)
+        registry = MetricsRegistry.from_payload(result.metrics or [])
+        timer.record(
+            registry, machine=spec.machine, sampling=spec.sampling
+        )
+        result.metrics = registry.to_payload()
+    return result
 
 
 def print_progress(completed: int, total: int, spec: RunSpec, elapsed: float) -> None:
-    """Default progress reporter for CLI campaigns (stderr, one line/run)."""
-    print(
-        f"[{completed}/{total}] {spec.describe()} ({elapsed:.1f}s)",
-        file=sys.stderr,
-        flush=True,
+    """Default progress reporter for CLI campaigns: one line per run on
+    the ``repro.campaign.runner.progress`` logger (stderr at INFO under
+    the CLIs' :func:`repro.obs.log.setup`; ``-q`` silences it)."""
+    _PROGRESS_LOG.info(
+        "[%d/%d] %s (%.1fs)", completed, total, spec.describe(), elapsed
     )
 
 
@@ -175,6 +198,12 @@ def _journal_failure(
         "config": asdict(spec.config),
         "error": failure.error,
         "attempts": failure.attempts,
+        # Forensic fields (PR 10): when and where the run failed and how
+        # long the final attempt took. Readers treat them as optional,
+        # so journals written before these fields still parse.
+        "time": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": socket.gethostname(),
+        "duration_s": round(failure.duration_s, 3),
     }
     with store.journal_path.open("a") as journal:
         journal.write(json.dumps(entry) + "\n")
@@ -307,24 +336,56 @@ def run_specs(
     total = len(unique)
     completed = cached
 
+    # Observability, grabbed once per campaign: the timer accumulates
+    # the runner's own phases (result serialization), the tracer gets
+    # one wall span per run attempt (retries included).
+    campaign_timer = PhaseTimer() if _active_metrics() is not None else None
+    tracer = _active_tracer()
+    retries = 0
+
+    def trace_attempt(
+        spec: RunSpec, attempt: int, span_from: float, outcome: str
+    ) -> None:
+        if tracer is not None:
+            tracer.wall_span(
+                "run",
+                cat="campaign",
+                started_ts=span_from,
+                args={
+                    "spec": spec.describe(),
+                    "attempt": attempt,
+                    "outcome": outcome,
+                },
+            )
+
     def record(spec: RunSpec, result: SimulationResult) -> None:
         nonlocal completed
         keep(spec, result)
         if store is not None:
-            store.put(spec, result)
+            if campaign_timer is not None:
+                io_started = time.perf_counter()
+                store.put(spec, result)
+                campaign_timer.add(
+                    "serialize", time.perf_counter() - io_started
+                )
+            else:
+                store.put(spec, result)
         completed += 1
         if progress is not None:
             progress(completed, total, spec, time.perf_counter() - started)
 
     failures: list[RunFailure] = []
 
-    def record_failure(spec: RunSpec, exc: Exception, attempts: int) -> None:
+    def record_failure(
+        spec: RunSpec, exc: Exception, attempts: int, duration: float = 0.0
+    ) -> None:
         failure = RunFailure(
             spec=spec,
             error="".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip(),
             attempts=attempts,
+            duration_s=duration,
         )
         failures.append(failure)
         _journal_failure(store, failure)
@@ -347,12 +408,25 @@ def run_specs(
     if effective_jobs <= 1 or len(pending) <= 1:
         for spec in pending:
             for attempt in range(1, MAX_ATTEMPTS + 1):
+                attempt_started = time.perf_counter()
+                span_from = tracer.wall_ts() if tracer is not None else 0.0
                 try:
-                    record(spec, execute_run(spec, *run_args))
-                    break
+                    result = execute_run(spec, *run_args)
                 except Exception as exc:
+                    trace_attempt(spec, attempt, span_from, "failed")
                     if attempt == MAX_ATTEMPTS:
-                        record_failure(spec, exc, attempt)
+                        record_failure(
+                            spec,
+                            exc,
+                            attempt,
+                            time.perf_counter() - attempt_started,
+                        )
+                    else:
+                        retries += 1
+                else:
+                    trace_attempt(spec, attempt, span_from, "ok")
+                    record(spec, result)
+                    break
     else:
         # Synthesise every needed trace set once, in the parent, before
         # the pool forks: on fork-based platforms the children inherit
@@ -377,28 +451,46 @@ def run_specs(
                     pass
         workers = max(1, min(effective_jobs, len(pending)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_run, spec, *run_args): spec
-                for spec in pending
-            }
+
+            def submit(spec: RunSpec):
+                future = pool.submit(execute_run, spec, *run_args)
+                # Submit-to-completion is the parent's best observation
+                # of a worker-side attempt's duration.
+                submitted[future] = (
+                    time.perf_counter(),
+                    tracer.wall_ts() if tracer is not None else 0.0,
+                )
+                return future
+
+            submitted: dict = {}
+            futures = {submit(spec): spec for spec in pending}
             attempts = dict.fromkeys(((spec.key, spec.flavor) for spec in pending), 1)
             try:
                 while futures:
                     for future in as_completed(list(futures)):
                         spec = futures.pop(future)
+                        attempt_started, span_from = submitted.pop(future)
+                        attempt = attempts[(spec.key, spec.flavor)]
                         try:
-                            record(spec, future.result())
+                            result = future.result()
                         except BrokenExecutor:
                             raise  # the pool itself died, not the run
                         except Exception as exc:
-                            attempt = attempts[(spec.key, spec.flavor)]
+                            trace_attempt(spec, attempt, span_from, "failed")
                             if attempt < MAX_ATTEMPTS:
                                 attempts[(spec.key, spec.flavor)] = attempt + 1
-                                futures[
-                                    pool.submit(execute_run, spec, *run_args)
-                                ] = spec
+                                retries += 1
+                                futures[submit(spec)] = spec
                             else:
-                                record_failure(spec, exc, attempt)
+                                record_failure(
+                                    spec,
+                                    exc,
+                                    attempt,
+                                    time.perf_counter() - attempt_started,
+                                )
+                        else:
+                            trace_attempt(spec, attempt, span_from, "ok")
+                            record(spec, result)
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -410,6 +502,26 @@ def run_specs(
     # ResultStore.failed_specs() skips entries whose run has since
     # landed in the store — and ``--from-failures`` compacts the file
     # explicitly via ResultStore.prune_journal after a resume.
+    metrics_payload = None
+    if campaign_timer is not None:
+        # Per-campaign rollup: every completed run's serialized registry
+        # (cached runs included — their payloads persisted), plus the
+        # runner's own counters. Store/warming latency histograms are
+        # process-scoped and live in the active recorder's registry.
+        rollup = MetricsRegistry.rollup(
+            getattr(result, "metrics", None) for result in results.values()
+        )
+        labels = {"campaign": name}
+        rollup.counter("campaign.runs", outcome="executed", **labels).inc(
+            len(pending) - len(failures)
+        )
+        rollup.counter("campaign.runs", outcome="cached", **labels).inc(cached)
+        rollup.counter("campaign.runs", outcome="failed", **labels).inc(
+            len(failures)
+        )
+        rollup.counter("campaign.retries", **labels).inc(retries)
+        campaign_timer.record(rollup, **labels)
+        metrics_payload = rollup.to_payload()
     report = CampaignReport(
         name=name,
         total=total,
@@ -422,6 +534,7 @@ def run_specs(
         completed=completed_flavors,
         failures=failures,
         sharded_out=sharded_out,
+        metrics=metrics_payload,
     )
     if failures and strict:
         sample = "; ".join(

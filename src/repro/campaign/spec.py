@@ -227,6 +227,10 @@ class RunFailure:
     spec: RunSpec
     error: str
     attempts: int
+    #: Wall seconds of the final (failing) attempt — in parallel mode
+    #: the submit-to-completion span the parent observed. Journalled so
+    #: a resume can tell a fast config error from a slow timeout.
+    duration_s: float = 0.0
 
 
 @dataclass
@@ -263,6 +267,10 @@ class CampaignReport:
     failures: list[RunFailure] = field(default_factory=list)
     #: Runs excluded by the active shard selector (other hosts' work).
     sharded_out: int = 0
+    #: Campaign-wide metrics rollup (``None`` unless obs recording was
+    #: on): every completed run's serialized registry merged, plus the
+    #: runner's own ``campaign.*`` counters and ``phase.*`` timings.
+    metrics: list | None = None
 
     def summary(self) -> str:
         rate = self.executed / self.wall_seconds if self.wall_seconds else 0.0

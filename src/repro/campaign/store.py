@@ -38,6 +38,7 @@ import json
 import os
 import re
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -49,6 +50,7 @@ from repro.machine.serialization import (
     result_from_dict,
     result_to_dict,
 )
+from repro.obs.recorder import metrics_registry as _active_metrics
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._=-]+")
 
@@ -164,6 +166,21 @@ class ResultStore:
 
     def get(self, spec: RunSpec) -> SimulationResult | None:
         """Load the stored result for ``spec``, or None when absent."""
+        registry = _active_metrics()
+        if registry is None:
+            return self._get(spec)
+        started = time.perf_counter()
+        result = self._get(spec)
+        registry.histogram("store.result.get_s").observe(
+            time.perf_counter() - started
+        )
+        registry.counter(
+            "store.result.requests",
+            outcome="hit" if result is not None else "miss",
+        ).inc()
+        return result
+
+    def _get(self, spec: RunSpec) -> SimulationResult | None:
         path = self._existing_path(spec)
         if path is None:
             return None
@@ -202,10 +219,24 @@ class ResultStore:
                 f"label {spec.key[2]!r} does not distinguish them. Use "
                 f"distinct labels or a separate cache directory."
             )
-        return result_from_dict(payload["result"], expect_machine=spec.machine)
+        result = result_from_dict(
+            payload["result"], expect_machine=spec.machine
+        )
+        result.metrics = payload.get("metrics")
+        return result
 
     def put(self, spec: RunSpec, result: SimulationResult) -> Path:
         """Persist one result; returns the written path."""
+        registry = _active_metrics()
+        started = time.perf_counter() if registry is not None else 0.0
+        path = self._put(spec, result)
+        if registry is not None:
+            registry.histogram("store.result.put_s").observe(
+                time.perf_counter() - started
+            )
+        return path
+
+    def _put(self, spec: RunSpec, result: SimulationResult) -> Path:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -216,6 +247,11 @@ class ResultStore:
         }
         if spec.sampling:
             payload["sampling"] = spec.sampling
+        if result.metrics is not None:
+            # Beside (not inside) the result payload: the result dict is
+            # the bit-identity contract, while recorded metrics carry
+            # wall times that legitimately vary run to run.
+            payload["metrics"] = result.metrics
         # Unique tmp per writer: two runners recovering the same run
         # over one store tree (shards, --from-failures) may put() the
         # same spec concurrently, and a shared tmp name would let one
@@ -243,6 +279,26 @@ class ResultStore:
         return sorted(
             set(self.root.glob("*/*/*.json")) | set(self.root.glob("*/*.json"))
         )
+
+    def payloads(self) -> list[dict]:
+        """Every readable entry payload, in deterministic path order.
+
+        The read-only sweep behind ``repro.obs summary`` and the
+        ``--status`` phase breakdown: callers get the raw stored dicts
+        (``key``/``engine``/``result`` headers, and ``result.metrics``
+        when the run recorded any) without reconstructing specs or
+        machine configs. Corrupt entries are skipped, matching
+        :meth:`keys`.
+        """
+        found: list[dict] = []
+        for path in self._entry_paths():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(payload, dict):
+                found.append(payload)
+        return found
 
     def keys(self) -> list[RunKey]:
         """Every key currently stored (reads each payload's header)."""

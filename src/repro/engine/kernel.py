@@ -51,6 +51,8 @@ from typing import Protocol, runtime_checkable
 from repro.engine.clock import Clock
 from repro.engine.events import EventQueue
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.recorder import tracer as _active_tracer
+from repro.obs.timeline import SIM_PID
 
 #: Sleep-plan sentinel: "nothing but an explicit wake can rouse me".
 NEVER = 1 << 62
@@ -185,6 +187,14 @@ class SimulationKernel:
         self._describe: Callable[[], str] | None = None
         self._deadlock_detail: Callable[[int], str] | None = None
         self._last_progress = 0
+        # Timeline tracing: grabbed once at construction so a disabled
+        # recorder costs exactly one None check on the wake/sleep/jump
+        # paths (never inside the per-cycle step loop).
+        self.tracer = _active_tracer()
+        self._nap_from: list[int] = []
+        self._ts_base = self.tracer.cycle_offset if self.tracer else 0
+        if self.tracer is not None:
+            self.tracer.set_thread_name(SIM_PID, 0, "kernel")
 
     # -- wiring ------------------------------------------------------------
 
@@ -199,6 +209,11 @@ class SimulationKernel:
         self._on_wake.append(getattr(component, "on_wake", None))
         self._index_of[id(component)] = index
         self._ready_count += 1
+        self._nap_from.append(-1)
+        if self.tracer is not None:
+            self.tracer.set_thread_name(
+                SIM_PID, index + 1, f"{index}:{type(component).__name__}"
+            )
 
     def set_finish_condition(self, finished: Callable[[], bool]) -> None:
         """Install the predicate that ends the run (checked per cycle)."""
@@ -241,6 +256,18 @@ class SimulationKernel:
         self._gen[index] += 1  # invalidate any armed timer
         self._ready_count += 1
         self.stats.wakes += 1
+        if self.tracer is not None:
+            started = self._nap_from[index]
+            if started >= 0:
+                self.tracer.complete(
+                    "nap",
+                    cat="kernel",
+                    ts=self._ts_base + started,
+                    dur=max(0, now - started),
+                    pid=SIM_PID,
+                    tid=index + 1,
+                )
+                self._nap_from[index] = -1
 
     # -- progress accounting ------------------------------------------------
 
@@ -344,6 +371,8 @@ class SimulationKernel:
                 on_sleep(now)
             ready[index] = False
             self._ready_count -= 1
+            if self.tracer is not None:
+                self._nap_from[index] = now + 1  # nap covers from now + 1
 
     def _try_jump(self) -> None:
         """Ready set empty: jump the clock to the earliest wake-up.
@@ -372,6 +401,15 @@ class SimulationKernel:
             return
         self.stats.skips += 1
         self.stats.cycles_skipped += target - now
+        if self.tracer is not None:
+            self.tracer.complete(
+                "clock_jump",
+                cat="kernel",
+                ts=self._ts_base + now,
+                dur=target - now,
+                pid=SIM_PID,
+                tid=0,
+            )
         self.clock.jump(target)
 
     # -- diagnostics -------------------------------------------------------

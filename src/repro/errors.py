@@ -40,3 +40,7 @@ class DeadlockError(SimulationError):
 
 class WorkloadError(ReproError):
     """An unknown benchmark name or invalid workload model parameter."""
+
+
+class ObsError(ReproError):
+    """An observability-layer failure (metrics merge, timeline export)."""

@@ -17,11 +17,13 @@ never seen.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
 from repro.campaign.runner import print_progress
 from repro.experiments.common import ExperimentContext
+from repro.obs.log import add_log_arguments, setup_from_args
 from repro.experiments.registry import (
     TITLES,
     experiment_ids,
@@ -29,6 +31,10 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.workloads.suites import benchmark_names
+
+# Not __name__: under `python -m` this module IS "__main__",
+# which would fall outside the configured "repro" logger tree.
+_LOG = logging.getLogger("repro.experiments.cli")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -129,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(chunked .trcz) as a side effect of the run",
     )
     parser.add_argument(
+        "-q",
         "--quiet",
         action="store_true",
         help="suppress per-run campaign progress on stderr",
@@ -139,11 +146,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="",
         help="also write a paper-vs-measured markdown report to this path",
     )
+    add_log_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    setup_from_args(args)
     if args.experiment == "list":
         for experiment_id in experiment_ids():
             print(f"{experiment_id:8s} {TITLES[experiment_id]}")
@@ -193,8 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.export import render_markdown
 
         Path(args.export).write_text(render_markdown(results, scale=args.scale))
-        print(f"[wrote {args.export}]")
-    print(f"[{time.time() - started:.1f}s total]")
+        _LOG.info("[wrote %s]", args.export)
+    _LOG.info("[%.1fs total]", time.time() - started)
     return 0
 
 

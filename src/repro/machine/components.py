@@ -134,6 +134,7 @@ class CoreScheduleState:
         "progress_guard",
         "commit_cycles_batched",
         "redirect_cycles_batched",
+        "trace_window",
         "_plan_cycle",
         "_plans",
         "_pending_window",
@@ -177,6 +178,10 @@ class CoreScheduleState:
         #: Redirect-penalty stall cycles elided through redirect-replay
         #: windows (the idle phase past the batched drain commit).
         self.redirect_cycles_batched = 0
+        #: Injected by the system wiring only when timeline tracing is
+        #: on (None otherwise): ``trace_window(kind, start, cycles)``
+        #: records a settled replay window span on this core's track.
+        self.trace_window: Callable[[str, int, int], None] | None = None
         self._plan_cycle = -1
         self._plans: tuple[int | None, int | None] = (None, None)
         self._pending_window = _NO_WINDOW
@@ -359,6 +364,8 @@ class CoreScheduleState:
         elif self.window is _REPLAY:
             _committed, last_commit = self.core.backend.replay_steps(cycles)
             self.commit_cycles_batched += cycles
+            if self.trace_window is not None:
+                self.trace_window("commit", self.settled_to, cycles)
             if last_commit is not None:
                 # The watchdog must see progress at the cycle the last
                 # elided commit actually happened (a stepped run reset
@@ -374,6 +381,8 @@ class CoreScheduleState:
                 span = cut - self.settled_to
                 _committed, last_commit = self.core.backend.replay_steps(span)
                 self.commit_cycles_batched += span
+                if self.trace_window is not None:
+                    self.trace_window("commit", self.settled_to, span)
                 if last_commit is not None:
                     self.note_progress(self.settled_to + last_commit - 1)
                 self.settled_to = cut
@@ -387,6 +396,8 @@ class CoreScheduleState:
                 if idle > 0:
                     self.core.backend.idle_steps(idle, "branch")
                     self.redirect_cycles_batched += idle
+                    if self.trace_window is not None:
+                        self.trace_window("redirect", boundary, idle)
         else:
             self.core.backend.pacing_steps(cycles)
         self.settled_to = now

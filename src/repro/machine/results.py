@@ -100,6 +100,13 @@ class SimulationResult:
     #: :mod:`repro.sampling`; every counter in a sampled result is an
     #: extrapolation whose confidence this payload quantifies.
     sampling: dict | None = None
+    #: Serialized :class:`repro.obs.metrics.MetricsRegistry` payload
+    #: (``None`` unless recording was enabled for the run): labelled
+    #: ``kernel.*`` / ``sampling.*`` / ``phase.*`` metrics. Outside the
+    #: bit-identity contract — equivalence comparisons ignore it, since
+    #: its labels (engine, backend) and wall timings legitimately differ
+    #: between runs that are otherwise identical.
+    metrics: list | None = field(default=None, compare=False, repr=False)
 
     # -- instruction counts -------------------------------------------------
 

@@ -79,6 +79,11 @@ def result_to_dict(result: SimulationResult) -> dict:
     }
     if result.sampling is not None:
         payload["sampling"] = result.sampling
+    # ``result.metrics`` is deliberately NOT part of this payload: the
+    # dict is the bit-identity contract (engine cross-checks and
+    # serial/parallel comparisons assert equality on it), and recorded
+    # metrics legitimately differ across engines and wall clocks. The
+    # result store persists them as a sibling of the result payload.
     return payload
 
 

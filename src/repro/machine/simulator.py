@@ -28,10 +28,14 @@ cycle-by-cycle reference path that steps every component every cycle.
 
 from __future__ import annotations
 
+from dataclasses import fields as _dataclass_fields
+
 from repro.engine import SimulationKernel
 from repro.machine.config import BaseMachineConfig
 from repro.machine.results import SimulationResult
 from repro.machine.system import System
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import metrics_registry as _active_metrics
 from repro.trace.stream import TraceSet
 
 #: Cycles without any committed instruction before declaring a deadlock.
@@ -52,6 +56,9 @@ class SystemSimulator:
         self.kernel.set_finish_condition(system.all_finished)
         self.kernel.set_describe(self._describe)
         self.kernel.set_deadlock_detail(self._deadlock_detail)
+        # Observability: the construction-time grab. None when recording
+        # is disabled, so the run path costs one None check.
+        self._metrics = _active_metrics()
 
     @property
     def cycle(self) -> int:
@@ -68,23 +75,55 @@ class SystemSimulator:
         try:
             cycles = self.kernel.run(max_cycles=max_cycles)
         finally:
-            self.kernel.stats.interconnect_busy_batched += sum(
-                component.busy_steps_batched
-                for component in self.system.interconnect_components
+            self._aggregate_stats()
+        result = self.system.collect_results(cycles)
+        if self._metrics is not None:
+            result.metrics = self.run_metrics().to_payload()
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            # Lay successive runs end to end on the simulated-clock
+            # track instead of stacking them all at cycle 0.
+            tracer.cycle_offset = self.kernel._ts_base + cycles + 1
+        return result
+
+    def _aggregate_stats(self) -> None:
+        """Fold the components' batched-accounting counters into the
+        kernel's flat :class:`~repro.engine.kernel.KernelStats`."""
+        self.kernel.stats.interconnect_busy_batched += sum(
+            component.busy_steps_batched
+            for component in self.system.interconnect_components
+        )
+        self.kernel.stats.commit_cycles_batched += sum(
+            state.commit_cycles_batched
+            for state in self.system.schedule_states
+        )
+        self.kernel.stats.redirect_cycles_batched += sum(
+            state.redirect_cycles_batched
+            for state in self.system.schedule_states
+        )
+        self.kernel.stats.replay_walk_engaged += sum(
+            core.backend.replay_walk_engaged
+            for core in self.system.cores
+        )
+
+    def run_metrics(self) -> MetricsRegistry:
+        """The run's :class:`KernelStats` as labelled ``kernel.*``
+        counters (the structured successor of the flat stat bag; every
+        field is absorbed automatically)."""
+        from repro.kernels import backend_name
+
+        registry = MetricsRegistry()
+        labels = {
+            "machine": self.system.machine_name,
+            "engine": "skip" if self.kernel.cycle_skip else "step",
+            "kernel_backend": backend_name(),
+        }
+        stats = self.kernel.stats
+        for field in _dataclass_fields(stats):
+            registry.counter("kernel." + field.name, **labels).inc(
+                getattr(stats, field.name)
             )
-            self.kernel.stats.commit_cycles_batched += sum(
-                state.commit_cycles_batched
-                for state in self.system.schedule_states
-            )
-            self.kernel.stats.redirect_cycles_batched += sum(
-                state.redirect_cycles_batched
-                for state in self.system.schedule_states
-            )
-            self.kernel.stats.replay_walk_engaged += sum(
-                core.backend.replay_walk_engaged
-                for core in self.system.cores
-            )
-        return self.system.collect_results(cycles)
+        return registry
 
     # -- error context -----------------------------------------------------
 

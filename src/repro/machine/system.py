@@ -411,6 +411,37 @@ class System:
         for state in states:
             state.note_progress = kernel.note_progress
             state.progress_guard = guard
+        tracer = getattr(kernel, "tracer", None)
+        if tracer is not None:
+            # Timeline tracing: settled replay windows become spans on
+            # the owning core's track (cycle domain; deterministic).
+            from repro.obs.timeline import SIM_PID
+
+            base = kernel._ts_base
+            for state in states:
+
+                def trace_window(
+                    kind: str,
+                    start: int,
+                    cycles: int,
+                    *,
+                    _core_id: int = state.core.core_id,
+                ) -> None:
+                    tracer.complete(
+                        f"replay:{kind}",
+                        cat="replay",
+                        ts=base + start,
+                        dur=cycles,
+                        pid=SIM_PID,
+                        tid=1000 + _core_id,
+                    )
+
+                state.trace_window = trace_window
+                tracer.set_thread_name(
+                    SIM_PID,
+                    1000 + state.core.core_id,
+                    f"core{state.core.core_id}:replay-windows",
+                )
         if self.config.arbitration == "icount":
             for group in self.topology.groups:
                 if not group.shared:

@@ -1,0 +1,62 @@
+"""repro.obs — metrics, event timelines and phase profiling.
+
+Three pieces, all zero-cost when disabled:
+
+* :mod:`repro.obs.metrics` — labelled counters / gauges / histograms
+  with associative merges, serialized onto ``SimulationResult.metrics``
+  and rolled up per campaign;
+* :mod:`repro.obs.timeline` — an opt-in ring-buffered span tracer
+  exported as Chrome-trace / Perfetto JSON (``python -m repro.obs
+  timeline``);
+* :mod:`repro.obs.profile` — wall-time phase attribution
+  (``phase.<name>`` histograms) for the sampled simulator and the
+  campaign worker.
+
+The switch is :mod:`repro.obs.recorder`: ``configure()`` / ``disable()``
+/ ``recording()`` or the ``REPRO_OBS`` environment variable. Every
+instrumented component grabs the registry/tracer at construction, so a
+disabled recorder costs one attribute load and a ``None`` check on the
+hot paths (the bench gates this at < 2 %).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import PhaseTimer, phase_breakdown
+from repro.obs.recorder import (
+    Recorder,
+    configure,
+    disable,
+    enabled,
+    metrics_registry,
+    recorder,
+    recording,
+    tracer,
+)
+from repro.obs.timeline import (
+    SIM_PID,
+    WALL_PID,
+    TimelineTracer,
+    dump_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "phase_breakdown",
+    "Recorder",
+    "configure",
+    "disable",
+    "enabled",
+    "metrics_registry",
+    "recorder",
+    "recording",
+    "tracer",
+    "SIM_PID",
+    "WALL_PID",
+    "TimelineTracer",
+    "dump_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,276 @@
+"""Observability tooling: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``timeline`` — run one benchmark on one design point with recording
+  enabled and export the event timeline as Chrome-trace JSON (loadable
+  in Perfetto / ``chrome://tracing``): kernel naps and clock jumps,
+  per-core replay windows, and — for sampled runs — warming /
+  materialise / measure / extrapolate wall spans;
+* ``summary`` — roll up serialized metrics payloads (result-store
+  trees, stored entry files, or campaign reports) and print one
+  ``name{labels} value`` row per metric;
+* ``diff`` — per-metric deltas between two such rollups (e.g. two
+  campaign sweeps, or the same store tree before and after a change).
+
+Examples::
+
+    python -m repro.obs timeline --benchmark UA --sampling fast \\
+        --scale 0.1 --out timeline.json
+    python -m repro.obs summary .results
+    python -m repro.obs diff before/.results after/.results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError, ObsError
+from repro.obs.log import add_log_arguments, setup_from_args
+from repro.obs.metrics import MetricsRegistry
+
+# Not __name__: under `python -m` this module IS "__main__",
+# which would fall outside the configured "repro" logger tree.
+_LOG = logging.getLogger("repro.obs.cli")
+
+
+def _extract_metrics(data: object) -> list | None:
+    """The serialized metrics payload inside any of our JSON shapes."""
+    if isinstance(data, list):
+        return data
+    if isinstance(data, dict):
+        if isinstance(data.get("metrics"), list):
+            return data["metrics"]
+        result = data.get("result")
+        if isinstance(result, dict) and isinstance(result.get("metrics"), list):
+            return result["metrics"]
+    return None
+
+
+def _rollup(paths: list[str]) -> MetricsRegistry:
+    """Merge the metrics of every store tree / JSON file given."""
+    payloads: list[list | None] = []
+    for text in paths:
+        path = Path(text)
+        if path.is_dir():
+            from repro.campaign.store import ResultStore
+
+            entries = ResultStore(path).payloads()
+            payloads.extend(_extract_metrics(entry) for entry in entries)
+        else:
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ConfigurationError(
+                    f"cannot read metrics from {path}: {exc}"
+                ) from exc
+            metrics = _extract_metrics(data)
+            if metrics is None:
+                raise ConfigurationError(
+                    f"{path} holds no serialized metrics payload (was the "
+                    f"run recorded with REPRO_OBS enabled?)"
+                )
+            payloads.append(metrics)
+    return MetricsRegistry.rollup(payloads)
+
+
+def _format_row(row: dict) -> str:
+    labels = ",".join(
+        f"{key}={value}" for key, value in sorted(row["labels"].items())
+    )
+    name = f"{row['name']}{{{labels}}}" if labels else row["name"]
+    if row["type"] == "histogram":
+        count = row.get("count", 0)
+        total = row.get("total", 0.0)
+        mean = total / count if count else 0.0
+        return (
+            f"{name} count={count} total={total:.6g} mean={mean:.6g} "
+            f"min={row.get('min')} max={row.get('max')}"
+        )
+    return f"{name} {row.get('value', 0):g}"
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    registry = _rollup(args.path)
+    rows = registry.to_payload()
+    if args.prefix:
+        rows = [row for row in rows if row["name"].startswith(args.prefix)]
+    if not rows:
+        _LOG.warning("no recorded metrics found")
+        return 1
+    for row in rows:
+        print(_format_row(row))
+    return 0
+
+
+def _row_scalars(row: dict) -> dict[str, float]:
+    if row["type"] == "histogram":
+        return {
+            "count": float(row.get("count", 0)),
+            "total": float(row.get("total", 0.0)),
+        }
+    return {"value": float(row.get("value", 0))}
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    def keyed(paths: list[str]) -> dict[tuple, dict]:
+        return {
+            (row["name"], tuple(sorted(row["labels"].items()))): row
+            for row in _rollup(paths).to_payload()
+        }
+
+    before, after = keyed([args.before]), keyed([args.after])
+    changed = 0
+    for key in sorted(set(before) | set(after)):
+        row = after.get(key) or before[key]
+        labels = ",".join(f"{k}={v}" for k, v in key[1])
+        name = f"{key[0]}{{{labels}}}" if labels else key[0]
+        old = _row_scalars(before[key]) if key in before else {}
+        new = _row_scalars(after[key]) if key in after else {}
+        deltas = {
+            field: new.get(field, 0.0) - old.get(field, 0.0)
+            for field in _row_scalars(row)
+        }
+        if all(delta == 0 for delta in deltas.values()):
+            continue
+        changed += 1
+        rendered = " ".join(
+            f"{field}{delta:+g}" for field, delta in deltas.items()
+        )
+        marker = "+" if key not in before else "-" if key not in after else " "
+        print(f"{marker} {name} {rendered}")
+    if not changed:
+        print("no metric deltas")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.machine.model import get_model
+    from repro.obs.timeline import DEFAULT_CAPACITY, dump_chrome_trace
+    from repro.sampling.plan import resolve_plan
+    from repro.sampling.simulator import simulate_sampled
+    from repro.trace.synthesis import synthesize_benchmark
+
+    model = get_model(args.machine)
+    points = model.standard_design_points()
+    if not 0 <= args.design < len(points):
+        raise ConfigurationError(
+            f"--design must be 0..{len(points) - 1} for {args.machine} "
+            f"(its standard design points), got {args.design}"
+        )
+    config = points[args.design]
+    plan = resolve_plan(args.sampling) if args.sampling != "none" else None
+    traces = synthesize_benchmark(
+        args.benchmark,
+        thread_count=config.core_count,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    with obs.recording(
+        metrics=True,
+        timeline=True,
+        capacity=args.capacity or DEFAULT_CAPACITY,
+    ) as recording:
+        result = simulate_sampled(config, traces, plan)
+        payload = recording.tracer.chrome_trace(
+            metadata={
+                "benchmark": args.benchmark,
+                "machine": args.machine,
+                "design": config.label(),
+                "scale": args.scale,
+                "seed": args.seed,
+                "sampling": plan.spec() if plan is not None else "full",
+            }
+        )
+        dropped = recording.tracer.dropped
+    dump_chrome_trace(payload, args.out)
+    print(
+        f"wrote {args.out}: {len(payload['traceEvents'])} events "
+        f"({dropped} dropped), {result.cycles} simulated cycles"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Export event timelines and inspect recorded metrics.",
+    )
+    add_log_arguments(parser, quiet=True)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    timeline = commands.add_parser(
+        "timeline",
+        help="run one benchmark with recording on and export a "
+        "Perfetto-loadable Chrome-trace JSON timeline",
+    )
+    timeline.add_argument("--machine", type=str, default="acmp")
+    timeline.add_argument("--benchmark", type=str, default="UA")
+    timeline.add_argument(
+        "--design",
+        type=int,
+        default=0,
+        help="index into the machine's standard design points (default 0)",
+    )
+    timeline.add_argument("--scale", type=float, default=0.1)
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument(
+        "--sampling",
+        type=str,
+        default="none",
+        help="sampling mode or plan spec; 'none' (default) runs full "
+        "detail — sampled runs additionally carry warming/measure/"
+        "extrapolate wall spans",
+    )
+    timeline.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="event ring-buffer size (default 65536; oldest events drop "
+        "first)",
+    )
+    timeline.add_argument("--out", required=True, help="output JSON path")
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    summary = commands.add_parser(
+        "summary",
+        help="roll up serialized metrics (store trees / JSON files) and "
+        "print one row per metric",
+    )
+    summary.add_argument(
+        "path", nargs="+", help="result-store tree(s) or JSON file(s)"
+    )
+    summary.add_argument(
+        "--prefix",
+        type=str,
+        default="",
+        help="only metrics whose name starts with this prefix",
+    )
+    summary.set_defaults(handler=_cmd_summary)
+
+    diff = commands.add_parser(
+        "diff", help="per-metric deltas between two rollups"
+    )
+    diff.add_argument("before", help="store tree or JSON file")
+    diff.add_argument("after", help="store tree or JSON file")
+    diff.set_defaults(handler=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    setup_from_args(args)
+    try:
+        return args.handler(args)
+    except (ConfigurationError, ObsError) as exc:
+        _LOG.error("error: %s", exc)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

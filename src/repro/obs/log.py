@@ -1,0 +1,93 @@
+"""Shared logging setup for the CLIs.
+
+Every CLI (`repro.experiments`, `repro.campaign`, `repro.trace`,
+`repro.obs`) routes its progress and notices through loggers under the
+``repro`` namespace; :func:`setup` binds a single stderr handler with a
+bare ``%(message)s`` format so the output looks exactly like the print
+calls it replaced, while ``--log-level``/``-q`` gain real meaning.
+
+Data outputs (figure text, dumps, status tables, JSON) stay on stdout —
+only diagnostics move to logging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+ROOT = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_MARKER = "_repro_obs_handler"
+
+
+def setup(level: str | int = "info", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Repeated calls (tests invoke ``main()`` many times per process)
+    re-point the existing handler at the current ``sys.stderr`` instead
+    of stacking handlers.
+    """
+    logger = logging.getLogger(ROOT)
+    if isinstance(level, str):
+        level = LEVELS[level.lower()]
+    logger.setLevel(level)
+    # Propagation stays on: the root logger has no handlers in a CLI
+    # process (lastResort stays quiet because our handler counts as
+    # handling), while test log capture and applications embedding
+    # repro keep seeing records on the root logger.
+    stream = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, _MARKER, False):
+            if getattr(handler.stream, "closed", False):
+                # setStream() flushes the old stream first, which blows
+                # up when a test harness has already closed it (capsys
+                # tears its streams down between tests); swap directly.
+                handler.stream = stream
+            elif handler.stream is not stream:
+                handler.setStream(stream)
+            return logger
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _MARKER, True)
+    logger.addHandler(handler)
+    return logger
+
+
+def add_log_arguments(
+    parser: argparse.ArgumentParser, quiet: bool = False
+) -> None:
+    """Attach the shared ``--log-level`` option to a CLI parser.
+
+    ``quiet=True`` also attaches ``-q``/``--quiet`` — for CLIs that
+    don't already define their own quiet flag with extra meaning.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=tuple(LEVELS),
+        default="info",
+        help="diagnostics verbosity on stderr (default: info)",
+    )
+    if quiet:
+        parser.add_argument(
+            "-q",
+            "--quiet",
+            action="store_true",
+            help="only warnings and errors on stderr",
+        )
+
+
+def setup_from_args(args: argparse.Namespace) -> logging.Logger:
+    """Apply ``--log-level`` (and ``--quiet``, if present) from parsed
+    CLI arguments; ``--quiet`` wins and clamps to warnings."""
+    level = getattr(args, "log_level", "info")
+    if getattr(args, "quiet", False):
+        level = "warning"
+    return setup(level)

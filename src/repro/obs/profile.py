@@ -1,0 +1,84 @@
+"""Wall-time phase attribution: cheap monotonic timers around the
+coarse phases of a run (warming / measurement / extrapolation / store
+I/O in the sampled simulator; trace-load / simulate / serialize in the
+campaign worker).
+
+A :class:`PhaseTimer` accumulates seconds per phase name; callers fold
+it into a :class:`~repro.obs.metrics.MetricsRegistry` as ``phase.<name>``
+histograms (count = timed sections, total = seconds) so campaign rollups
+and ``--status`` can report where the wall time went.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+PHASE_PREFIX = "phase."
+
+
+class PhaseTimer:
+    """Accumulates wall seconds per named phase."""
+
+    __slots__ = ("seconds", "sections")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.sections: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.sections[name] = self.sections.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into a phase."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.sections[name] = self.sections.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Each phase's share of the timed wall total, sorted by name."""
+        total = self.total()
+        if total <= 0.0:
+            return {}
+        return {
+            name: self.seconds[name] / total for name in sorted(self.seconds)
+        }
+
+    def record(self, registry: MetricsRegistry, **labels: object) -> None:
+        """Fold the accumulated phases into ``phase.<name>`` histograms."""
+        for name in sorted(self.seconds):
+            histogram = registry.histogram(PHASE_PREFIX + name, **labels)
+            # One observation per timed section keeps count meaningful
+            # (sections entered), while total stays the exact sum.
+            count = self.sections.get(name, 1)
+            seconds = self.seconds[name]
+            histogram.count += count
+            histogram.total += seconds
+            share = seconds / count if count else seconds
+            if histogram.minimum is None or share < histogram.minimum:
+                histogram.minimum = share
+            if histogram.maximum is None or share > histogram.maximum:
+                histogram.maximum = share
+
+
+def phase_breakdown(registry: MetricsRegistry) -> dict[str, float]:
+    """Aggregate ``phase.*`` histograms across all label sets into
+    ``{phase name: seconds}`` (for ``--status`` and the bench)."""
+    totals: dict[str, float] = {}
+    for metric in registry.select(PHASE_PREFIX):
+        if metric.kind != "histogram":
+            continue
+        name = metric.name[len(PHASE_PREFIX):]
+        totals[name] = totals.get(name, 0.0) + metric.total
+    return dict(sorted(totals.items()))

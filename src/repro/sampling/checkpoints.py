@@ -49,12 +49,14 @@ import json
 import os
 import re
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.campaign.store import _UMASK, _format_scale, _sanitize
 from repro.errors import ConfigurationError
 from repro.machine.warm import WarmState
+from repro.obs.recorder import metrics_registry as _active_metrics
 
 __all__ = [
     "CheckpointKey",
@@ -433,6 +435,21 @@ class CheckpointStore:
         The payload is shared with the store's in-memory parse memo:
         treat it as read-only.
         """
+        registry = _active_metrics()
+        if registry is None:
+            return self._get(key, detail_index)
+        started = time.perf_counter()
+        state = self._get(key, detail_index)
+        registry.histogram("store.checkpoint.get_s").observe(
+            time.perf_counter() - started
+        )
+        registry.counter(
+            "store.checkpoint.requests",
+            outcome="hit" if state is not None else "miss",
+        ).inc()
+        return state
+
+    def _get(self, key: CheckpointKey, detail_index: int) -> dict | None:
         path = self.path_for(key, detail_index)
         payload = self._read(path)
         if payload is None:
@@ -463,6 +480,8 @@ class CheckpointStore:
         concurrent writers (shard hosts warming the same prefix) cannot
         interleave half-written payloads.
         """
+        registry = _active_metrics()
+        started = time.perf_counter() if registry is not None else 0.0
         path = self.path_for(key, detail_index)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -490,6 +509,10 @@ class CheckpointStore:
             self._parsed[path] = ((stat.st_mtime_ns, stat.st_size), payload)
         except OSError:  # pragma: no cover - a concurrent gc raced us
             pass
+        if registry is not None:
+            registry.histogram("store.checkpoint.put_s").observe(
+                time.perf_counter() - started
+            )
         return path
 
     # -- maintenance -------------------------------------------------------

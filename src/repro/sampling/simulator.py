@@ -47,6 +47,7 @@ bit-identical to an unsampled run by construction.
 
 from __future__ import annotations
 
+import time
 from dataclasses import fields
 
 from repro.cache.line_buffer import LookupState
@@ -55,6 +56,10 @@ from repro.machine.config import BaseMachineConfig
 from repro.machine.results import CacheGroupResult, CoreResult, SimulationResult
 from repro.machine.simulator import SystemSimulator, simulate
 from repro.machine.system import System, warm_shape_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseTimer
+from repro.obs.recorder import metrics_registry as _active_metrics
+from repro.obs.recorder import tracer as _active_tracer
 from repro.sampling.checkpoints import (
     CheckpointKey,
     Checkpointing,
@@ -430,6 +435,10 @@ class SampledSimulator:
     def run(self, max_cycles: int = 500_000_000) -> SimulationResult:
         """Simulate under the plan; return the extrapolated result."""
         plan = self.plan
+        # Observability, grabbed once per run: a disabled recorder makes
+        # `timer`/`tracer` None and every hook below a single check.
+        timer = PhaseTimer() if _active_metrics() is not None else None
+        tracer = _active_tracer()
         intervals = slice_traces(self.traces, plan)
         full_span = len(intervals) == 1 and intervals[0].spans == tuple(
             (0, len(t.records)) for t in self.traces.threads
@@ -437,6 +446,7 @@ class SampledSimulator:
         if plan.exact or full_span:
             # Full coverage: the plain simulator is the measurement —
             # results are bit-identical to an unsampled run.
+            started = time.perf_counter()
             result = simulate(
                 self.config,
                 self.traces,
@@ -452,6 +462,11 @@ class SampledSimulator:
                 },
                 exact=True,
             )
+            if timer is not None:
+                timer.add("measurement", time.perf_counter() - started)
+                result.metrics = self._metrics_payload(
+                    [result.metrics], intervals, timer, counters=None
+                )
             return result
 
         policy = self.checkpoints
@@ -475,6 +490,9 @@ class SampledSimulator:
         def ensure_warming_through(target: int) -> None:
             """Advance warming to the entry of interval ``target``."""
             nonlocal warming, warmer, pending_restore, walk_cursor
+            started = time.perf_counter()
+            span_from = tracer.wall_ts() if tracer is not None else 0.0
+            walked_from = walk_cursor
             if warming is None:
                 warming = self.model.build_system(self.config, self.traces)
                 if self.warm_l2 and pending_restore is None:
@@ -491,6 +509,15 @@ class SampledSimulator:
                     continue
                 warmer.warm_interval(interval)
             walk_cursor = target
+            if timer is not None:
+                timer.add("warming", time.perf_counter() - started)
+            if tracer is not None:
+                tracer.wall_span(
+                    "warming",
+                    cat="sampling",
+                    started_ts=span_from,
+                    args={"intervals": target - walked_from},
+                )
 
         exhaustive: list[SimulationResult] = []
         sampled: list[tuple[Interval, SimulationResult]] = []
@@ -502,7 +529,10 @@ class SampledSimulator:
             detail_ordinal += 1
             payload = None
             if store is not None and not policy.refresh:
+                io_started = time.perf_counter()
                 payload = store.get(key, ordinal)
+                if timer is not None:
+                    timer.add("store_io", time.perf_counter() - io_started)
             if payload is not None:
                 hits += 1
                 entry_state = decode_state(payload)
@@ -516,18 +546,48 @@ class SampledSimulator:
                 entry_state = warming.capture_warm_state()
                 payload = encode_state(entry_state)
                 if store is not None:
+                    io_started = time.perf_counter()
                     store.put(key, ordinal, payload, self.config.label())
                     writes += 1
+                    if timer is not None:
+                        timer.add(
+                            "store_io", time.perf_counter() - io_started
+                        )
             pending_restore = payload
             walk_cursor = position
+            measure_started = time.perf_counter()
+            span_from = tracer.wall_ts() if tracer is not None else 0.0
             subset = interval_traceset(self.traces, interval)
             system = self.model.build_system(
                 self.config, subset, hollow=True
             )
             system.restore_warm_state(entry_state)
+            if tracer is not None:
+                tracer.wall_span(
+                    "materialise",
+                    cat="sampling",
+                    started_ts=span_from,
+                    args={"interval": position, "ordinal": ordinal},
+                )
+                span_from = tracer.wall_ts()
             result = SystemSimulator(
                 system, cycle_skip=self.cycle_skip
             ).run(max_cycles)
+            if timer is not None:
+                timer.add(
+                    "measurement", time.perf_counter() - measure_started
+                )
+            if tracer is not None:
+                tracer.wall_span(
+                    "measure",
+                    cat="sampling",
+                    started_ts=span_from,
+                    args={
+                        "interval": position,
+                        "ordinal": ordinal,
+                        "cycles": result.cycles,
+                    },
+                )
             if interval.exhaustive:
                 exhaustive.append(result)
             else:
@@ -547,6 +607,8 @@ class SampledSimulator:
         # interval so small detail units don't bias cycles upward.
         # Exhaustive intervals are measured, not extrapolated, and keep
         # their true cost.
+        extrapolation_started = time.perf_counter()
+        span_from = tracer.wall_ts() if tracer is not None else 0.0
         transient = self._transient_cycles(max_cycles)
         for result in sampled_results:
             result.cycles = max(1, result.cycles - transient)
@@ -581,6 +643,11 @@ class SampledSimulator:
             weighted.extend((r, factor) for r in stratum_results)
             per_stratum_errors.append(_error_estimates(stratum_results))
         result = _combine(weighted)
+        counters = (
+            {"hits": hits, "misses": misses, "writes": writes}
+            if policy is not None
+            else None
+        )
         result.sampling = self._payload(
             intervals,
             exhaustive + sampled_results,
@@ -588,13 +655,52 @@ class SampledSimulator:
             exact=False,
             factors=factors,
             transient=transient,
-            counters=(
-                {"hits": hits, "misses": misses, "writes": writes}
-                if policy is not None
-                else None
-            ),
+            counters=counters,
         )
+        if timer is not None:
+            timer.add(
+                "extrapolation", time.perf_counter() - extrapolation_started
+            )
+            result.metrics = self._metrics_payload(
+                [r.metrics for r in exhaustive + sampled_results],
+                intervals,
+                timer,
+                counters,
+            )
+        if tracer is not None:
+            tracer.wall_span("extrapolate", cat="sampling", started_ts=span_from)
         return result
+
+    def _metrics_payload(
+        self,
+        interval_payloads: list,
+        intervals: list[Interval],
+        timer: PhaseTimer,
+        counters: dict[str, int] | None,
+    ) -> list[dict]:
+        """Roll the interval runs' metrics up into the final result's.
+
+        Kernel counters from every measured interval merge and gain the
+        ``sampling=<plan spec>`` label; on top come the plan's interval
+        mix, the checkpoint traffic and the ``phase.*`` wall-time
+        attribution (warming / measurement / extrapolation / store I/O).
+        """
+        spec = self.plan.spec()
+        labels = {"machine": self.model.name, "sampling": spec}
+        registry = MetricsRegistry.rollup(interval_payloads).relabel(
+            sampling=spec
+        )
+        for kind in IntervalKind:
+            count = sum(1 for i in intervals if i.kind is kind)
+            registry.counter(
+                "sampling.intervals", kind=kind.name.lower(), **labels
+            ).inc(count)
+        for name, value in (counters or {}).items():
+            registry.counter(f"sampling.checkpoint.{name}", **labels).inc(
+                value
+            )
+        timer.record(registry, **labels)
+        return registry.to_payload()
 
     def _payload(
         self,

@@ -161,6 +161,10 @@ class BatchedWarmer:
         self.system = system
         self.traces = traces
         self._line_bytes = system.config.icache_line_bytes
+        # Observability (construction-time grab; None when disabled).
+        from repro.obs.recorder import metrics_registry
+
+        self._metrics = metrics_registry()
         hardware_by_group = {
             id(hardware.group): hardware
             for hardware in system.group_hardware
@@ -234,6 +238,15 @@ class BatchedWarmer:
                 start,
                 end,
             )
+        if self._metrics is not None:
+            from repro.kernels import backend_name
+
+            labels = {
+                "machine": self.system.machine_name,
+                "kernel_backend": backend_name(),
+            }
+            self._metrics.counter("warming.intervals", **labels).inc()
+            self._metrics.counter("warming.blocks", **labels).inc(blocks)
         return blocks
 
     def _walk_span(self, core_id, context, records, start, end) -> int:

@@ -15,10 +15,12 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
 from repro.errors import TraceError
+from repro.obs.log import add_log_arguments, setup_from_args
 from repro.trace.chunked import ChunkedThreadReader, LazyThreadTrace
 from repro.trace.encoding import (
     decode_thread_trace,
@@ -28,6 +30,10 @@ from repro.trace.encoding import (
     write_trace_set,
 )
 from repro.trace.provider import capture_trace_set
+
+# Not __name__: under `python -m` this module IS "__main__",
+# which would fall outside the configured "repro" logger tree.
+_LOG = logging.getLogger("repro.trace.cli")
 
 
 def _load_thread(path: Path):
@@ -85,9 +91,13 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         fmt=args.format,
         chunk_records=args.chunk_records,
     )
-    print(
-        f"wrote {traces.benchmark} ({traces.thread_count} threads) as "
-        f"{args.format} to {args.destination} [fingerprint {fingerprint}]"
+    _LOG.info(
+        "wrote %s (%d threads) as %s to %s [fingerprint %s]",
+        traces.benchmark,
+        traces.thread_count,
+        args.format,
+        args.destination,
+        fingerprint,
     )
     return 0
 
@@ -108,7 +118,7 @@ def _cmd_capture(args: argparse.Namespace) -> int:
         seed=args.seed,
         chunk_records=args.chunk_records,
     )
-    print(f"captured {args.benchmark} to {destination}")
+    _LOG.info("captured %s to %s", args.benchmark, destination)
     return 0
 
 
@@ -117,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.trace",
         description="Inspect, convert and capture on-disk trace sets.",
     )
+    add_log_arguments(parser, quiet=True)
     commands = parser.add_subparsers(dest="command", required=True)
 
     dump = commands.add_parser(
@@ -165,12 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_from_args(args)
     try:
         return args.handler(args)
     except BrokenPipeError:  # dump | head: the consumer hung up, not an error
         return 0
     except (TraceError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error("error: %s", exc)
         return 1
 
 

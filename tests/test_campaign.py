@@ -17,6 +17,7 @@ from repro.campaign import (
 )
 from repro.campaign import runner as campaign_runner
 from repro.campaign.spec import shard_specs
+from repro.campaign.store import merge_stores
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.common import ExperimentContext
 from repro.scmp import private_config
@@ -619,6 +620,75 @@ class TestFaultTolerance:
         )
         assert len(report.results) == 1
         assert len(report.failures) == 1
+
+
+class TestJournalForensics:
+    """failures.jsonl entries carry when/where/how-long; legacy lines
+    without those fields keep parsing."""
+
+    def _bad_spec(self):
+        return RunSpec(
+            benchmark="NO_SUCH_BENCH", config=baseline_config(), scale=0.02
+        )
+
+    def _journal_one_failure(self, root):
+        store = ResultStore(root)
+        run_specs([self._bad_spec()], store=store, strict=False)
+        return store
+
+    def test_new_entries_carry_forensic_fields(self, tmp_path):
+        import datetime
+        import socket
+
+        store = self._journal_one_failure(tmp_path / "cache")
+        (entry,) = store.journalled_failures()
+        # ISO-8601, parseable back to an aware datetime.
+        stamp = datetime.datetime.fromisoformat(entry["time"])
+        assert stamp.tzinfo is not None
+        assert entry["host"] == socket.gethostname()
+        assert isinstance(entry["duration_s"], float)
+        assert entry["duration_s"] >= 0.0
+
+    def test_legacy_lines_without_fields_still_parse(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        spec = self._bad_spec()
+        legacy = {
+            "machine": spec.machine,
+            "benchmark": spec.benchmark,
+            "label": spec.config.label(),
+            "seed": spec.seed,
+            "scale": spec.scale,
+            "engine": spec.engine,
+            "sampling": spec.sampling,
+            "config": {
+                "worker_count": spec.config.worker_count,
+                "cores_per_cache": spec.config.cores_per_cache,
+            },
+            "error": "boom",
+            "attempts": 2,
+        }
+        store.journal_path.write_text(json.dumps(legacy) + "\n")
+        (entry,) = store.journalled_failures()
+        assert "time" not in entry and "host" not in entry
+        (rebuilt,) = store.failed_specs()
+        assert rebuilt.benchmark == spec.benchmark
+
+    def test_prune_preserves_fields_of_kept_entries(self, tmp_path):
+        store = self._journal_one_failure(tmp_path / "cache")
+        good = _tiny_spec()
+        run_specs([good], store=store, strict=True)
+        # Pruning the recovered run must rewrite the journal without
+        # stripping the surviving entry's forensic fields.
+        assert store.prune_journal({(good.key, good.flavor)}) == 0
+        (kept,) = store.journalled_failures()
+        assert "time" in kept and "host" in kept and "duration_s" in kept
+
+    def test_merge_preserves_journal_fields(self, tmp_path):
+        source = self._journal_one_failure(tmp_path / "source")
+        (original,) = source.journalled_failures()
+        merge_stores([source.root], tmp_path / "merged")
+        merged = ResultStore(tmp_path / "merged")
+        assert merged.journalled_failures() == [original]
 
 
 class TestStoreMaintenance:
